@@ -1,0 +1,22 @@
+# Sample cluster description for entropyctl.
+#   dune exec bin/entropyctl.exe -- check examples/cluster.ecl
+#   dune exec bin/entropyctl.exe -- plan  examples/cluster.ecl
+# Nodes: cpu in cores, memory in MB. VM demand in hundredths of a core.
+
+node N0 cpu=2.0 mem=3584
+node N1 cpu=2.0 mem=3584
+node N2 cpu=2.0 mem=3584
+
+vm web1 mem=512  demand=50  state=running@N0 program=C900
+vm web2 mem=512  demand=50  state=running@N0 program=C900
+vm db   mem=2048 demand=100 state=running@N0 program=C1200
+vm calc1 mem=1024 demand=100 state=waiting program=C600
+vm calc2 mem=1024 demand=100 state=waiting program=C600
+
+vjob site vms=web1,web2,db priority=0
+vjob hpc  vms=calc1,calc2  priority=1
+
+# keep the web replicas on distinct nodes
+rule spread web1,web2
+# at most 3 VMs per node on N0 (license)
+rule quota - nodes=N0 max=3
