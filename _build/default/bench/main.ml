@@ -1,0 +1,244 @@
+(* Benchmark harness: one Bechamel test per table/figure of the paper,
+   plus microbenches of the constraint-solver substrate. Reported times
+   are per full regeneration of the artefact's data (at reduced
+   parameters — the experiment drivers in bin/ regenerate the real
+   series). Run with:  dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Entropy_core
+module Generator = Vworkload.Generator
+module Trace = Vworkload.Trace
+module Nasgrid = Vworkload.Nasgrid
+
+(* -- shared fixtures -------------------------------------------------------- *)
+
+let instance54 =
+  lazy (Generator.generate { Generator.default_spec with vm_target = 54; seed = 0 })
+
+let instance216 =
+  lazy (Generator.generate { Generator.default_spec with vm_target = 216; seed = 0 })
+
+let rjsp_of instance =
+  let { Generator.config; demand; vjobs } = instance in
+  (config, demand, vjobs, Rjsp.solve ~config ~demand ~queue:vjobs ())
+
+let small_traces =
+  lazy (List.init 2 (fun i -> Trace.make ~seed:i ~vm_count:4 Nasgrid.Ed Nasgrid.W))
+
+let section52_traces =
+  lazy
+    (List.init 8 (fun i ->
+         let family = List.nth Nasgrid.families (i mod 4) in
+         Trace.make ~seed:i ~vm_count:9 family Nasgrid.W))
+
+(* -- per-figure benches ------------------------------------------------------ *)
+
+let bench_fig3 =
+  Test.make ~name:"fig3/duration_model"
+    (Staged.stage (fun () -> ignore (Vsim.Perf_model.figure3_rows ())))
+
+let bench_table1 =
+  let config, demand, vjobs, outcome = rjsp_of (Lazy.force instance54) in
+  let target = Rgraph.normalize_sleeping ~current:config outcome.Rjsp.ffd_config in
+  let plan = Planner.build_plan ~vjobs ~current:config ~target ~demand () in
+  Test.make ~name:"table1/plan_cost"
+    (Staged.stage (fun () -> ignore (Plan.cost config plan)))
+
+let bench_fig10_generate =
+  Test.make ~name:"fig10/generate_216vm"
+    (Staged.stage (fun () ->
+         ignore
+           (Generator.generate
+              { Generator.default_spec with vm_target = 216; seed = 1 })))
+
+let bench_fig10_rjsp =
+  let { Generator.config; demand; vjobs } = Lazy.force instance216 in
+  Test.make ~name:"fig10/rjsp_ffd_216vm"
+    (Staged.stage (fun () ->
+         ignore (Rjsp.solve ~config ~demand ~queue:vjobs ())))
+
+let bench_fig10_plan =
+  let config, demand, vjobs, outcome = rjsp_of (Lazy.force instance216) in
+  let target = Rgraph.normalize_sleeping ~current:config outcome.Rjsp.ffd_config in
+  Test.make ~name:"fig10/plan_build_216vm"
+    (Staged.stage (fun () ->
+         ignore (Planner.build_plan ~vjobs ~current:config ~target ~demand ())))
+
+let bench_fig10_optimize =
+  let config, demand, vjobs, outcome = rjsp_of (Lazy.force instance54) in
+  Test.make ~name:"fig10/cp_optimize_54vm"
+    (Staged.stage (fun () ->
+         ignore
+           (Optimizer.optimize ~timeout:10. ~node_limit:300 ~vjobs
+              ~current:config ~demand
+              ~placed:(List.concat_map Vjob.vms outcome.Rjsp.running)
+              ~target_base:outcome.Rjsp.ffd_config
+              ~fallback:outcome.Rjsp.ffd_config ())))
+
+let bench_fig11_sim =
+  let traces = Lazy.force small_traces in
+  let nodes =
+    Array.init 3 (fun i -> Node.testbed ~id:i ~name:(Printf.sprintf "N%d" i))
+  in
+  Test.make ~name:"fig11/entropy_sim_2vjobs"
+    (Staged.stage (fun () ->
+         ignore (Vsim.Runner.run_entropy ~cp_timeout:0.05 ~nodes ~traces ())))
+
+let bench_fig12_static =
+  let traces = Lazy.force section52_traces in
+  Test.make ~name:"fig12/static_fcfs_8vjobs"
+    (Staged.stage (fun () ->
+         ignore
+           (Batch.Static_alloc.run ~capacity:11 ~node_cpu:200 ~node_mem:3584
+              traces)))
+
+let bench_fig13_series =
+  let traces = Lazy.force section52_traces in
+  let run =
+    Batch.Static_alloc.run ~capacity:11 ~node_cpu:200 ~node_mem:3584 traces
+  in
+  Test.make ~name:"fig13/utilization_series"
+    (Staged.stage (fun () -> ignore (Batch.Static_alloc.series ~period:30. run)))
+
+(* -- ablations ---------------------------------------------------------------- *)
+
+let bench_ablation_heuristics =
+  let { Generator.config; demand; vjobs } = Lazy.force instance216 in
+  let mk name heuristic =
+    Test.make ~name:(Printf.sprintf "ablation/rjsp_%s" name)
+      (Staged.stage (fun () ->
+           ignore (Rjsp.solve ~heuristic ~config ~demand ~queue:vjobs ())))
+  in
+  [ mk "first_fit" Ffd.First_fit; mk "best_fit" Ffd.Best_fit;
+    mk "worst_fit" Ffd.Worst_fit ]
+
+let bench_ablation_schedule =
+  let config, demand, vjobs, outcome = rjsp_of (Lazy.force instance216) in
+  let target = Rgraph.normalize_sleeping ~current:config outcome.Rjsp.ffd_config in
+  let plan = Planner.build_plan ~vjobs ~current:config ~target ~demand () in
+  Test.make ~name:"ablation/timed_schedule_216vm"
+    (Staged.stage (fun () -> ignore (Schedule.of_plan config plan)))
+
+let bench_ablation_continuous =
+  let config, demand, vjobs, outcome = rjsp_of (Lazy.force instance216) in
+  let target = Rgraph.normalize_sleeping ~current:config outcome.Rjsp.ffd_config in
+  let plan = Planner.build_plan ~vjobs ~current:config ~target ~demand () in
+  Test.make ~name:"ablation/continuous_schedule_216vm"
+    (Staged.stage (fun () ->
+         ignore (Continuous.schedule ~vjobs ~current:config ~demand ~plan ())))
+
+let bench_ablation_online_rms =
+  let traces = Lazy.force section52_traces in
+  let jobs =
+    List.mapi
+      (fun i t ->
+        Batch.Static_alloc.job_of_trace ~node_cpu:200 ~node_mem:3584 ~id:i t)
+      traces
+  in
+  Test.make ~name:"ablation/online_rms_8jobs"
+    (Staged.stage (fun () -> ignore (Batch.Rms.simulate ~capacity:11 jobs)))
+
+(* -- solver microbenches -------------------------------------------------------- *)
+
+let bench_solver_domains =
+  Test.make ~name:"solver/domain_ops"
+    (Staged.stage (fun () ->
+         let d = ref (Fdcp.Dom.interval 0 199) in
+         for v = 0 to 198 do
+           d := Fdcp.Dom.remove v !d
+         done;
+         ignore (Fdcp.Dom.value_exn !d)))
+
+let bench_solver_pack =
+  Test.make ~name:"solver/pack_propagation"
+    (Staged.stage (fun () ->
+         let open Fdcp in
+         let s = Store.create () in
+         let vars = Array.init 40 (fun _ -> Store.new_var s ~lo:0 ~hi:19) in
+         let items = Array.map (fun v -> Pack.item v 3) vars in
+         Pack.post s ~items ~capacities:(Array.make 20 6) ();
+         Store.propagate s;
+         Array.iteri
+           (fun i v -> if i < 20 then Store.instantiate s v (i mod 20))
+           vars;
+         Store.propagate s))
+
+let bench_solver_search =
+  Test.make ~name:"solver/search_packing"
+    (Staged.stage (fun () ->
+         let open Fdcp in
+         let s = Store.create () in
+         let vars = Array.init 16 (fun _ -> Store.new_var s ~lo:0 ~hi:7) in
+         let items = Array.mapi (fun i v -> Pack.item v (1 + (i mod 3))) vars in
+         Pack.post s ~items ~capacities:(Array.make 8 4) ();
+         ignore (Search.find_first s ~vars ())))
+
+let bench_solver_knapsack =
+  Test.make ~name:"solver/knapsack_dp"
+    (Staged.stage (fun () ->
+         let open Fdcp in
+         let s = Store.create () in
+         let sel = Array.init 12 (fun _ -> Store.new_var s ~lo:0 ~hi:1) in
+         let sizes = Array.init 12 (fun i -> 3 + (i mod 5)) in
+         let load = Store.new_var s ~lo:20 ~hi:30 in
+         ignore (Knapsack.post s ~sizes ~selectors:sel ~load);
+         Store.propagate s))
+
+(* -- driver ---------------------------------------------------------------------- *)
+
+let all_tests =
+  [
+    bench_fig3;
+    bench_table1;
+    bench_fig10_generate;
+    bench_fig10_rjsp;
+    bench_fig10_plan;
+    bench_fig10_optimize;
+    bench_fig11_sim;
+    bench_fig12_static;
+    bench_fig13_series;
+  ]
+  @ bench_ablation_heuristics
+  @ [
+      bench_ablation_schedule;
+      bench_ablation_continuous;
+      bench_ablation_online_rms;
+      bench_solver_domains;
+      bench_solver_pack;
+      bench_solver_search;
+      bench_solver_knapsack;
+    ]
+
+let () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:None () in
+  Printf.printf "%-32s%16s%10s\n" "benchmark" "time/run" "r^2";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let time_ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (t :: _) -> t
+            | _ -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> r
+            | None -> nan
+          in
+          let pretty t =
+            if t > 1e9 then Printf.sprintf "%8.2f s " (t /. 1e9)
+            else if t > 1e6 then Printf.sprintf "%8.2f ms" (t /. 1e6)
+            else if t > 1e3 then Printf.sprintf "%8.2f us" (t /. 1e3)
+            else Printf.sprintf "%8.0f ns" t
+          in
+          Printf.printf "%-32s%16s%10.3f\n%!" name (pretty time_ns) r2)
+        analysis)
+    all_tests

@@ -1,0 +1,1 @@
+bin/exp_common.ml: Array Batch Entropy_core List Node Printf String Vsim Vworkload

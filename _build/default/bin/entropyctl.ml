@@ -1,0 +1,212 @@
+(* entropyctl — inspect a cluster description and plan cluster-wide
+   context switches against it.
+
+     entropyctl check   cluster.ecl        viability + rule report
+     entropyctl plan    cluster.ecl        one decision iteration + plan
+     entropyctl actions cur.ecl new.ecl    raw plan between two specs *)
+
+open Entropy_core
+module Spec = Entropy_cli.Spec
+
+let load_or_exit path =
+  try Spec.load path with
+  | Spec.Parse_error { line; message } ->
+    Printf.eprintf "%s:%d: %s\n" path line message;
+    exit 2
+  | Sys_error e ->
+    Printf.eprintf "%s\n" e;
+    exit 2
+
+(* -- check ---------------------------------------------------------------- *)
+
+let check path =
+  let spec = load_or_exit path in
+  let { Spec.config; demand; vjobs; rules; _ } = spec in
+  let cpu, mem = Configuration.loads config demand in
+  Printf.printf "%-12s%14s%16s\n" "node" "cpu use" "memory use";
+  Array.iteri
+    (fun i node ->
+      Printf.printf "%-12s%9d /%4d%10d /%5d%s\n" (Spec.node_name spec i)
+        cpu.(i) (Node.cpu_capacity node) mem.(i) (Node.memory_mb node)
+        (if
+           cpu.(i) > Node.cpu_capacity node || mem.(i) > Node.memory_mb node
+         then "  OVERLOADED"
+         else ""))
+    (Configuration.nodes config);
+  Printf.printf "\nviable: %b\n" (Configuration.is_viable config demand);
+  List.iter
+    (fun vj ->
+      Printf.printf "vjob %-12s: %s\n" (Vjob.name vj)
+        (match Configuration.vjob_state config vj with
+        | Some s -> Lifecycle.state_to_string s
+        | None -> "inconsistent (switch in progress?)"))
+    vjobs;
+  (match Placement_rules.violated config rules with
+  | [] -> if rules <> [] then Printf.printf "all %d rules hold\n" (List.length rules)
+  | violated ->
+    List.iter
+      (fun r -> Fmt.pr "rule violated: %a@." Placement_rules.pp r)
+      violated;
+    exit 1);
+  if not (Configuration.is_viable config demand) then exit 1
+
+(* -- plan ----------------------------------------------------------------- *)
+
+let plan path cp_timeout ram =
+  let spec = load_or_exit path in
+  let { Spec.config; demand; vjobs; rules; _ } = spec in
+  let decision =
+    Decision.consolidation ~cp_timeout ~rules ~suspend_to_ram:ram ()
+  in
+  let obs = { Decision.config; demand; queue = vjobs; finished = [] } in
+  let result = decision.Decision.decide obs in
+  List.iter
+    (fun vj ->
+      let before = Configuration.vjob_state config vj in
+      let after = Configuration.vjob_state result.Optimizer.target vj in
+      if before <> after then
+        Printf.printf "vjob %-12s: %s -> %s\n" (Vjob.name vj)
+          (match before with
+          | Some s -> Lifecycle.state_to_string s
+          | None -> "?")
+          (match after with
+          | Some s -> Lifecycle.state_to_string s
+          | None -> "?"))
+    vjobs;
+  if Plan.is_empty result.Optimizer.plan then
+    print_endline "nothing to do: the configuration already matches"
+  else begin
+    Printf.printf "reconfiguration plan (cost %d):\n" result.Optimizer.cost;
+    Fmt.pr "%a" (Spec.pp_plan spec) result.Optimizer.plan;
+    let pooled =
+      Schedule.makespan (Schedule.of_plan config result.Optimizer.plan)
+    in
+    (match
+       Continuous.schedule ~vjobs ~current:config ~demand
+         ~plan:result.Optimizer.plan ()
+     with
+    | continuous ->
+      Printf.printf
+        "estimated duration: %.0f s (pool barriers) / %.0f s (continuous)\n"
+        pooled
+        (Continuous.makespan continuous)
+    | exception Continuous.Stuck _ ->
+      Printf.printf "estimated duration: %.0f s (pool barriers)\n" pooled)
+  end;
+  if not result.Optimizer.rules_satisfied then begin
+    print_endline "warning: some placement rules could not be satisfied";
+    exit 1
+  end
+
+(* -- actions (diff between two specs) -------------------------------------- *)
+
+let actions current_path target_path =
+  let cur = load_or_exit current_path in
+  let tgt = load_or_exit target_path in
+  if
+    Configuration.vm_count cur.Spec.config
+    <> Configuration.vm_count tgt.Spec.config
+  then begin
+    Printf.eprintf "the two descriptions declare different VM sets\n";
+    exit 2
+  end;
+  let target =
+    Rgraph.normalize_sleeping ~current:cur.Spec.config tgt.Spec.config
+  in
+  match
+    Planner.build_plan ~vjobs:cur.Spec.vjobs ~current:cur.Spec.config ~target
+      ~demand:cur.Spec.demand ()
+  with
+  | plan ->
+    Printf.printf "plan (cost %d):\n" (Plan.cost cur.Spec.config plan);
+    Fmt.pr "%a" (Spec.pp_plan cur) plan
+  | exception Planner.Stuck reason ->
+    Printf.eprintf "no feasible plan: %s\n" reason;
+    exit 1
+  | exception Rgraph.Unreachable reason ->
+    Printf.eprintf "impossible transition: %s\n" reason;
+    exit 1
+
+(* -- simulate ----------------------------------------------------------------- *)
+
+let simulate path cp_timeout ram =
+  let spec = load_or_exit path in
+  let with_programs =
+    Array.exists (fun p -> p <> []) spec.Spec.programs
+  in
+  if not with_programs then begin
+    Printf.eprintf
+      "no vm declares a program= field: nothing to simulate\n\
+       (add e.g. `program=C600` to the vm lines)\n";
+    exit 2
+  end;
+  let decision =
+    Decision.consolidation ~cp_timeout ~rules:spec.Spec.rules
+      ~suspend_to_ram:ram ()
+  in
+  let result =
+    Vsim.Runner.run_custom ~decision ~config:spec.Spec.config
+      ~vjobs:spec.Spec.vjobs
+      ~programs:(fun vm -> spec.Spec.programs.(vm))
+      ()
+  in
+  Printf.printf "completed %d vjobs in %.1f min (%d control-loop iterations)\n"
+    (List.length result.Vsim.Runner.completions)
+    (result.Vsim.Runner.makespan /. 60.)
+    result.Vsim.Runner.iterations;
+  List.iter
+    (fun (vj, t) -> Printf.printf "  %-16s done at %7.0f s\n" (Vjob.name vj) t)
+    result.Vsim.Runner.completions;
+  Printf.printf "\ncluster-wide context switches:\n";
+  List.iter
+    (fun s -> Fmt.pr "  %a@." Vsim.Executor.pp_record s)
+    result.Vsim.Runner.switches
+
+(* -- cmdliner ---------------------------------------------------------------- *)
+
+open Cmdliner
+
+let file_arg index name =
+  Arg.(required & pos index (some file) None & info [] ~docv:name)
+
+let timeout_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "cp-timeout" ] ~doc:"CP solving timeout in seconds.")
+
+let ram_arg =
+  Arg.(
+    value & flag
+    & info [ "ram" ] ~doc:"Prefer suspend-to-RAM when memory allows.")
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check" ~doc:"Report loads, viability and rule violations")
+    Term.(const check $ file_arg 0 "CLUSTER")
+
+let plan_cmd =
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Run one decision iteration and print the plan")
+    Term.(const plan $ file_arg 0 "CLUSTER" $ timeout_arg $ ram_arg)
+
+let actions_cmd =
+  Cmd.v
+    (Cmd.info "actions" ~doc:"Plan the switch between two descriptions")
+    Term.(const actions $ file_arg 0 "CURRENT" $ file_arg 1 "TARGET")
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Run the control loop on the simulated cluster until every vjob \
+          (with a program= field) completes")
+    Term.(const simulate $ file_arg 0 "CLUSTER" $ timeout_arg $ ram_arg)
+
+let () =
+  let info =
+    Cmd.info "entropyctl"
+      ~doc:"Plan cluster-wide context switches over cluster descriptions"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ check_cmd; plan_cmd; actions_cmd; simulate_cmd ]))

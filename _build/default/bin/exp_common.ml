@@ -1,0 +1,38 @@
+(* Shared setup for the experiment drivers: the paper's section 5.2
+   testbed (11 two-core nodes) and its workload (8 vjobs of 9 VMs
+   running NGB-like applications), plus small table printers. *)
+
+open Entropy_core
+module Trace = Vworkload.Trace
+module Nasgrid = Vworkload.Nasgrid
+
+let testbed_nodes ?(count = 11) () =
+  Array.init count (fun i -> Node.testbed ~id:i ~name:(Printf.sprintf "N%d" i))
+
+(* The section 5.2 workload: 8 vjobs x 9 VMs, submitted together, mixing
+   the four NGB families. [cls] scales the work (W by default keeps the
+   simulation fast; the shape is class-independent). *)
+let section52_traces ?(count = 8) ?(cls = Nasgrid.W) () =
+  List.init count (fun i ->
+      let family = List.nth Nasgrid.families (i mod 4) in
+      Trace.make ~seed:i ~vm_count:9 family cls)
+
+let run_entropy ?(cls = Nasgrid.W) ?(cp_timeout = 1.0) () =
+  let nodes = testbed_nodes () in
+  let traces = section52_traces ~cls () in
+  Vsim.Runner.run_entropy ~cp_timeout ~nodes ~traces ()
+
+let run_static ?(cls = Nasgrid.W) () =
+  let traces = section52_traces ~cls () in
+  Batch.Static_alloc.run ~capacity:11 ~node_cpu:200 ~node_mem:3584 traces
+
+(* -- printing -------------------------------------------------------------- *)
+
+let rule () = print_endline (String.make 78 '-')
+
+let header title =
+  rule ();
+  Printf.printf "%s\n" title;
+  rule ()
+
+let minutes s = s /. 60.

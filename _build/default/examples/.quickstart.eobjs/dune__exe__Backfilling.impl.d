@@ -1,0 +1,1 @@
+examples/backfilling.ml: Batch List Printf String

@@ -1,0 +1,1 @@
+examples/consolidation.ml: Action Array Configuration Decision Demand Entropy_core Fmt List Node Optimizer Plan Printf String Vjob Vm

@@ -1,0 +1,1 @@
+examples/high_availability.ml: Action Array Configuration Decision Demand Entropy_core Fmt List Node Optimizer Placement_rules Plan Printf Schedule Vjob Vm

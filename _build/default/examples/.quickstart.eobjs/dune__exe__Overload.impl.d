@@ -1,0 +1,1 @@
+examples/overload.ml: Array Entropy_core Fmt List Node Printf Vjob Vsim Vworkload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Action Array Configuration Decision Demand Entropy_core Fmt Lifecycle List Node Optimizer Plan Printf Vjob Vm

@@ -1,0 +1,76 @@
+(* Making room with a minimal cluster-wide context switch: a newcomer
+   vjob only fits if the running VMs are consolidated. The plain FFD
+   heuristic repacks the whole cluster; the CP optimiser finds the
+   single cheapest migration.
+
+     dune exec examples/consolidation.exe *)
+
+open Entropy_core
+
+let pp_hosting config =
+  Array.iter
+    (fun node ->
+      let vms = Configuration.running_on config (Node.id node) in
+      Printf.printf "  %s: %s\n" (Node.name node)
+        (String.concat " "
+           (List.map (fun id -> Vm.name (Configuration.vm config id)) vms)))
+    (Configuration.nodes config)
+
+let () =
+  let nodes =
+    Array.init 4 (fun i -> Node.testbed ~id:i ~name:(Printf.sprintf "node%d" i))
+  in
+  (* three long-running 1792 MB services, one per node; node3 is free *)
+  let vms =
+    [|
+      Vm.make ~id:0 ~name:"svc0" ~memory_mb:1792;
+      Vm.make ~id:1 ~name:"svc1" ~memory_mb:1792;
+      Vm.make ~id:2 ~name:"svc2" ~memory_mb:1792;
+      Vm.make ~id:3 ~name:"new0" ~memory_mb:2048;
+      Vm.make ~id:4 ~name:"new1" ~memory_mb:2048;
+    |]
+  in
+  let services =
+    List.init 3 (fun j ->
+        Vjob.make ~id:j ~name:(Printf.sprintf "svc%d" j) ~vms:[ j ]
+          ~submit_time:(float_of_int j) ())
+  in
+  let newcomer = Vjob.make ~id:3 ~name:"newcomer" ~vms:[ 3; 4 ] ~submit_time:10. () in
+  let config =
+    List.fold_left
+      (fun cfg (vm, node) -> Configuration.set_state cfg vm (Configuration.Running node))
+      (Configuration.make ~nodes ~vms)
+      [ (0, 0); (1, 1); (2, 2) ]
+  in
+  let demand = Demand.of_fn ~vm_count:5 (function 3 | 4 -> 100 | _ -> 50) in
+  Printf.printf "initial hosting (newcomer waiting, needs 2 x 2048 MB):\n";
+  pp_hosting config;
+  Printf.printf
+    "\neach node has %d MB free: the 2048 MB VMs fit nowhere without\n\
+     consolidating two services onto one node first.\n\n"
+    (3584 - 1792);
+
+  let queue = services @ [ newcomer ] in
+  let observation = { Decision.config; demand; queue; finished = [] } in
+
+  let naive = (Decision.ffd_only ()).Decision.decide observation in
+  let optimised = (Decision.consolidation ()).Decision.decide observation in
+
+  Printf.printf "naive FFD repacking : %2d actions, plan cost %5d\n"
+    (Plan.action_count naive.Optimizer.plan)
+    naive.Optimizer.cost;
+  Printf.printf "CP-optimised switch : %2d actions, plan cost %5d\n\n"
+    (Plan.action_count optimised.Optimizer.plan)
+    optimised.Optimizer.cost;
+  Fmt.pr "optimised plan:@.%a@." Plan.pp optimised.Optimizer.plan;
+
+  let final =
+    List.fold_left
+      (fun cfg pool -> List.fold_left Action.apply cfg pool)
+      config
+      (Plan.pools optimised.Optimizer.plan)
+  in
+  Printf.printf "\nhosting after the cluster-wide context switch:\n";
+  pp_hosting final;
+  Printf.printf "final configuration viable: %b\n"
+    (Configuration.is_viable final demand)

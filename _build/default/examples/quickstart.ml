@@ -1,0 +1,53 @@
+(* Quickstart: model a small cluster, let the decision module pick a
+   viable target and inspect the reconfiguration plan.
+
+     dune exec examples/quickstart.exe *)
+
+open Entropy_core
+
+let () =
+  (* a cluster of three 2-core, 3.5 GB nodes *)
+  let nodes =
+    Array.init 3 (fun i -> Node.testbed ~id:i ~name:(Printf.sprintf "node%d" i))
+  in
+  (* two vjobs: a 2-VM computation and a 1-VM service *)
+  let vms =
+    [|
+      Vm.make ~id:0 ~name:"mpi-0" ~memory_mb:1024;
+      Vm.make ~id:1 ~name:"mpi-1" ~memory_mb:1024;
+      Vm.make ~id:2 ~name:"web" ~memory_mb:512;
+    |]
+  in
+  let mpi = Vjob.make ~id:0 ~name:"mpi" ~vms:[ 0; 1 ] ~submit_time:0. () in
+  let web = Vjob.make ~id:1 ~name:"web" ~vms:[ 2 ] ~submit_time:1. () in
+  (* everything starts waiting *)
+  let config = Configuration.make ~nodes ~vms in
+  (* the monitoring service reports CPU demands (hundredths of a core):
+     the MPI ranks compute flat out, the web VM is mostly idle *)
+  let demand = Demand.of_fn ~vm_count:3 (function 2 -> 10 | _ -> 100) in
+
+  (* one iteration of the decision module *)
+  let decision = Decision.consolidation () in
+  let observation =
+    { Decision.config; demand; queue = [ mpi; web ]; finished = [] }
+  in
+  let result = decision.Decision.decide observation in
+
+  Fmt.pr "target configuration:@.  %a@." Configuration.pp
+    result.Optimizer.target;
+  Fmt.pr "plan (cost %d):@.%a@." result.Optimizer.cost Plan.pp
+    result.Optimizer.plan;
+
+  (* apply the plan pool by pool, checking viability along the way *)
+  let final =
+    List.fold_left
+      (fun cfg pool -> List.fold_left Action.apply cfg pool)
+      config
+      (Plan.pools result.Optimizer.plan)
+  in
+  Fmt.pr "final configuration viable: %b@." (Configuration.is_viable final demand);
+  Fmt.pr "mpi state: %a, web state: %a@."
+    (Fmt.option Lifecycle.pp_state)
+    (Configuration.vjob_state final mpi)
+    (Fmt.option Lifecycle.pp_state)
+    (Configuration.vjob_state final web)

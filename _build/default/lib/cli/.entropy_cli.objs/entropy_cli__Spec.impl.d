@@ -1,0 +1,1 @@
+lib/cli/spec.ml: Action Array Configuration Demand Entropy_core Float Fmt Fun Hashtbl List Node Placement_rules Plan String Vjob Vm Vworkload

@@ -1,0 +1,1 @@
+lib/cli/spec.mli: Action Configuration Demand Entropy_core Format Node Placement_rules Plan Vjob Vm Vworkload

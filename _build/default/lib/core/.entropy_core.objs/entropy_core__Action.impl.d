@@ -1,0 +1,1 @@
+lib/core/action.ml: Configuration Demand Fmt Lifecycle Node Vm

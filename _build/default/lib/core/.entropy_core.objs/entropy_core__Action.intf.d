@@ -1,0 +1,1 @@
+lib/core/action.mli: Configuration Demand Format Lifecycle Node Vm

@@ -1,0 +1,1 @@
+lib/core/configuration.ml: Array Demand Fmt Lifecycle List Node Option Vjob Vm

@@ -1,0 +1,1 @@
+lib/core/configuration.mli: Demand Format Lifecycle Node Vjob Vm

@@ -1,0 +1,1 @@
+lib/core/consistency.ml: Action Array Configuration Int List Plan String Vjob Vm

@@ -1,0 +1,1 @@
+lib/core/continuous.ml: Action Array Configuration Demand Float Fmt Hashtbl List Node Option Plan Printf Schedule Vjob Vm

@@ -1,0 +1,1 @@
+lib/core/continuous.mli: Action Configuration Demand Format Plan Schedule Vjob

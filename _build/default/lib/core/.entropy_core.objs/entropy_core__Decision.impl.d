@@ -1,0 +1,1 @@
+lib/core/decision.ml: Configuration Demand Ffd Int List Optimizer Plan Planner Printf Rjsp Vjob Vm

@@ -1,0 +1,1 @@
+lib/core/decision.mli: Configuration Demand Ffd Optimizer Placement_rules Vjob

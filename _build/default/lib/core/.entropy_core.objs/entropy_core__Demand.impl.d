@@ -1,0 +1,1 @@
+lib/core/demand.ml: Array Fmt

@@ -1,0 +1,1 @@
+lib/core/ffd.ml: Array Configuration Demand Int List Node Option Placement_rules Vm

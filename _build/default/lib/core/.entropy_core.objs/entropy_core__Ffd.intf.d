@@ -1,0 +1,1 @@
+lib/core/ffd.mli: Configuration Demand Placement_rules Vm

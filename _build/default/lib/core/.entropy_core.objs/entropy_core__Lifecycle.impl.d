@@ -1,0 +1,1 @@
+lib/core/lifecycle.ml: Fmt Option

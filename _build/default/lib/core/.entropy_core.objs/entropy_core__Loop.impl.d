@@ -1,0 +1,1 @@
+lib/core/loop.ml: Decision List Log Optimizer Plan

@@ -1,0 +1,1 @@
+lib/core/loop.mli: Decision Optimizer Plan

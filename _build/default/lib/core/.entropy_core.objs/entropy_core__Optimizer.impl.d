@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Alldiff Arith Array Configuration Cost Count Demand Element Fdcp Hashtbl Int Linear List Log Node Option Pack Placement_rules Plan Planner Printf Search Store Var Vm

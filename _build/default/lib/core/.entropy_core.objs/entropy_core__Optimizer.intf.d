@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Configuration Demand Fdcp Placement_rules Plan Vjob Vm

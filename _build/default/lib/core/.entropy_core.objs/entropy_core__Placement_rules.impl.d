@@ -1,0 +1,1 @@
+lib/core/placement_rules.ml: Configuration Fmt Fun Int List Node Vm

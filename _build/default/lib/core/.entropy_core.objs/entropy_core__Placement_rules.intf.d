@@ -1,0 +1,1 @@
+lib/core/placement_rules.mli: Configuration Format Node Vm

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Action Array Configuration Cost Fmt List Vm

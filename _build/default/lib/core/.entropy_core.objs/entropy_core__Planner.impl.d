@@ -1,0 +1,1 @@
+lib/core/planner.ml: Action Array Configuration Consistency Demand Fmt Int List Log Node Plan Rgraph Vm

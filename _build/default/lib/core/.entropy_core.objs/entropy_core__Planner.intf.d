@@ -1,0 +1,1 @@
+lib/core/planner.mli: Action Configuration Demand Node Plan Vjob Vm

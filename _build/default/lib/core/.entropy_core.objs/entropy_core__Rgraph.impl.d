@@ -1,0 +1,1 @@
+lib/core/rgraph.ml: Action Configuration Fmt

@@ -1,0 +1,1 @@
+lib/core/rjsp.ml: Configuration Demand Ffd Hashtbl List Option Vjob

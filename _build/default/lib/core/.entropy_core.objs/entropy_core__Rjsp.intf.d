@@ -1,0 +1,1 @@
+lib/core/rjsp.mli: Configuration Demand Ffd Placement_rules Vjob

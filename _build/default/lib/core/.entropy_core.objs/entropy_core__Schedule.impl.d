@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Action Configuration Fmt List Option Plan Vm

@@ -1,0 +1,1 @@
+lib/core/vjob.ml: Float Fmt Int List Vm

@@ -1,0 +1,1 @@
+lib/core/vjob.mli: Format Vm

@@ -1,0 +1,1 @@
+lib/core/vm.ml: Fmt Int

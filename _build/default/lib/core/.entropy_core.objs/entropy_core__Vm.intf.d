@@ -1,0 +1,1 @@
+lib/core/vm.mli: Format

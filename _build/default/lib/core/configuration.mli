@@ -1,0 +1,76 @@
+(** Configurations: the mapping of every VM to a state and (when running
+    or sleeping) a node. A configuration is {e viable} when every running
+    VM has sufficient CPU and memory on its host (paper, section 3.2).
+
+    Identifiers are dense: [Vm.id] / [Node.id] index the arrays. *)
+
+type vm_state =
+  | Waiting
+  | Running of Node.id
+  | Sleeping of Node.id  (** node whose disk holds the suspended image *)
+  | Sleeping_ram of Node.id
+      (** suspended in the host's RAM (paper section 7 future work):
+          memory stays allocated, CPU is freed, resume is nearly
+          instantaneous but only possible on that host *)
+  | Terminated
+
+val pp_vm_state : Format.formatter -> vm_state -> unit
+val equal_vm_state : vm_state -> vm_state -> bool
+
+type t
+
+val make : nodes:Node.t array -> vms:Vm.t array -> t
+(** All VMs start Waiting. Raises [Invalid_argument] when ids are not
+    dense (id = array index). *)
+
+val with_states : t -> vm_state array -> t
+(** Same cluster, explicit state vector (shared, not copied). *)
+
+val node_count : t -> int
+val vm_count : t -> int
+val nodes : t -> Node.t array
+val vms : t -> Vm.t array
+val node : t -> Node.id -> Node.t
+val vm : t -> Vm.id -> Vm.t
+
+val state : t -> Vm.id -> vm_state
+val set_state : t -> Vm.id -> vm_state -> t
+(** Functional update (copy-on-write). *)
+
+val host : t -> Vm.id -> Node.id option
+(** Hosting node of a running VM. *)
+
+val image_host : t -> Vm.id -> Node.id option
+(** Node storing a sleeping VM's image. *)
+
+val lifecycle : t -> Vm.id -> Lifecycle.state
+val lifecycle_of_state : vm_state -> Lifecycle.state
+
+val running_on : t -> Node.id -> Vm.id list
+val sleeping_on : t -> Node.id -> Vm.id list
+val ram_sleeping_on : t -> Node.id -> Vm.id list
+val running_vms : t -> Vm.id list
+
+val cpu_load : t -> Demand.t -> Node.id -> int
+val mem_load : t -> Node.id -> int
+val free_cpu : t -> Demand.t -> Node.id -> int
+val free_mem : t -> Node.id -> int
+
+val loads : t -> Demand.t -> int array * int array
+(** [(cpu, mem)] load of every node, in one O(vms + nodes) pass. *)
+
+val node_viable : t -> Demand.t -> Node.id -> bool
+val is_viable : t -> Demand.t -> bool
+val overloaded_nodes : t -> Demand.t -> Node.id list
+
+val fits : t -> Demand.t -> cpu:int -> mem:int -> Node.id -> bool
+(** Whether one more VM with those demands fits on the node. *)
+
+val vjob_state : t -> Vjob.t -> Lifecycle.state option
+(** The common life-cycle state of a vjob's VMs, or [None] when the VMs
+    disagree (transient during a cluster-wide context switch). *)
+
+val vjob_consistent : t -> Vjob.t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+(* Consistency of inter-dependent VMs (end of section 4.1).
+
+   The decision module gives every VM of a vjob the same target state,
+   but the plan manipulates VMs individually, which could suspend the
+   VMs of one distributed application seconds or minutes apart and break
+   it. Experiments (ref [10] of the paper) show the application survives
+   when the suspends (resp. resumes) of a vjob happen in a short period,
+   in a fixed order.
+
+   This module alters a plan accordingly:
+   - the suspends of a vjob all move to the earliest pool holding one of
+     them (suspends are always feasible, so advancing them is safe);
+   - the resumes of a vjob all move to the pool holding the *last* of
+     them (delaying a resource claim keeps every intermediate pool
+     feasible — resources only get freer);
+   - inside a pool, actions are sorted by VM name so the executor can
+     pipeline them deterministically (one start per second). *)
+
+let pool_index_of pools pred =
+  let found = ref [] in
+  Array.iteri
+    (fun i pool -> if List.exists pred pool then found := i :: !found)
+    pools;
+  !found (* descending order *)
+
+let move_actions pools pred ~to_pool =
+  let moved = ref [] in
+  Array.iteri
+    (fun i pool ->
+      if i <> to_pool then begin
+        let mine, rest = List.partition pred pool in
+        moved := !moved @ mine;
+        pools.(i) <- rest
+      end)
+    pools;
+  pools.(to_pool) <- pools.(to_pool) @ !moved
+
+let enforce ~config ~vjobs plan =
+  let pools = Array.of_list (Plan.pools plan) in
+  if Array.length pools = 0 then plan
+  else begin
+    List.iter
+      (fun vjob ->
+        let vms = Vjob.vms vjob in
+        let is_suspend = function
+          | Action.Suspend { vm; _ } | Action.Suspend_ram { vm; _ } ->
+            List.mem vm vms
+          | _ -> false
+        in
+        let is_resume = function
+          | Action.Resume { vm; _ } | Action.Resume_ram { vm; _ } ->
+            List.mem vm vms
+          | _ -> false
+        in
+        (match pool_index_of pools is_suspend with
+        | [] -> ()
+        | indices ->
+          let earliest = List.fold_left min max_int indices in
+          move_actions pools is_suspend ~to_pool:earliest);
+        match pool_index_of pools is_resume with
+        | [] -> ()
+        | indices ->
+          let latest = List.fold_left max (-1) indices in
+          move_actions pools is_resume ~to_pool:latest)
+      vjobs;
+    (* deterministic in-pool order: sort by the VM's name, then id *)
+    let by_vm_name a b =
+      let va = Configuration.vm config (Action.vm a) in
+      let vb = Configuration.vm config (Action.vm b) in
+      match String.compare (Vm.name va) (Vm.name vb) with
+      | 0 -> Int.compare (Vm.id va) (Vm.id vb)
+      | c -> c
+    in
+    Array.iteri (fun i pool -> pools.(i) <- List.sort by_vm_name pool) pools;
+    Plan.make (Array.to_list pools)
+  end
+
+(* Suspends and resumes of one vjob that ended up in the same pool: used
+   by tests and by the executor to know what to pipeline. *)
+let grouped_in_same_pool plan vjob kind =
+  let vms = Vjob.vms vjob in
+  let matches = function
+    | (Action.Suspend { vm; _ } | Action.Suspend_ram { vm; _ })
+      when kind = `Suspend -> List.mem vm vms
+    | (Action.Resume { vm; _ } | Action.Resume_ram { vm; _ })
+      when kind = `Resume -> List.mem vm vms
+    | _ -> false
+  in
+  let pools_with =
+    List.filteri
+      (fun _ pool -> List.exists matches pool)
+      (Plan.pools plan)
+  in
+  List.length pools_with <= 1

@@ -1,0 +1,14 @@
+(** Keeping the VMs of a vjob consistent during a cluster-wide context
+    switch: group a vjob's suspends (resp. resumes) into a single pool so
+    the executor can run them within a short, ordered window. *)
+
+val enforce :
+  config:Configuration.t -> vjobs:Vjob.t list -> Plan.t -> Plan.t
+(** Move each vjob's suspends to the earliest pool containing one and its
+    resumes to the latest; sort every pool by VM name for deterministic
+    pipelining. Feasibility of the plan is preserved. *)
+
+val grouped_in_same_pool :
+  Plan.t -> Vjob.t -> [ `Suspend | `Resume ] -> bool
+(** Whether all of the vjob's suspend (resp. resume) actions live in a
+    single pool of the plan. *)

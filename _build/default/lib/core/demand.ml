@@ -1,0 +1,28 @@
+(* Observed CPU demands of the VMs, in hundredths of a core. The memory
+   demand of a VM is static (its allocation, [Vm.memory_mb]); only CPU
+   varies with the application phase, which is what the monitoring
+   service reports to the control loop. *)
+
+type t = int array (* indexed by Vm.id *)
+
+let make ~vm_count ~default = Array.make vm_count default
+
+let of_fn ~vm_count f = Array.init vm_count f
+
+let uniform ~vm_count cpu = Array.make vm_count cpu
+
+let cpu t vm_id =
+  if vm_id < 0 || vm_id >= Array.length t then
+    invalid_arg "Demand.cpu: unknown VM"
+  else t.(vm_id)
+
+let set t vm_id cpu =
+  if vm_id < 0 || vm_id >= Array.length t then
+    invalid_arg "Demand.set: unknown VM"
+  else t.(vm_id) <- cpu
+
+let copy = Array.copy
+let vm_count = Array.length
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>%a@]" Fmt.(array ~sep:sp int) t

@@ -1,0 +1,13 @@
+(** Per-VM CPU demand vector (hundredths of a core), as observed by the
+    monitoring service. Memory demands are static ([Vm.memory_mb]). *)
+
+type t
+
+val make : vm_count:int -> default:int -> t
+val of_fn : vm_count:int -> (Vm.id -> int) -> t
+val uniform : vm_count:int -> int -> t
+val cpu : t -> Vm.id -> int
+val set : t -> Vm.id -> int -> unit
+val copy : t -> t
+val vm_count : t -> int
+val pp : Format.formatter -> t -> unit

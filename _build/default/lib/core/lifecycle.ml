@@ -1,0 +1,55 @@
+(* The life cycle of a vjob (Figure 2 of the paper).
+
+   Submitted vjobs are Waiting; the scheduler runs them (Running), may
+   suspend them to disk (Sleeping) and resume them, and removes them when
+   their owner declares them finished (Terminated). Ready is the
+   pseudo-state combining the runnable vjobs (Waiting or Sleeping). *)
+
+type state = Waiting | Running | Sleeping | Terminated
+
+type transition = Run | Suspend | Resume | Stop | Migrate
+
+let state_to_string = function
+  | Waiting -> "waiting"
+  | Running -> "running"
+  | Sleeping -> "sleeping"
+  | Terminated -> "terminated"
+
+let pp_state ppf s = Fmt.string ppf (state_to_string s)
+
+let transition_to_string = function
+  | Run -> "run"
+  | Suspend -> "suspend"
+  | Resume -> "resume"
+  | Stop -> "stop"
+  | Migrate -> "migrate"
+
+let pp_transition ppf t = Fmt.string ppf (transition_to_string t)
+
+let is_ready = function
+  | Waiting | Sleeping -> true
+  | Running | Terminated -> false
+
+(* Figure 2: run: Waiting -> Running; suspend: Running -> Sleeping;
+   resume: Sleeping -> Running; stop: Running -> Terminated;
+   migrate: Running -> Running. *)
+let next state transition =
+  match (state, transition) with
+  | Waiting, Run -> Some Running
+  | Running, Suspend -> Some Sleeping
+  | Sleeping, Resume -> Some Running
+  | Running, Stop -> Some Terminated
+  | Running, Migrate -> Some Running
+  | (Waiting | Running | Sleeping | Terminated), _ -> None
+
+let can state transition = Option.is_some (next state transition)
+
+(* The transition that moves [src] to [dst], when one exists. *)
+let between src dst =
+  match (src, dst) with
+  | Waiting, Running -> Some Run
+  | Running, Sleeping -> Some Suspend
+  | Sleeping, Running -> Some Resume
+  | Running, Terminated -> Some Stop
+  | s, d when s = d -> None
+  | _ -> None

@@ -1,0 +1,21 @@
+(** The vjob life cycle (paper, Figure 2). *)
+
+type state = Waiting | Running | Sleeping | Terminated
+type transition = Run | Suspend | Resume | Stop | Migrate
+
+val state_to_string : state -> string
+val transition_to_string : transition -> string
+val pp_state : Format.formatter -> state -> unit
+val pp_transition : Format.formatter -> transition -> unit
+
+val is_ready : state -> bool
+(** The [Ready] pseudo-state: Waiting or Sleeping (runnable vjobs). *)
+
+val next : state -> transition -> state option
+(** Target state of a transition, [None] when the transition is illegal
+    from that state. [Migrate] keeps a vjob Running. *)
+
+val can : state -> transition -> bool
+
+val between : state -> state -> transition option
+(** The single transition from one state to another, if any. *)

@@ -1,0 +1,55 @@
+(* The Entropy control loop (Figure 4): observe the cluster through the
+   monitoring service, let the decision module compute the vjob states
+   for the next iteration, plan the cluster-wide context switch, and
+   execute it through the drivers. The loop then accumulates fresh
+   monitoring data before iterating.
+
+   The loop is driver-agnostic: the simulator (lib/sim) provides one
+   driver, examples can provide in-memory ones. *)
+
+type driver = {
+  observe : unit -> Decision.observation;
+  execute : Plan.t -> unit;  (* blocks until the switch completes *)
+  wait : float -> unit;      (* sleep between iterations *)
+  finished : unit -> bool;   (* all work done, stop looping *)
+}
+
+type iteration = {
+  index : int;
+  observation : Decision.observation;
+  result : Optimizer.result;
+  executed : bool;
+}
+
+let default_period = 30.
+
+(* One iteration: decide, and execute only when the plan is non-empty
+   (an empty plan means the current configuration already matches the
+   decision). *)
+let step decision driver index =
+  let observation = driver.observe () in
+  let result = decision.Decision.decide observation in
+  let executed = not (Plan.is_empty result.Optimizer.plan) in
+  Log.debug (fun m ->
+      m "iteration %d (%s): %d vjobs queued, %d finished -> plan %d \
+         actions, cost %d%s"
+        index decision.Decision.name
+        (List.length observation.Decision.queue)
+        (List.length observation.Decision.finished)
+        (Plan.action_count result.Optimizer.plan)
+        result.Optimizer.cost
+        (if executed then "" else " (no switch needed)"));
+  if executed then driver.execute result.Optimizer.plan;
+  { index; observation; result; executed }
+
+let run ?(period = default_period) ?(max_iterations = max_int) decision
+    driver =
+  let rec go index history =
+    if index >= max_iterations || driver.finished () then List.rev history
+    else begin
+      let it = step decision driver index in
+      driver.wait period;
+      go (index + 1) (it :: history)
+    end
+  in
+  go 0 []

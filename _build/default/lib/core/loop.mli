@@ -1,0 +1,25 @@
+(** The Entropy control loop (paper, Figure 4):
+    observe -> decide -> plan -> execute, every [period] seconds. *)
+
+type driver = {
+  observe : unit -> Decision.observation;
+  execute : Plan.t -> unit;  (** blocks until the switch completes *)
+  wait : float -> unit;
+  finished : unit -> bool;
+}
+
+type iteration = {
+  index : int;
+  observation : Decision.observation;
+  result : Optimizer.result;
+  executed : bool;  (** false when the plan was empty *)
+}
+
+val default_period : float
+(** 30 s, as in the paper's sample policy. *)
+
+val step : Decision.t -> driver -> int -> iteration
+
+val run :
+  ?period:float -> ?max_iterations:int -> Decision.t -> driver ->
+  iteration list

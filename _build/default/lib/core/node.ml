@@ -1,0 +1,33 @@
+(* Working nodes. CPU capacity in hundredths of a core: the paper's
+   testbed node (2.1 GHz Core 2 Duo, one CPU with 2 cores, 4 GB RAM of
+   which 512 MB go to Domain-0) is [make ~cpu_capacity:200
+   ~memory_mb:3584]. *)
+
+type id = int
+
+type t = {
+  id : id;
+  name : string;
+  cpu_capacity : int;   (* hundredths of a core *)
+  memory_mb : int;
+}
+
+let make ~id ~name ~cpu_capacity ~memory_mb =
+  if cpu_capacity <= 0 then invalid_arg "Node.make: cpu_capacity <= 0";
+  if memory_mb <= 0 then invalid_arg "Node.make: memory_mb <= 0";
+  { id; name; cpu_capacity; memory_mb }
+
+let id t = t.id
+let name t = t.name
+let cpu_capacity t = t.cpu_capacity
+let memory_mb t = t.memory_mb
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+
+let pp ppf t =
+  Fmt.pf ppf "%s(%d.%02dcpu,%dMB)" t.name (t.cpu_capacity / 100)
+    (t.cpu_capacity mod 100) t.memory_mb
+
+(* The paper's testbed node profile. *)
+let testbed ~id ~name = make ~id ~name ~cpu_capacity:200 ~memory_mb:3584

@@ -1,0 +1,18 @@
+(** Working nodes that host VMs. CPU capacity in hundredths of a core. *)
+
+type id = int
+
+type t = { id : id; name : string; cpu_capacity : int; memory_mb : int }
+
+val make : id:id -> name:string -> cpu_capacity:int -> memory_mb:int -> t
+val id : t -> id
+val name : t -> string
+val cpu_capacity : t -> int
+val memory_mb : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val testbed : id:id -> name:string -> t
+(** The paper's evaluation node: 2 cores (capacity 200), 3584 MB usable
+    memory (4 GB minus the 512 MB Domain-0). *)

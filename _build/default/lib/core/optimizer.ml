@@ -1,0 +1,346 @@
+(* The Constraint-Programming optimiser (section 4.3).
+
+   Given the decision module's verdict — which vjobs must run — the
+   optimiser searches among the viable placements of the running VMs for
+   one whose reconfiguration plan is cheap: staying on the current host
+   is free, migrating costs the VM's memory, resuming locally costs the
+   memory and resuming remotely twice that (Table 1).
+
+   Encoding:
+   - one placement variable per running VM, valued over the nodes;
+   - two bin-packing constraints (CPU, memory) for viability;
+   - one element constraint per moved VM channelling its placement to
+     its action cost, summed into the objective;
+   - first-fail branching treating the most demanding VMs first, value
+     ordering preferring the VM's current location (running VMs) or the
+     node storing its image (sleeping VMs);
+   - branch & bound on the objective with a solving timeout, keeping the
+     best solution found so far.
+
+   The objective is the sum of local action costs: an admissible lower
+   bound of the true plan cost (which adds sequencing penalties). The
+   final comparison against the fallback configuration uses the real
+   plan cost. *)
+
+type result = {
+  target : Configuration.t;
+  plan : Plan.t;
+  cost : int;  (* true plan cost, Table 1 model *)
+  improved : bool;  (* the CP search beat the heuristic fallback *)
+  rules_satisfied : bool;  (* the placement rules hold in [target] *)
+  stats : Fdcp.Search.stats option;
+}
+
+let default_timeout = 1.0
+
+(* Cost table of a VM: cost of running it on each node next iteration. *)
+let cost_table current vm_id ~node_count =
+  let mem = Vm.memory_mb (Configuration.vm current vm_id) in
+  match Configuration.state current vm_id with
+  | Configuration.Running host ->
+    Array.init node_count (fun j -> if j = host then 0 else mem)
+  | Configuration.Sleeping host ->
+    Array.init node_count (fun j -> if j = host then mem else 2 * mem)
+  | Configuration.Sleeping_ram _ ->
+    (* a RAM resume is free; the placement is pinned to the host below *)
+    Array.make node_count 0
+  | Configuration.Waiting -> Array.make node_count Cost.run_cost
+  | Configuration.Terminated ->
+    invalid_arg "Optimizer: a terminated VM cannot be placed"
+
+let preferred_node current vm_id =
+  match Configuration.state current vm_id with
+  | Configuration.Running host -> Some host
+  | Configuration.Sleeping host -> Some host
+  | Configuration.Sleeping_ram host -> Some host
+  | Configuration.Waiting | Configuration.Terminated -> None
+
+(* Residual capacities once the VMs that are not re-placed are accounted
+   for (in our decision flow every running VM is re-placed, but the
+   encoding stays general). *)
+let residual_capacities target_base demand ~placed =
+  let is_placed = Hashtbl.create 64 in
+  List.iter (fun vm -> Hashtbl.replace is_placed vm ()) placed;
+  let n = Configuration.node_count target_base in
+  let cpu = Array.init n (fun i -> Node.cpu_capacity (Configuration.node target_base i)) in
+  let mem = Array.init n (fun i -> Node.memory_mb (Configuration.node target_base i)) in
+  for vm_id = 0 to Configuration.vm_count target_base - 1 do
+    if not (Hashtbl.mem is_placed vm_id) then
+      match Configuration.state target_base vm_id with
+      | Configuration.Running host ->
+        cpu.(host) <- cpu.(host) - Demand.cpu demand vm_id;
+        mem.(host) <- mem.(host) - Vm.memory_mb (Configuration.vm target_base vm_id)
+      | Configuration.Sleeping_ram host ->
+        (* the image keeps its memory on the host *)
+        mem.(host) <- mem.(host) - Vm.memory_mb (Configuration.vm target_base vm_id)
+      | Configuration.Waiting | Configuration.Sleeping _
+      | Configuration.Terminated -> ()
+  done;
+  (cpu, mem)
+
+(* Build the target configuration from a placement snapshot. *)
+let config_of_placement target_base placed snapshot =
+  List.fold_left
+    (fun (cfg, i) vm_id ->
+      ( Configuration.set_state cfg vm_id (Configuration.Running snapshot.(i)),
+        i + 1 ))
+    (target_base, 0) placed
+  |> fst
+
+let plan_for ?vjobs ~current ~demand target =
+  let plan = Planner.build_plan ?vjobs ~current ~target ~demand () in
+  (plan, Plan.cost current plan)
+
+(* Post the placement rules on the search variables: Ban/Fence restrict
+   domains, Spread posts an all-different (extended with the hosts of
+   the rule's fixed running VMs), Gather chains equalities. *)
+let post_rules store rules ~placed_arr ~hvars ~target_base ~node_count =
+  let open Fdcp in
+  let var_of = Hashtbl.create 16 in
+  Array.iteri (fun i h -> Hashtbl.replace var_of placed_arr.(i) h) hvars;
+  List.iter
+    (fun rule ->
+      let members = Placement_rules.vms rule in
+      let searched =
+        List.filter_map (fun vm -> Hashtbl.find_opt var_of vm) members
+      in
+      let fixed_hosts =
+        List.filter_map
+          (fun vm ->
+            if Hashtbl.mem var_of vm then None
+            else Configuration.host target_base vm)
+          members
+      in
+      match rule with
+      | Placement_rules.Ban _ | Placement_rules.Fence _ ->
+        List.iter
+          (fun vm ->
+            match Hashtbl.find_opt var_of vm with
+            | None -> ()
+            | Some h -> (
+              match
+                Placement_rules.allowed_nodes [ rule ] ~node_count vm
+              with
+              | None -> ()
+              | Some allowed ->
+                for node = 0 to node_count - 1 do
+                  if not (List.mem node allowed) then
+                    Store.remove store h node
+                done))
+          members
+      | Placement_rules.Spread _ ->
+        if searched <> [] then begin
+          Alldiff.post store searched;
+          List.iter
+            (fun host ->
+              List.iter (fun h -> Store.remove store h host) searched)
+            fixed_hosts
+        end
+      | Placement_rules.Gather _ -> (
+        (match searched with
+        | first :: rest -> List.iter (fun h -> Arith.eq store first h) rest
+        | [] -> ());
+        match (fixed_hosts, searched) with
+        | host :: _, first :: _ -> Store.instantiate store first host
+        | _ -> ())
+      | Placement_rules.Quota (nodes, k) ->
+        (* fixed running VMs already consume part of each node's quota *)
+        let fixed_on = Hashtbl.create 8 in
+        for vm = 0 to Configuration.vm_count target_base - 1 do
+          if not (Hashtbl.mem var_of vm) then
+            match Configuration.host target_base vm with
+            | Some h ->
+              Hashtbl.replace fixed_on h
+                (1 + Option.value ~default:0 (Hashtbl.find_opt fixed_on h))
+            | None -> ()
+        done;
+        List.iter
+          (fun node ->
+            let fixed =
+              Option.value ~default:0 (Hashtbl.find_opt fixed_on node)
+            in
+            if fixed > k then Store.fail "quota on node %d already exceeded" node;
+            Count.at_most store hvars ~value:node ~count:(k - fixed))
+          nodes)
+    rules
+
+let optimize ?(timeout = default_timeout) ?node_limit ?restarts ?vjobs
+    ?(rules = []) ~current ~demand ~placed ~target_base ~fallback () =
+  let fallback_plan, fallback_cost = plan_for ?vjobs ~current ~demand fallback in
+  let fallback_result improved stats =
+    {
+      target = fallback;
+      plan = fallback_plan;
+      cost = fallback_cost;
+      improved;
+      rules_satisfied = Placement_rules.check_all fallback rules;
+      stats;
+    }
+  in
+  if placed = [] then fallback_result false None
+  else begin
+    let open Fdcp in
+    let n = Configuration.node_count current in
+    let store = Store.create () in
+    (* placement variables, one per re-placed VM *)
+    let hvars =
+      List.map
+        (fun vm_id ->
+          Store.new_var ~name:(Printf.sprintf "h%d" vm_id) store ~lo:0
+            ~hi:(n - 1))
+        placed
+    in
+    let harr = Array.of_list hvars in
+    let placed_arr = Array.of_list placed in
+    (* viability: CPU and memory packing over residual capacities *)
+    let cap_cpu, cap_mem = residual_capacities target_base demand ~placed in
+    let cpu_items =
+      Array.mapi
+        (fun i v -> Pack.item v (Demand.cpu demand placed_arr.(i)))
+        harr
+    in
+    let mem_items =
+      Array.mapi
+        (fun i v ->
+          Pack.item v (Vm.memory_mb (Configuration.vm current placed_arr.(i))))
+        harr
+    in
+    Pack.post store ~name:"cpu" ~items:cpu_items ~capacities:cap_cpu ();
+    Pack.post store ~name:"mem" ~items:mem_items ~capacities:cap_mem ();
+    (* placement rules: maintained *during* the optimisation (the
+       paper's future work) *)
+    let rules_postable = ref true in
+    (try
+       post_rules store rules ~placed_arr ~hvars:harr ~target_base
+         ~node_count:n;
+       (* RAM-suspended VMs can only resume where their image lives *)
+       Array.iteri
+         (fun i h ->
+           match Configuration.state current placed_arr.(i) with
+           | Configuration.Sleeping_ram host -> Store.instantiate store h host
+           | Configuration.Waiting | Configuration.Running _
+           | Configuration.Sleeping _ | Configuration.Terminated -> ())
+         harr
+     with Store.Inconsistent _ -> rules_postable := false);
+    (* objective: sum of local action costs *)
+    let cost_terms = ref [] in
+    let fallback_obj = ref 0 in
+    Array.iteri
+      (fun i h ->
+        let vm_id = placed_arr.(i) in
+        let table = cost_table current vm_id ~node_count:n in
+        (match Configuration.host fallback vm_id with
+        | Some host -> fallback_obj := !fallback_obj + table.(host)
+        | None -> ());
+        let distinct = List.sort_uniq Int.compare (Array.to_list table) in
+        match distinct with
+        | [ _ ] -> () (* constant cost: no influence on the search *)
+        | _ ->
+          let c =
+            Store.new_var_of_values
+              ~name:(Printf.sprintf "c%d" vm_id)
+              store distinct
+          in
+          Element.post store h table c;
+          cost_terms := (1, c) :: !cost_terms)
+      harr;
+    let ub =
+      List.fold_left (fun acc (_, c) -> acc + Var.hi c) 0 !cost_terms
+    in
+    let obj = Store.new_var ~name:"obj" store ~lo:0 ~hi:(max ub 0) in
+    Linear.sum_var store !cost_terms obj;
+    (* branching order: VMs grouped by their current host (an overload
+       on a node is then detected as soon as its group is decided, not
+       at the bottom of the tree), most demanding VMs first inside a
+       group; VMs with no current host (waiting/sleeping) come last *)
+    let demand_key = Hashtbl.create 64 in
+    Array.iteri
+      (fun i h ->
+        let vm_id = placed_arr.(i) in
+        let w =
+          (Vm.memory_mb (Configuration.vm current vm_id) * 10)
+          + Demand.cpu demand vm_id
+        in
+        let group =
+          match Configuration.host current vm_id with
+          | Some host -> host
+          | None -> n (* after every hosted group *)
+        in
+        Hashtbl.replace demand_key (Var.id h) ((group * 1_000_000) - w))
+      harr;
+    let prefer_tbl = Hashtbl.create 64 in
+    Array.iteri
+      (fun i h ->
+        Hashtbl.replace prefer_tbl (Var.id h)
+          (preferred_node current placed_arr.(i)))
+      harr;
+    let var_select =
+      Search.by_key (fun v ->
+          match Hashtbl.find_opt demand_key (Var.id v) with
+          | Some k -> k
+          | None -> max_int)
+    in
+    (* value ordering: the VM's current location first (free move), then
+       nodes by decreasing residual capacity — retrying the least-loaded
+       nodes first avoids thrashing against the packing constraints *)
+    let node_rank =
+      let scored =
+        Array.init n (fun j -> (j, (cap_mem.(j) * 1000) + cap_cpu.(j)))
+      in
+      Array.sort (fun (_, a) (_, b) -> Int.compare b a) scored;
+      let rank = Array.make n 0 in
+      Array.iteri (fun pos (j, _) -> rank.(j) <- pos) scored;
+      rank
+    in
+    let val_select v =
+      let preferred =
+        Option.join (Hashtbl.find_opt prefer_tbl (Var.id v))
+      in
+      let values = Fdcp.Dom.to_list (Var.dom v) in
+      let values =
+        List.sort (fun a b -> Int.compare node_rank.(a) node_rank.(b)) values
+      in
+      match preferred with
+      | Some p when Var.mem p v -> p :: List.filter (fun x -> x <> p) values
+      | _ -> values
+    in
+    (* seed branch & bound with the fallback's movement cost: only
+       strictly better placements are explored. When the fallback
+       violates the placement rules it is not a usable incumbent, so no
+       bound is seeded: any rule-satisfying solution is acceptable. *)
+    let seed_failed = ref false in
+    if rules = [] || Placement_rules.check_all fallback rules then (
+      try Store.remove_above store obj (max 0 (!fallback_obj - 1))
+      with Store.Inconsistent _ -> seed_failed := true);
+    let best, stats =
+      if !seed_failed || not !rules_postable then
+        (None, Search.fresh_stats ())
+      else
+        match restarts with
+        | Some restarts ->
+          Search.minimize_restarts store ~vars:harr ~obj ~var_select
+            ~val_select ~restarts ~timeout ()
+        | None ->
+          Search.minimize store ~vars:harr ~obj ~var_select ~val_select
+            ~timeout ?node_limit ()
+    in
+    Log.debug (fun m ->
+        m "optimizer: %d VMs over %d nodes, %a" (Array.length harr) n
+          Search.pp_stats stats);
+    match best with
+    | None -> fallback_result false (Some stats)
+    | Some (_obj_value, snapshot) ->
+      let target = config_of_placement target_base placed snapshot in
+      let plan, cost = plan_for ?vjobs ~current ~demand target in
+      let fallback_rules_ok = Placement_rules.check_all fallback rules in
+      if cost < fallback_cost || not fallback_rules_ok then
+        {
+          target;
+          plan;
+          cost;
+          improved = cost < fallback_cost;
+          rules_satisfied = Placement_rules.check_all target rules;
+          stats = Some stats;
+        }
+      else fallback_result false (Some stats)
+  end

@@ -1,0 +1,35 @@
+(** The CP optimiser (paper, section 4.3): search the viable placements
+    of the running VMs for one whose reconfiguration plan cost is
+    minimal, with branch & bound and a timeout. Placement rules
+    ({!Placement_rules}) are maintained during the optimisation — the
+    paper's section 7 future work. *)
+
+type result = {
+  target : Configuration.t;  (** the chosen viable target configuration *)
+  plan : Plan.t;             (** feasible plan from current to target *)
+  cost : int;                (** true plan cost (Table 1 model) *)
+  improved : bool;           (** the search beat the heuristic fallback *)
+  rules_satisfied : bool;    (** the placement rules hold in [target] *)
+  stats : Fdcp.Search.stats option;  (** [None] when no search ran *)
+}
+
+val default_timeout : float
+
+val cost_table : Configuration.t -> Vm.id -> node_count:int -> int array
+(** Local action cost of running the VM on each node next iteration,
+    given its current state (0 / Dm / 2Dm, Table 1). *)
+
+val optimize :
+  ?timeout:float -> ?node_limit:int -> ?restarts:int ->
+  ?vjobs:Vjob.t list -> ?rules:Placement_rules.t list ->
+  current:Configuration.t -> demand:Demand.t -> placed:Vm.id list ->
+  target_base:Configuration.t -> fallback:Configuration.t -> unit -> result
+(** [optimize ~current ~demand ~placed ~target_base ~fallback ()]
+    re-places the VMs of [placed] (they will be Running) on top of
+    [target_base] (which carries every other VM's target state), keeping
+    the result viable and rule-compliant. [fallback] is a complete viable
+    target (e.g. the RJSP FFD configuration) used when the search finds
+    nothing better within the timeout; a rule-satisfying CP solution is
+    preferred over a rule-violating fallback whatever the cost. The
+    returned plan includes vjob consistency grouping when [vjobs] is
+    given. *)

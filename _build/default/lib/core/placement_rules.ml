@@ -1,0 +1,82 @@
+(* Placement side-constraints — the paper's future work (section 7):
+   "our approach, based on CP, provides a flexible environment for
+   administrators to specify some constraints such as hosting some VMs
+   on different nodes for high availability considerations [...] however
+   they are not maintained during the optimization of the cluster-wide
+   context switch".
+
+   This module defines the rules and this reproduction *does* maintain
+   them during the optimisation: {!Optimizer.optimize} posts them on the
+   placement variables, and the rule-aware packing heuristics
+   ({!Ffd.place}) honour them when building fallback configurations.
+
+   A rule only constrains VMs while they run: a sleeping, waiting or
+   terminated VM trivially satisfies every rule. *)
+
+type t =
+  | Spread of Vm.id list
+      (* pairwise distinct hosts (anti-affinity / high availability) *)
+  | Gather of Vm.id list
+      (* same host (affinity, e.g. chatty VMs) *)
+  | Ban of Vm.id list * Node.id list
+      (* never on those nodes (e.g. maintenance) *)
+  | Fence of Vm.id list * Node.id list
+      (* only on those nodes (e.g. licensing, hardware) *)
+  | Quota of Node.id list * int
+      (* each listed node hosts at most k running VMs (any VM) *)
+
+let pp_ids = Fmt.(list ~sep:(any ",") int)
+
+let pp ppf = function
+  | Spread vms -> Fmt.pf ppf "spread(%a)" pp_ids vms
+  | Gather vms -> Fmt.pf ppf "gather(%a)" pp_ids vms
+  | Ban (vms, nodes) -> Fmt.pf ppf "ban(%a ; %a)" pp_ids vms pp_ids nodes
+  | Fence (vms, nodes) -> Fmt.pf ppf "fence(%a ; %a)" pp_ids vms pp_ids nodes
+  | Quota (nodes, k) -> Fmt.pf ppf "quota(%a ; max %d)" pp_ids nodes k
+
+let vms = function
+  | Spread vms | Gather vms | Ban (vms, _) | Fence (vms, _) -> vms
+  | Quota _ -> []
+
+(* Hosts of the rule's running VMs under a configuration. *)
+let running_hosts config rule =
+  List.filter_map (fun vm -> Configuration.host config vm) (vms rule)
+
+let check config rule =
+  match rule with
+  | Spread _ ->
+    let hosts = running_hosts config rule in
+    List.length (List.sort_uniq Int.compare hosts) = List.length hosts
+  | Gather _ -> (
+    match running_hosts config rule with
+    | [] -> true
+    | h :: rest -> List.for_all (fun h' -> h' = h) rest)
+  | Ban (_, banned) ->
+    List.for_all
+      (fun h -> not (List.mem h banned))
+      (running_hosts config rule)
+  | Fence (_, allowed) ->
+    List.for_all (fun h -> List.mem h allowed) (running_hosts config rule)
+  | Quota (nodes, k) ->
+    List.for_all
+      (fun node -> List.length (Configuration.running_on config node) <= k)
+      nodes
+
+let check_all config rules = List.for_all (check config) rules
+
+let violated config rules = List.filter (fun r -> not (check config r)) rules
+
+(* Nodes a VM may use under the Ban/Fence rules (Spread and Gather are
+   relational and handled separately). [None] = unrestricted. *)
+let allowed_nodes rules ~node_count vm =
+  let all = List.init node_count Fun.id in
+  let restrict acc rule =
+    match rule with
+    | Ban (vms, banned) when List.mem vm vms ->
+      List.filter (fun n -> not (List.mem n banned)) acc
+    | Fence (vms, allowed) when List.mem vm vms ->
+      List.filter (fun n -> List.mem n allowed) acc
+    | Ban _ | Fence _ | Spread _ | Gather _ | Quota _ -> acc
+  in
+  let restricted = List.fold_left restrict all rules in
+  if List.length restricted = node_count then None else Some restricted

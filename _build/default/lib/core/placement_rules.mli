@@ -1,0 +1,29 @@
+(** Placement side-constraints (paper, section 7 future work), enforced
+    by the optimiser and the rule-aware heuristics. Rules only apply to
+    running VMs. *)
+
+type t =
+  | Spread of Vm.id list
+      (** pairwise distinct hosts (high availability) *)
+  | Gather of Vm.id list
+      (** all on the same host *)
+  | Ban of Vm.id list * Node.id list
+      (** never on those nodes *)
+  | Fence of Vm.id list * Node.id list
+      (** only on those nodes *)
+  | Quota of Node.id list * int
+      (** each listed node hosts at most k running VMs *)
+
+val pp : Format.formatter -> t -> unit
+val vms : t -> Vm.id list
+
+val running_hosts : Configuration.t -> t -> Node.id list
+(** Hosts currently used by the rule's running VMs. *)
+
+val check : Configuration.t -> t -> bool
+val check_all : Configuration.t -> t list -> bool
+val violated : Configuration.t -> t list -> t list
+
+val allowed_nodes : t list -> node_count:int -> Vm.id -> Node.id list option
+(** Node whitelist induced by the Ban/Fence rules on a VM
+    ([None] = unrestricted). *)

@@ -1,0 +1,132 @@
+(* Reconfiguration plans: a sequence of pools. Pools execute one after
+   the other; the actions inside a pool are pairwise independent and run
+   in parallel (section 4.1). *)
+
+type t = {
+  pools : Action.t list list;
+}
+
+let make pools = { pools = List.filter (fun p -> p <> []) pools }
+
+let empty = { pools = [] }
+let is_empty t = t.pools = []
+let pools t = t.pools
+let pool_count t = List.length t.pools
+
+let actions t = List.concat t.pools
+
+let action_count t = List.length (actions t)
+
+let cost config t = Cost.plan config t.pools
+
+let count_kind t pred =
+  List.length (List.filter pred (actions t))
+
+let migration_count t =
+  count_kind t (function Action.Migrate _ -> true | _ -> false)
+
+let suspend_count t =
+  count_kind t (function Action.Suspend _ -> true | _ -> false)
+
+let resume_count t =
+  count_kind t (function Action.Resume _ -> true | _ -> false)
+
+let run_count t = count_kind t (function Action.Run _ -> true | _ -> false)
+let stop_count t = count_kind t (function Action.Stop _ -> true | _ -> false)
+
+let local_resume_count t =
+  count_kind t (function
+    | Action.Resume { src; dst; _ } -> src = dst
+    | _ -> false)
+
+let ram_suspend_count t =
+  count_kind t (function Action.Suspend_ram _ -> true | _ -> false)
+
+let ram_resume_count t =
+  count_kind t (function Action.Resume_ram _ -> true | _ -> false)
+
+(* -- validation ----------------------------------------------------------- *)
+
+type violation =
+  | Pool_infeasible of { pool : int; action : Action.t }
+  | Wrong_final_state of {
+      vm : Vm.id;
+      expected : Configuration.vm_state;
+      got : Configuration.vm_state;
+    }
+  | Invalid_application of { pool : int; action : Action.t; reason : string }
+
+let pp_violation ppf = function
+  | Pool_infeasible { pool; action } ->
+    Fmt.pf ppf "pool %d: %a not feasible in parallel" pool Action.pp action
+  | Wrong_final_state { vm; expected; got } ->
+    Fmt.pf ppf "VM %d finishes %a, expected %a" vm
+      Configuration.pp_vm_state got Configuration.pp_vm_state expected
+  | Invalid_application { pool; action; reason } ->
+    Fmt.pf ppf "pool %d: %a cannot apply (%s)" pool Action.pp action reason
+
+(* Check that each pool's actions are simultaneously feasible (claims
+   evaluated against the pool-start configuration: resources freed inside
+   a pool cannot serve claims of the same pool) and that the plan's final
+   configuration matches the target. *)
+let validate ~current ~target ~demand t =
+  let violations = ref [] in
+  let note v = violations := v :: !violations in
+  let apply_pool config pool_idx pool_actions =
+    (* simultaneous feasibility: accumulate claims against pool start *)
+    let n = Configuration.node_count config in
+    let claimed_cpu = Array.make n 0 and claimed_mem = Array.make n 0 in
+    List.iter
+      (fun a ->
+        match Action.claim config demand a with
+        | None -> ()
+        | Some (dst, cpu, mem) ->
+          let free_cpu =
+            Configuration.free_cpu config demand dst - claimed_cpu.(dst)
+          in
+          let free_mem = Configuration.free_mem config dst - claimed_mem.(dst) in
+          (* a migration's own source load is still on the source: fine,
+             the claim is on the destination only *)
+          if cpu > free_cpu || mem > free_mem then
+            note (Pool_infeasible { pool = pool_idx; action = a })
+          else begin
+            claimed_cpu.(dst) <- claimed_cpu.(dst) + cpu;
+            claimed_mem.(dst) <- claimed_mem.(dst) + mem
+          end)
+      pool_actions;
+    (* sequential application to get the next pool's start state *)
+    List.fold_left
+      (fun cfg a ->
+        try Action.apply cfg a
+        with Action.Invalid reason ->
+          note (Invalid_application { pool = pool_idx; action = a; reason });
+          cfg)
+      config pool_actions
+  in
+  let final =
+    List.fold_left
+      (fun (config, idx) pool_actions ->
+        (apply_pool config idx pool_actions, idx + 1))
+      (current, 0) t.pools
+    |> fst
+  in
+  for vm_id = 0 to Configuration.vm_count target - 1 do
+    let expected = Configuration.state target vm_id in
+    let got = Configuration.state final vm_id in
+    if not (Configuration.equal_vm_state expected got) then
+      note (Wrong_final_state { vm = vm_id; expected; got })
+  done;
+  List.rev !violations
+
+let is_valid ~current ~target ~demand t =
+  validate ~current ~target ~demand t = []
+
+let pp ppf t =
+  let pp_pool i ppf actions =
+    Fmt.pf ppf "pool %d: @[<hov>%a@]" i Fmt.(list ~sep:comma Action.pp) actions
+  in
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.iter_bindings ~sep:Fmt.cut
+       (fun f t -> List.iteri (fun i p -> f i p) t.pools)
+       (fun ppf (i, p) -> pp_pool i ppf p))
+    t

@@ -1,0 +1,52 @@
+(** Reconfiguration plans: sequential pools of parallel actions. *)
+
+type t
+
+val make : Action.t list list -> t
+(** Build a plan from pools (empty pools are dropped). *)
+
+val empty : t
+val is_empty : t -> bool
+val pools : t -> Action.t list list
+val pool_count : t -> int
+val actions : t -> Action.t list
+val action_count : t -> int
+
+val cost : Configuration.t -> t -> int
+(** Plan cost under the Table 1 model (see {!Cost.plan}). *)
+
+val migration_count : t -> int
+val suspend_count : t -> int
+val resume_count : t -> int
+val run_count : t -> int
+val stop_count : t -> int
+
+val local_resume_count : t -> int
+(** Resumes performed on the node that stored the image. *)
+
+val ram_suspend_count : t -> int
+val ram_resume_count : t -> int
+
+type violation =
+  | Pool_infeasible of { pool : int; action : Action.t }
+  | Wrong_final_state of {
+      vm : Vm.id;
+      expected : Configuration.vm_state;
+      got : Configuration.vm_state;
+    }
+  | Invalid_application of { pool : int; action : Action.t; reason : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val validate :
+  current:Configuration.t -> target:Configuration.t -> demand:Demand.t ->
+  t -> violation list
+(** Check that every pool is simultaneously feasible (claims evaluated
+    against the pool-start configuration) and that the plan ends exactly
+    in [target]. *)
+
+val is_valid :
+  current:Configuration.t -> target:Configuration.t -> demand:Demand.t ->
+  t -> bool
+
+val pp : Format.formatter -> t -> unit

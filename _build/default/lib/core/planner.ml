@@ -1,0 +1,170 @@
+(* Plan construction (section 4.1).
+
+   Starting from the reconfiguration graph between the current and the
+   target configuration, pools are built iteratively:
+
+   1. select every action whose claims fit simultaneously in the current
+      intermediate configuration; they form the next pool;
+   2. when no action is feasible, the remaining claiming actions form at
+      least one cycle of inter-dependent migrations: a pivot node outside
+      the cycle temporarily hosts one of the cycle's VMs (bypass
+      migration), creating a one-action pool;
+   3. the reconfiguration graph is re-derived from the resulting
+      intermediate configuration, which folds the bypassed VM's pending
+      move (pivot -> final destination) back into the graph;
+   4. repeat until the intermediate configuration equals the target. *)
+
+exception Stuck of string
+
+let stuck fmt = Fmt.kstr (fun s -> raise (Stuck s)) fmt
+
+(* Select a maximal set of actions simultaneously feasible from
+   [config]: claims are accounted against the pool-start free resources,
+   so resources freed by actions of this same pool are not reused. *)
+let select_pool config demand actions =
+  let n = Configuration.node_count config in
+  let claimed_cpu = Array.make n 0 and claimed_mem = Array.make n 0 in
+  let selected, postponed =
+    List.partition
+      (fun a ->
+        match Action.claim config demand a with
+        | None -> true (* suspend/stop: always feasible *)
+        | Some (dst, cpu, mem) ->
+          let ok =
+            Configuration.free_cpu config demand dst - claimed_cpu.(dst)
+              >= cpu
+            && Configuration.free_mem config dst - claimed_mem.(dst) >= mem
+          in
+          if ok then begin
+            claimed_cpu.(dst) <- claimed_cpu.(dst) + cpu;
+            claimed_mem.(dst) <- claimed_mem.(dst) + mem
+          end;
+          ok)
+      actions
+  in
+  (selected, postponed)
+
+(* -- cycle detection ------------------------------------------------------ *)
+
+(* Among blocked migrations, [m1] waits for [m2] when m2's source is m1's
+   destination (m2 leaving would free room for m1). A cycle in this
+   waits-for relation is the inter-dependency of Figure 8. *)
+let find_migration_cycle blocked =
+  let migrations =
+    List.filter_map
+      (function
+        | Action.Migrate { vm; src; dst } -> Some (vm, src, dst)
+        | Action.Run _ | Action.Stop _ | Action.Suspend _ | Action.Resume _
+        | Action.Suspend_ram _ | Action.Resume_ram _ -> None)
+      blocked
+  in
+  (* successor: first blocked migration whose source is my destination *)
+  let successor (_, _, dst) =
+    List.find_opt (fun (_, src', _) -> src' = dst) migrations
+  in
+  let rec chase seen m =
+    let (vm, _, _) = m in
+    if List.exists (fun (vm', _, _) -> vm' = vm) seen then
+      (* cycle: the suffix of [seen] from the repeated element *)
+      let rec suffix = function
+        | [] -> []
+        | (vm', _, _) :: _ as rest when vm' = vm -> rest
+        | _ :: rest -> suffix rest
+      in
+      Some (suffix (List.rev (m :: seen)))
+    else
+      match successor m with
+      | None -> None
+      | Some next -> chase (m :: seen) next
+  in
+  let rec try_all = function
+    | [] -> None
+    | m :: rest -> (
+      match chase [] m with Some c -> Some c | None -> try_all rest)
+  in
+  try_all migrations
+
+(* Pick a pivot node outside the cycle that can host one of the cycle's
+   VMs, and return the corresponding bypass migration. *)
+let bypass_migration config demand cycle =
+  let cycle_nodes =
+    List.concat_map (fun (_, src, dst) -> [ src; dst ]) cycle
+  in
+  let candidates =
+    List.concat_map
+      (fun (vm, src, _) ->
+        let cpu = Demand.cpu demand vm in
+        let mem = Vm.memory_mb (Configuration.vm config vm) in
+        List.filter_map
+          (fun node ->
+            let id = Node.id node in
+            if
+              (not (List.mem id cycle_nodes))
+              && Configuration.fits config demand ~cpu ~mem id
+            then Some (Action.Migrate { vm; src; dst = id }, mem)
+            else None)
+          (Array.to_list (Configuration.nodes config)))
+      cycle
+  in
+  (* cheapest bypass: smallest VM memory (both the extra migration and
+     the later move back are charged Dm) *)
+  match List.sort (fun (_, m1) (_, m2) -> Int.compare m1 m2) candidates with
+  | [] -> None
+  | (action, _) :: _ -> Some action
+
+(* -- main loop ------------------------------------------------------------ *)
+
+let max_iterations = 10_000
+
+let build ~current ~target ~demand () =
+  let target = Rgraph.normalize_sleeping ~current target in
+  let rec loop config pools iter =
+    if iter > max_iterations then stuck "planner did not converge";
+    let remaining = Rgraph.actions ~current:config ~target in
+    if remaining = [] then List.rev pools
+    else
+      let selected, _postponed = select_pool config demand remaining in
+      if selected <> [] then
+        let config' = List.fold_left Action.apply config selected in
+        loop config' (selected :: pools) (iter + 1)
+      else
+        match find_migration_cycle remaining with
+        | None ->
+          stuck "no feasible action and no migration cycle: target %s"
+            "is not reachable (is it viable?)"
+        | Some cycle -> (
+          match bypass_migration config demand cycle with
+          | Some bypass ->
+            let config' = Action.apply config bypass in
+            loop config' ([ bypass ] :: pools) (iter + 1)
+          | None -> (
+            (* no pivot node has room: break the cycle through the disk
+               instead — suspend the smallest VM of the cycle (always
+               feasible), it will be resumed at its destination once the
+               cycle has unwound. This is the capability the paper's
+               related-work section credits to suspend/resume: handling
+               the situations migration-only managers cannot. *)
+            match
+              List.sort
+                (fun (vm1, _, _) (vm2, _, _) ->
+                  Int.compare
+                    (Vm.memory_mb (Configuration.vm config vm1))
+                    (Vm.memory_mb (Configuration.vm config vm2)))
+                cycle
+            with
+            | [] -> stuck "empty migration cycle"
+            | (vm, src, _) :: _ ->
+              Log.debug (fun m ->
+                  m "planner: migration cycle with no pivot, breaking \
+                     through the disk (suspend VM %d on node %d)" vm src);
+              let break = Action.Suspend { vm; host = src } in
+              let config' = Action.apply config break in
+              loop config' ([ break ] :: pools) (iter + 1)))
+  in
+  Plan.make (loop current [] 0)
+
+let build_plan ?vjobs ~current ~target ~demand () =
+  let pools = build ~current ~target ~demand () in
+  match vjobs with
+  | None -> pools
+  | Some vjobs -> Consistency.enforce ~config:current ~vjobs pools

@@ -1,0 +1,38 @@
+(** Reconfiguration planning (paper, section 4.1): turn the gap between
+    two configurations into a sequence of pools of parallel actions,
+    breaking inter-dependent migration cycles with bypass migrations. *)
+
+exception Stuck of string
+(** Raised when the planner cannot make progress — the target is not
+    reachable (e.g. not viable). Migration cycles are broken with a
+    bypass migration to a pivot node when one has room, and through the
+    disk (suspend, then resume at the destination) otherwise. *)
+
+val select_pool :
+  Configuration.t -> Demand.t -> Action.t list ->
+  Action.t list * Action.t list
+(** [(selected, postponed)]: a maximal set of actions simultaneously
+    feasible from the given configuration, and the rest. *)
+
+val find_migration_cycle :
+  Action.t list -> (Vm.id * Node.id * Node.id) list option
+(** A cycle of inter-dependent migrations among blocked actions, as
+    [(vm, src, dst)] triples, when one exists. *)
+
+val bypass_migration :
+  Configuration.t -> Demand.t -> (Vm.id * Node.id * Node.id) list ->
+  Action.t option
+(** The cheapest feasible migration of a cycle VM to a pivot node outside
+    the cycle. *)
+
+val build :
+  current:Configuration.t -> target:Configuration.t -> demand:Demand.t ->
+  unit -> Plan.t
+(** Build a feasible plan from [current] to [target]. Raises {!Stuck}
+    when no plan exists (see above), {!Rgraph.Unreachable} on impossible
+    per-VM transitions. *)
+
+val build_plan :
+  ?vjobs:Vjob.t list -> current:Configuration.t -> target:Configuration.t ->
+  demand:Demand.t -> unit -> Plan.t
+(** {!build} followed by {!Consistency.enforce} when [vjobs] is given. *)

@@ -1,0 +1,81 @@
+(* The reconfiguration graph (section 4.1): the set of actions needed to
+   move from the current configuration to a target one, one action per
+   VM whose state must change. The planner re-derives this graph after
+   each pool, which also transparently handles bypass migrations (the
+   bypassed VM simply gets a fresh migration from its pivot). *)
+
+exception Unreachable of string
+
+let unreachable fmt = Fmt.kstr (fun s -> raise (Unreachable s)) fmt
+
+(* The action that moves [vm_id] from its current state to its target
+   state, or [None] when no action is needed. *)
+let action_for ~current ~target vm_id =
+  let open Configuration in
+  match (state current vm_id, state target vm_id) with
+  | Waiting, Waiting | Terminated, Terminated -> None
+  | Waiting, Running dst -> Some (Action.Run { vm = vm_id; dst })
+  | Waiting, Terminated -> None (* cancelled before ever running *)
+  | Running src, Running dst ->
+    if src = dst then None else Some (Action.Migrate { vm = vm_id; src; dst })
+  | Running host, Sleeping _ ->
+    (* a suspend writes the image locally: the stored location is the
+       current host, whatever the target announces *)
+    Some (Action.Suspend { vm = vm_id; host })
+  | Running host, Sleeping_ram _ ->
+    Some (Action.Suspend_ram { vm = vm_id; host })
+  | Running host, Terminated -> Some (Action.Stop { vm = vm_id; host })
+  | Sleeping src, Running dst -> Some (Action.Resume { vm = vm_id; src; dst })
+  | Sleeping_ram host, Running dst ->
+    if dst = host then Some (Action.Resume_ram { vm = vm_id; host })
+    else
+      unreachable "VM %d: a RAM image cannot move (host N%d, asked N%d)"
+        vm_id host dst
+  | Sleeping _, Sleeping _ -> None (* the image stays where it is *)
+  | Sleeping_ram _, Sleeping_ram _ -> None
+  | (Sleeping _ | Sleeping_ram _), Terminated ->
+    None (* discard the image; no VM action *)
+  | Sleeping _, Sleeping_ram _ | Sleeping_ram _, Sleeping _ ->
+    unreachable "VM %d: cannot move an image between disk and RAM" vm_id
+  | Waiting, (Sleeping _ | Sleeping_ram _) ->
+    unreachable "VM %d: cannot go from waiting to sleeping" vm_id
+  | (Running _ | Sleeping _ | Sleeping_ram _), Waiting ->
+    unreachable "VM %d: cannot go back to waiting" vm_id
+  | Terminated, (Waiting | Running _ | Sleeping _ | Sleeping_ram _) ->
+    unreachable "VM %d: cannot leave the terminated state" vm_id
+
+(* All pending actions between two configurations. *)
+let actions ~current ~target =
+  if Configuration.vm_count current <> Configuration.vm_count target then
+    invalid_arg "Rgraph.actions: configurations with different VM sets";
+  let acc = ref [] in
+  for vm_id = Configuration.vm_count current - 1 downto 0 do
+    match action_for ~current ~target vm_id with
+    | Some a -> acc := a :: !acc
+    | None -> ()
+  done;
+  !acc
+
+(* Expected suspend location of every sleeping VM in [target], given
+   where they run in [current]: suspends are local. Used to normalize a
+   decision module's output before planning. *)
+let normalize_sleeping ~current target =
+  let result = ref target in
+  for vm_id = 0 to Configuration.vm_count target - 1 do
+    match (Configuration.state current vm_id, Configuration.state target vm_id)
+    with
+    | Configuration.Running host, Configuration.Sleeping loc when loc <> host
+      -> result := Configuration.set_state !result vm_id (Configuration.Sleeping host)
+    | Configuration.Sleeping loc, Configuration.Sleeping loc' when loc <> loc'
+      -> result := Configuration.set_state !result vm_id (Configuration.Sleeping loc)
+    | Configuration.Running host, Configuration.Sleeping_ram loc
+      when loc <> host ->
+      result :=
+        Configuration.set_state !result vm_id (Configuration.Sleeping_ram host)
+    | Configuration.Sleeping_ram loc, Configuration.Sleeping_ram loc'
+      when loc <> loc' ->
+      result :=
+        Configuration.set_state !result vm_id (Configuration.Sleeping_ram loc)
+    | _ -> ()
+  done;
+  !result

@@ -1,0 +1,21 @@
+(** Reconfiguration graphs: the pending actions between two
+    configurations (one action per VM whose state differs). *)
+
+exception Unreachable of string
+(** Raised when a VM's target state cannot be reached by any single
+    action (e.g. waiting -> sleeping). *)
+
+val action_for :
+  current:Configuration.t -> target:Configuration.t -> Vm.id ->
+  Action.t option
+
+val actions : current:Configuration.t -> target:Configuration.t -> Action.t list
+(** All pending actions, in VM-id order. Raises {!Unreachable} on an
+    impossible per-VM transition, [Invalid_argument] on mismatched VM
+    sets. *)
+
+val normalize_sleeping :
+  current:Configuration.t -> Configuration.t -> Configuration.t
+(** Rewrite the target's sleeping locations to where the images will
+    actually be written (suspends are local to the current host; stored
+    images do not move). *)

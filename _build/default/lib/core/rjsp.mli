@@ -1,0 +1,24 @@
+(** The Running Job Selection Problem (paper, section 3.2): pick the
+    maximum FCFS-prefix-greedy set of vjobs that fit on the cluster,
+    trial-packing each with First-Fit Decreasing. *)
+
+type outcome = {
+  running : Vjob.t list;
+  ready : Vjob.t list;  (** left sleeping (if ever run) or waiting *)
+  ffd_config : Configuration.t;
+      (** the plain-heuristic viable configuration built by the trials *)
+}
+
+val base_configuration :
+  Configuration.t -> Vjob.t list -> Configuration.t
+(** The queue's vjobs pulled off the cluster (running VMs become sleeping
+    on their hosts) before re-admission. *)
+
+val solve :
+  ?heuristic:Ffd.heuristic -> ?rules:Placement_rules.t list ->
+  config:Configuration.t -> demand:Demand.t -> queue:Vjob.t list -> unit ->
+  outcome
+(** Scan the queue in FCFS order; each vjob whose VMs all fit (via the
+    heuristic) on top of the previously admitted ones is selected. *)
+
+val selected : outcome -> Vjob.t -> bool

@@ -1,0 +1,32 @@
+(** Timed view of a reconfiguration plan: estimated start/finish times
+    of every action and the estimated switch duration, without running
+    the simulator (contention excluded). *)
+
+type durations = {
+  boot_s : float;
+  shutdown_s : float;
+  migrate_mb_s : float;
+  migrate_latency_s : float;
+  suspend_mb_s : float;
+  resume_mb_s : float;
+  transfer_mb_s : float;
+  pipeline_gap_s : float;
+  ram_suspend_s : float;
+  ram_resume_s : float;
+}
+
+val default_durations : durations
+
+val action_duration :
+  ?durations:durations -> Configuration.t -> Action.t -> float
+
+type entry = { action : Action.t; start : float; finish : float }
+type t
+
+val of_plan : ?durations:durations -> Configuration.t -> Plan.t -> t
+val entries : t -> entry list
+val makespan : t -> float
+(** Estimated duration of the whole cluster-wide context switch. *)
+
+val entry_for : t -> Vm.id -> entry option
+val pp : Format.formatter -> t -> unit

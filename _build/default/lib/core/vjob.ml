@@ -1,0 +1,38 @@
+(* Virtualized jobs: a job encapsulated into one or several VMs
+   (section 2.2). The scheduler manipulates vjobs; the reconfiguration
+   engine manipulates their VMs. *)
+
+type id = int
+
+type t = {
+  id : id;
+  name : string;
+  vms : Vm.id list;
+  priority : int;      (* queue rank; smaller = served first (FCFS) *)
+  submit_time : float; (* seconds *)
+}
+
+let make ~id ~name ~vms ?(priority = 0) ?(submit_time = 0.) () =
+  if vms = [] then invalid_arg "Vjob.make: a vjob needs at least one VM";
+  let sorted = List.sort_uniq Int.compare vms in
+  if List.length sorted <> List.length vms then
+    invalid_arg "Vjob.make: duplicate VM in vjob";
+  { id; name; vms; priority; submit_time }
+
+let id t = t.id
+let name t = t.name
+let vms t = t.vms
+let priority t = t.priority
+let submit_time t = t.submit_time
+let size t = List.length t.vms
+
+let compare_fcfs a b =
+  (* FCFS ordering: priority rank first, then submission time, then id *)
+  match Int.compare a.priority b.priority with
+  | 0 -> (
+    match Float.compare a.submit_time b.submit_time with
+    | 0 -> Int.compare a.id b.id
+    | c -> c)
+  | c -> c
+
+let pp ppf t = Fmt.pf ppf "%s[%d vms]" t.name (size t)

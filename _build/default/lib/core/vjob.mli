@@ -1,0 +1,29 @@
+(** Virtualized jobs (vjobs): jobs encapsulated into one or more VMs. *)
+
+type id = int
+
+type t = {
+  id : id;
+  name : string;
+  vms : Vm.id list;
+  priority : int;
+  submit_time : float;
+}
+
+val make :
+  id:id -> name:string -> vms:Vm.id list -> ?priority:int ->
+  ?submit_time:float -> unit -> t
+(** Raises [Invalid_argument] on an empty or duplicated VM list. *)
+
+val id : t -> id
+val name : t -> string
+val vms : t -> Vm.id list
+val priority : t -> int
+val submit_time : t -> float
+val size : t -> int
+
+val compare_fcfs : t -> t -> int
+(** First-Come-First-Served queue order: by priority rank, then
+    submission time, then id. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+(* Virtual machine descriptions.
+
+   Unit conventions (DESIGN.md section 4):
+   - memory in MB;
+   - CPU demand in hundredths of a core (a computing NAS-grid task
+     demands 100, i.e. one full processing unit).
+
+   The memory demand of a VM is its allocation and does not vary; the CPU
+   demand varies over time and is carried separately (see {!Demand}). *)
+
+type id = int
+
+type t = {
+  id : id;
+  name : string;
+  memory_mb : int;
+}
+
+let make ~id ~name ~memory_mb =
+  if memory_mb <= 0 then invalid_arg "Vm.make: memory_mb must be positive";
+  { id; name; memory_mb }
+
+let id t = t.id
+let name t = t.name
+let memory_mb t = t.memory_mb
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+
+let pp ppf t = Fmt.pf ppf "%s(%dMB)" t.name t.memory_mb

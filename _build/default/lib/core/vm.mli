@@ -1,0 +1,17 @@
+(** Virtual machine descriptions. Memory in MB; CPU demands are dynamic
+    and carried by {!Demand}. *)
+
+type id = int
+
+type t = { id : id; name : string; memory_mb : int }
+
+val make : id:id -> name:string -> memory_mb:int -> t
+(** Raises [Invalid_argument] when [memory_mb <= 0]. *)
+
+val id : t -> id
+val name : t -> string
+val memory_mb : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

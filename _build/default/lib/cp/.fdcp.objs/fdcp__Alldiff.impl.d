@@ -1,0 +1,1 @@
+lib/cp/alldiff.ml: Array Dom Hashtbl Prop Store Var

@@ -1,0 +1,1 @@
+lib/cp/alldiff.mli: Store Var

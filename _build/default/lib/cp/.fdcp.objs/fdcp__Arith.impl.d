@@ -1,0 +1,1 @@
+lib/cp/arith.ml: Dom Prop Store Var

@@ -1,0 +1,1 @@
+lib/cp/arith.mli: Store Var

@@ -1,0 +1,1 @@
+lib/cp/count.ml: Array Prop Store Var

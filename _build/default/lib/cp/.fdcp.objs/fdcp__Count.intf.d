@@ -1,0 +1,1 @@
+lib/cp/count.mli: Store Var

@@ -1,0 +1,1 @@
+lib/cp/dom.ml: Bytes Char Fmt List

@@ -1,0 +1,1 @@
+lib/cp/dom.mli: Format

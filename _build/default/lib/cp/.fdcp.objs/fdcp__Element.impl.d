@@ -1,0 +1,1 @@
+lib/cp/element.ml: Array Dom Hashtbl Prop Store Var

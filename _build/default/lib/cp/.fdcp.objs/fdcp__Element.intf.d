@@ -1,0 +1,1 @@
+lib/cp/element.mli: Store Var

@@ -1,0 +1,1 @@
+lib/cp/knapsack.ml: Array Bytes Char Dom Prop Store Var

@@ -1,0 +1,1 @@
+lib/cp/knapsack.mli: Store Var

@@ -1,0 +1,1 @@
+lib/cp/linear.ml: Arith Array List Prop Store Var

@@ -1,0 +1,1 @@
+lib/cp/linear.mli: Store Var

@@ -1,0 +1,1 @@
+lib/cp/maxvar.ml: List Prop Store Var

@@ -1,0 +1,1 @@
+lib/cp/maxvar.mli: Store Var

@@ -1,0 +1,1 @@
+lib/cp/pack.ml: Array List Prop Store Var

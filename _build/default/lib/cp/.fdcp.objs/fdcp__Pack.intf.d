@@ -1,0 +1,1 @@
+lib/cp/pack.mli: Store Var

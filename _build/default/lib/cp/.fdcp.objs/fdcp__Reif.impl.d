@@ -1,0 +1,1 @@
+lib/cp/reif.ml: Prop Store Var

@@ -1,0 +1,1 @@
+lib/cp/reif.mli: Store Var

@@ -1,0 +1,1 @@
+lib/cp/search.ml: Array Dom Float Fmt List Option Random Store Unix Var

@@ -1,0 +1,1 @@
+lib/cp/store.ml: Array Dom Fmt List Printf Prop Queue Var

@@ -1,0 +1,1 @@
+lib/cp/table.ml: Array Dom Hashtbl List Prop Store Var

@@ -1,0 +1,1 @@
+lib/cp/table.mli: Store Var

@@ -1,0 +1,1 @@
+lib/cp/var.ml: Dom Fmt List Printf Prop

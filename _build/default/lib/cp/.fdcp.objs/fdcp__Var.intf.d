@@ -1,0 +1,1 @@
+lib/cp/var.mli: Dom Format Prop

@@ -1,0 +1,3 @@
+(** All-different constraint (forward checking + pigeonhole test). *)
+
+val post : Store.t -> Var.t list -> unit

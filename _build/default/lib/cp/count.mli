@@ -1,0 +1,10 @@
+(** Counting constraints on the number of variables equal to a value. *)
+
+val at_most :
+  Store.t -> ?name:string -> Var.t array -> value:int -> count:int -> unit
+
+val at_least :
+  Store.t -> ?name:string -> Var.t array -> value:int -> count:int -> unit
+
+val exactly :
+  Store.t -> ?name:string -> Var.t array -> value:int -> count:int -> unit

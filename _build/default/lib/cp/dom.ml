@@ -1,0 +1,206 @@
+(* Finite integer domains.
+
+   A domain is an immutable set of integers. Two representations are used:
+   - a contiguous interval [lo, hi] (bits = None);
+   - an interval with holes, backed by a copy-on-write bitset whose bit i
+     represents the value [off + i] (bits = Some b).
+
+   Domains wider than [max_enumerated_width] stay interval-only: removing
+   an interior value of such a domain is a sound no-op (the domain is an
+   over-approximation, propagators only lose pruning strength, never
+   soundness). This matters only for objective-like variables whose
+   domains are tightened exclusively through their bounds. *)
+
+let max_enumerated_width = 1 lsl 16
+
+type t = {
+  lo : int;
+  hi : int;
+  size : int;
+  off : int;              (* value of bit 0 when a bitset is present *)
+  bits : Bytes.t option;
+}
+
+let lo t = t.lo
+let hi t = t.hi
+let size t = t.size
+
+let is_empty t = t.size = 0
+let is_bound t = t.size = 1
+
+let empty = { lo = 1; hi = 0; size = 0; off = 0; bits = None }
+
+let interval lo hi =
+  if lo > hi then empty
+  else { lo; hi; size = hi - lo + 1; off = lo; bits = None }
+
+let singleton v = interval v v
+
+(* -- bitset helpers ------------------------------------------------------ *)
+
+let bit_get b i = Char.code (Bytes.get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_clear b i =
+  let byte = Char.code (Bytes.get b (i lsr 3)) in
+  Bytes.set b (i lsr 3) (Char.chr (byte land lnot (1 lsl (i land 7))))
+
+let bit_set b i =
+  let byte = Char.code (Bytes.get b (i lsr 3)) in
+  Bytes.set b (i lsr 3) (Char.chr (byte lor (1 lsl (i land 7))))
+
+(* Materialize the bitset of an interval domain. *)
+let materialize t =
+  match t.bits with
+  | Some b -> Bytes.copy b
+  | None ->
+    let width = t.hi - t.lo + 1 in
+    let b = Bytes.make ((width + 7) / 8) '\000' in
+    for i = 0 to width - 1 do bit_set b i done;
+    b
+
+let enumerable t =
+  match t.bits with
+  | Some _ -> true
+  | None -> t.hi - t.lo + 1 <= max_enumerated_width
+
+let mem v t =
+  if v < t.lo || v > t.hi then false
+  else
+    match t.bits with
+    | None -> true
+    | Some b -> bit_get b (v - t.off)
+
+let value_exn t =
+  if t.size <> 1 then invalid_arg "Dom.value_exn: domain not bound";
+  t.lo
+
+(* Scan for the next present value >= [v] (bitset domains). *)
+let rec scan_up b off width v =
+  if v - off >= width then None
+  else if bit_get b (v - off) then Some v
+  else scan_up b off width (v + 1)
+
+let rec scan_down b off v =
+  if v < off then None
+  else if bit_get b (v - off) then Some v
+  else scan_down b off (v - 1)
+
+let next_value v t =
+  let v = max v t.lo in
+  if v > t.hi then None
+  else
+    match t.bits with
+    | None -> Some v
+    | Some b -> (
+      match scan_up b t.off (t.hi - t.off + 1) v with
+      | Some r when r <= t.hi -> Some r
+      | _ -> None)
+
+let prev_value v t =
+  let v = min v t.hi in
+  if v < t.lo then None
+  else
+    match t.bits with
+    | None -> Some v
+    | Some b -> scan_down b t.off v
+
+(* Recompute [lo], [hi] and [size] of a bitset domain after a mutation. *)
+let normalize off b ~lo ~hi =
+  let lo' = scan_up b off (hi - off + 1) lo in
+  match lo' with
+  | None -> empty
+  | Some lo ->
+    let hi =
+      match scan_down b off hi with
+      | Some h -> h
+      | None -> assert false
+    in
+    let count = ref 0 in
+    for i = lo - off to hi - off do
+      if bit_get b i then incr count
+    done;
+    { lo; hi; size = !count; off; bits = Some b }
+
+let remove v t =
+  if not (mem v t) then t
+  else if t.size = 1 then empty
+  else if v = t.lo then
+    (* shrink from below *)
+    match next_value (v + 1) t with
+    | None -> empty
+    | Some lo -> (
+      match t.bits with
+      | None -> { t with lo; size = t.size - 1 }
+      | Some b ->
+        let b = Bytes.copy b in
+        bit_clear b (v - t.off);
+        { t with lo; size = t.size - 1; bits = Some b })
+  else if v = t.hi then
+    match prev_value (v - 1) t with
+    | None -> empty
+    | Some hi -> (
+      match t.bits with
+      | None -> { t with hi; size = t.size - 1 }
+      | Some b ->
+        let b = Bytes.copy b in
+        bit_clear b (v - t.off);
+        { t with hi; size = t.size - 1; bits = Some b })
+  else if not (enumerable t) then t (* sound over-approximation *)
+  else
+    (* when materializing from an interval, bit 0 represents t.lo *)
+    let off = match t.bits with None -> t.lo | Some _ -> t.off in
+    let b = materialize t in
+    bit_clear b (v - off);
+    normalize off b ~lo:t.lo ~hi:t.hi
+
+let remove_below v t =
+  if v <= t.lo then t
+  else if v > t.hi then empty
+  else
+    match t.bits with
+    | None -> { t with lo = v; size = t.hi - v + 1 }
+    | Some b -> normalize t.off b ~lo:v ~hi:t.hi
+
+let remove_above v t =
+  if v >= t.hi then t
+  else if v < t.lo then empty
+  else
+    match t.bits with
+    | None -> { t with hi = v; size = v - t.lo + 1 }
+    | Some b -> normalize t.off b ~lo:t.lo ~hi:v
+
+let keep_only v t = if mem v t then singleton v else empty
+
+let of_list vs =
+  match List.sort_uniq compare vs with
+  | [] -> empty
+  | [ v ] -> singleton v
+  | lo :: _ as vs ->
+    let hi = List.fold_left max lo vs in
+    if hi - lo + 1 > max_enumerated_width then
+      invalid_arg "Dom.of_list: range too wide to enumerate";
+    let width = hi - lo + 1 in
+    let b = Bytes.make ((width + 7) / 8) '\000' in
+    List.iter (fun v -> bit_set b (v - lo)) vs;
+    { lo; hi; size = List.length vs; off = lo; bits = Some b }
+
+let fold f acc t =
+  let rec go acc v =
+    match next_value v t with
+    | None -> acc
+    | Some v -> go (f acc v) (v + 1)
+  in
+  if not (enumerable t) then invalid_arg "Dom.fold: domain not enumerable"
+  else go acc t.lo
+
+let iter f t = fold (fun () v -> f v) () t
+
+let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
+
+let pp ppf t =
+  if is_empty t then Fmt.string ppf "{}"
+  else if t.size = 1 then Fmt.pf ppf "{%d}" t.lo
+  else
+    match t.bits with
+    | None -> Fmt.pf ppf "[%d..%d]" t.lo t.hi
+    | Some _ -> Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma int) (to_list t)

@@ -1,0 +1,59 @@
+(** Immutable finite integer domains.
+
+    Small domains (width up to {!max_enumerated_width}) support arbitrary
+    value removal via a copy-on-write bitset. Wider domains are kept as
+    pure intervals: removing an {e interior} value of such a domain is a
+    sound no-op (the domain over-approximates the true set; propagators
+    may lose pruning strength but never soundness). Bound removals are
+    always exact. *)
+
+type t
+
+val max_enumerated_width : int
+(** Widest domain for which value-level (holes) representation is used. *)
+
+val empty : t
+val interval : int -> int -> t
+(** [interval lo hi] is [{lo, .., hi}]; empty when [lo > hi]. *)
+
+val singleton : int -> t
+
+val of_list : int list -> t
+(** Domain holding exactly the given values. Raises [Invalid_argument]
+    when the value range is too wide to enumerate. *)
+
+val lo : t -> int
+val hi : t -> int
+val size : t -> int
+val is_empty : t -> bool
+val is_bound : t -> bool
+
+val mem : int -> t -> bool
+
+val value_exn : t -> int
+(** The value of a bound domain. Raises [Invalid_argument] otherwise. *)
+
+val next_value : int -> t -> int option
+(** [next_value v t] is the smallest domain value [>= v], if any. *)
+
+val prev_value : int -> t -> int option
+(** [prev_value v t] is the largest domain value [<= v], if any. *)
+
+val remove : int -> t -> t
+val remove_below : int -> t -> t
+(** [remove_below v t] keeps values [>= v]. *)
+
+val remove_above : int -> t -> t
+(** [remove_above v t] keeps values [<= v]. *)
+
+val keep_only : int -> t -> t
+(** [keep_only v t] is [{v}] when [v] is in [t], [empty] otherwise. *)
+
+val enumerable : t -> bool
+(** Whether values can be iterated ({!fold}, {!iter}, {!to_list}). *)
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+val iter : (int -> unit) -> t -> unit
+val to_list : t -> int list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,6 @@
+(** Element constraint. *)
+
+val post : Store.t -> Var.t -> int array -> Var.t -> unit
+(** [post s x table y] posts [y = table.(x)], restricting [x] to
+    [0 .. Array.length table - 1]. The index variable must be enumerable;
+    the result is pruned value-wise when possible, bounds-wise otherwise. *)

@@ -1,0 +1,119 @@
+(* Knapsack (subset-sum) constraint with dynamic-programming propagation,
+   after Trick's "A dynamic programming approach for consistency and
+   propagation for knapsack constraints" (CPAIOR'01), cited by the paper
+   for the multiple-knapsack viability check.
+
+   Constraint:  load = sum_i size_i * sel_i   with  sel_i in {0,1}.
+
+   Propagation builds the set of reachable sums with a forward DP over
+   the items (respecting already-bound selectors), intersects it with the
+   load variable's domain, and then detects items that are *forced*
+   (every surviving sum uses them) or *forbidden* (no surviving sum uses
+   them) with a forward/backward reachability product. *)
+
+type t = { sizes : int array; selectors : Var.t array; load : Var.t }
+
+let bitlen cap = cap + 1
+
+(* forward.(k) = set of sums reachable using items 0..k-1 *)
+let forward_tables sizes selectors cap =
+  let n = Array.length sizes in
+  let tables = Array.init (n + 1) (fun _ -> Bytes.make ((bitlen cap + 7) / 8) '\000') in
+  let set b i =
+    let byte = Char.code (Bytes.get b (i lsr 3)) in
+    Bytes.set b (i lsr 3) (Char.chr (byte lor (1 lsl (i land 7))))
+  in
+  let get b i =
+    Char.code (Bytes.get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  in
+  set tables.(0) 0;
+  for k = 0 to n - 1 do
+    let may_skip = Var.mem 0 selectors.(k) in
+    let may_take = Var.mem 1 selectors.(k) in
+    for s = 0 to cap do
+      if get tables.(k) s then begin
+        if may_skip then set tables.(k + 1) s;
+        if may_take && s + sizes.(k) <= cap then
+          set tables.(k + 1) (s + sizes.(k))
+      end
+    done
+  done;
+  (tables, get)
+
+let post store ~sizes ~selectors ~load =
+  let n = Array.length sizes in
+  if Array.length selectors <> n then
+    invalid_arg "Knapsack.post: arity mismatch";
+  Array.iter (fun s -> if s < 0 then invalid_arg "Knapsack.post: negative size") sizes;
+  let p = Prop.make ~name:"knapsack" (fun () -> ()) in
+  p.Prop.run <-
+    (fun () ->
+      Array.iter
+        (fun sel ->
+          Store.remove_below store sel 0;
+          Store.remove_above store sel 1)
+        selectors;
+      Store.remove_below store load 0;
+      let cap = Var.hi load in
+      let fwd, get = forward_tables sizes selectors cap in
+      (* backward.(k) = set of residual sums completable with items k..n-1
+         down to a sum accepted by the load variable *)
+      let bwd =
+        Array.init (n + 1) (fun _ -> Bytes.make ((bitlen cap + 7) / 8) '\000')
+      in
+      let set b i =
+        let byte = Char.code (Bytes.get b (i lsr 3)) in
+        Bytes.set b (i lsr 3) (Char.chr (byte lor (1 lsl (i land 7))))
+      in
+      for s = 0 to cap do
+        if get fwd.(n) s && Var.mem s load then set bwd.(n) s
+      done;
+      for k = n - 1 downto 0 do
+        let may_skip = Var.mem 0 selectors.(k) in
+        let may_take = Var.mem 1 selectors.(k) in
+        for s = 0 to cap do
+          if get fwd.(k) s then begin
+            if may_skip && get bwd.(k + 1) s then set bwd.(k) s;
+            if
+              may_take && s + sizes.(k) <= cap
+              && get bwd.(k + 1) (s + sizes.(k))
+            then set bwd.(k) s
+          end
+        done
+      done;
+      (* feasible load values are exactly the sums in bwd.(n) *)
+      let lo_reach = ref (-1) and hi_reach = ref (-1) in
+      for s = 0 to cap do
+        if get bwd.(n) s then begin
+          if !lo_reach < 0 then lo_reach := s;
+          hi_reach := s
+        end
+      done;
+      if !lo_reach < 0 then Store.fail "knapsack: no reachable load";
+      Store.remove_below store load !lo_reach;
+      Store.remove_above store load !hi_reach;
+      if Dom.enumerable (Var.dom load) then
+        Dom.iter
+          (fun s ->
+            if s > cap || not (get bwd.(n) s) then Store.remove store load s)
+          (Var.dom load);
+      (* forced / forbidden items *)
+      for k = 0 to n - 1 do
+        if not (Var.is_bound selectors.(k)) then begin
+          let can_skip = ref false and can_take = ref false in
+          for s = 0 to cap do
+            if get fwd.(k) s then begin
+              if get bwd.(k + 1) s then can_skip := true;
+              if s + sizes.(k) <= cap && get bwd.(k + 1) (s + sizes.(k))
+              then can_take := true
+            end
+          done;
+          match (!can_skip, !can_take) with
+          | false, false -> Store.fail "knapsack: item %d unusable" k
+          | true, false -> Store.instantiate store selectors.(k) 0
+          | false, true -> Store.instantiate store selectors.(k) 1
+          | true, true -> ()
+        end
+      done);
+  Store.post store p ~on:(load :: Array.to_list selectors);
+  { sizes; selectors; load }

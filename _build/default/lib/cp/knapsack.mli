@@ -1,0 +1,11 @@
+(** Knapsack / subset-sum constraint with Trick-style DP propagation.
+
+    [load = sum_i sizes.(i) * selectors.(i)] with boolean selectors.
+    Propagation computes the exact set of reachable sums, prunes the load
+    variable to it, and fixes selectors proven forced or forbidden. *)
+
+type t = { sizes : int array; selectors : Var.t array; load : Var.t }
+
+val post :
+  Store.t -> sizes:int array -> selectors:Var.t array -> load:Var.t -> t
+(** Sizes must be non-negative; selectors are restricted to [{0,1}]. *)

@@ -1,0 +1,22 @@
+(** Bounds-consistent linear (weighted sum) constraints. *)
+
+type term = int * Var.t
+(** A term [(a, x)] denotes [a * x]. *)
+
+val sum_le : Store.t -> term list -> int -> unit
+(** [sum_le s terms c] posts [sum terms <= c]. *)
+
+val sum_ge : Store.t -> term list -> int -> unit
+val sum_eq : Store.t -> term list -> int -> unit
+
+val sum_var : Store.t -> term list -> Var.t -> unit
+(** [sum_var s terms y] posts [y = sum terms]. *)
+
+val weighted : Var.t array -> int array -> term list
+(** Zip variables with coefficients. Raises on length mismatch. *)
+
+val current_min : term list -> int
+(** Smallest possible value of the sum under current domains. *)
+
+val current_max : term list -> int
+(** Largest possible value of the sum under current domains. *)

@@ -1,0 +1,22 @@
+(* y = max(xs): bounds propagation, with the classic refinement that
+   when a single variable can still reach y's lower bound it is forced
+   up to it. Useful for makespan-style objectives. *)
+
+let post store xs y =
+  if xs = [] then invalid_arg "Maxvar.post: empty variable list";
+  let p = Prop.make ~name:"max" (fun () -> ()) in
+  p.Prop.run <-
+    (fun () ->
+      let max_hi = List.fold_left (fun acc x -> max acc (Var.hi x)) min_int xs in
+      let max_lo = List.fold_left (fun acc x -> max acc (Var.lo x)) min_int xs in
+      Store.remove_above store y max_hi;
+      Store.remove_below store y max_lo;
+      (* no x may exceed y *)
+      List.iter (fun x -> Store.remove_above store x (Var.hi y)) xs;
+      (* support for y's lower bound: variables that can still reach it *)
+      let reachers = List.filter (fun x -> Var.hi x >= Var.lo y) xs in
+      match reachers with
+      | [] -> Store.fail "max: no variable can reach the lower bound %d" (Var.lo y)
+      | [ only ] -> Store.remove_below store only (Var.lo y)
+      | _ -> ());
+  Store.post store p ~on:(y :: xs)

@@ -1,0 +1,3 @@
+(** Maximum constraint: [y = max xs] (bounds consistency). *)
+
+val post : Store.t -> Var.t list -> Var.t -> unit

@@ -1,0 +1,66 @@
+(* One-dimensional bin-packing propagator in the style of Shaw (CP'04),
+   which the paper cites for the viability constraint: items (placement
+   variable + size) must fit bins of fixed capacities.
+
+   Propagation performed at each wake-up:
+   - fail when a bin's committed load exceeds its capacity;
+   - prune bin b from item i when committed(b) + size(i) > cap(b);
+   - fail when the total size of unassigned items exceeds the total
+     residual capacity.
+
+   The pruning loop only visits the *tight* bins (slack smaller than the
+   item's size): bins are sorted by increasing slack once per wake-up,
+   and each unbound item scans that prefix only — with mostly-roomy
+   clusters this is far cheaper than scanning every (item, bin) pair. *)
+
+type item = { var : Var.t; size : int }
+
+let item var size = { var; size }
+
+let post store ?(name = "pack") ~items ~capacities () =
+  let nbins = Array.length capacities in
+  let p = Prop.make ~name (fun () -> ()) in
+  p.Prop.run <-
+    (fun () ->
+      let committed = Array.make nbins 0 in
+      let unassigned = ref [] in
+      let demand = ref 0 in
+      Array.iter
+        (fun it ->
+          if Var.is_bound it.var then begin
+            let b = Var.value_exn it.var in
+            if b >= 0 && b < nbins then begin
+              committed.(b) <- committed.(b) + it.size;
+              if committed.(b) > capacities.(b) then
+                Store.fail "%s: bin %d overloaded (%d > %d)" name b
+                  committed.(b) capacities.(b)
+            end
+          end
+          else begin
+            unassigned := it :: !unassigned;
+            demand := !demand + it.size
+          end)
+        items;
+      (* bins by increasing slack; items only need to look at the bins
+         whose slack is smaller than their size *)
+      let slack = Array.init nbins (fun b -> (capacities.(b) - committed.(b), b)) in
+      Array.sort compare slack;
+      let residual = ref 0 in
+      Array.iter (fun (s, _) -> if s > 0 then residual := !residual + s) slack;
+      if !demand > !residual then
+        Store.fail "%s: %d units of unassigned demand, %d residual" name
+          !demand !residual;
+      let prune it =
+        let rec go i =
+          if i < nbins then begin
+            let s, b = slack.(i) in
+            if s < it.size then begin
+              Store.remove store it.var b;
+              go (i + 1)
+            end
+          end
+        in
+        go 0
+      in
+      List.iter prune !unassigned);
+  Store.post store p ~on:(Array.to_list (Array.map (fun it -> it.var) items))

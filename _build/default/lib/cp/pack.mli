@@ -1,0 +1,17 @@
+(** One-dimensional bin-packing constraint (Shaw-style pruning).
+
+    Multi-dimensional packing (the paper's CPU x memory viability
+    constraint) is obtained by posting one instance per dimension over the
+    same placement variables. *)
+
+type item = { var : Var.t; size : int }
+
+val item : Var.t -> int -> item
+
+val post :
+  Store.t -> ?name:string -> items:item array -> capacities:int array ->
+  unit -> unit
+(** [post s ~items ~capacities ()] constrains every item's placement
+    variable (valued in [0 .. Array.length capacities - 1]; values outside
+    that range are treated as "not packed" and consume no capacity) so
+    that each bin's total size stays within its capacity. *)

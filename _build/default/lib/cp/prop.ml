@@ -1,0 +1,21 @@
+(* A propagator is a named closure that narrows variable domains. It
+   raises [Store.Inconsistent] (via the store's update functions or
+   directly) when it proves the current state has no solution.
+
+   The [scheduled] flag keeps each propagator at most once in the
+   propagation queue. *)
+
+type t = {
+  id : int;
+  name : string;
+  mutable scheduled : bool;
+  mutable run : unit -> unit;
+}
+
+let next_id = ref 0
+
+let make ~name run =
+  incr next_id;
+  { id = !next_id; name; scheduled = false; run }
+
+let pp ppf t = Fmt.pf ppf "%s#%d" t.name t.id

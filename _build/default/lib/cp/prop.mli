@@ -1,0 +1,16 @@
+(** Propagators: named domain-narrowing closures. *)
+
+type t = {
+  id : int;
+  name : string;
+  mutable scheduled : bool;  (** true while queued for propagation *)
+  mutable run : unit -> unit;
+}
+
+val make : name:string -> (unit -> unit) -> t
+(** [make ~name run] allocates a fresh propagator. [run] narrows domains
+    through the owning {!Store.t} and raises {!Store.Inconsistent} on
+    failure. The closure may be replaced after creation (used to break
+    the store/propagator definition cycle). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+(* Reified membership:  b <=> (x = v)  with b a 0/1 variable.
+   Channels placement variables to boolean selectors (e.g. to feed the
+   knapsack constraint with per-bin selection booleans). *)
+
+let eq_const store x v b =
+  let p = Prop.make ~name:"reif_eq_const" (fun () -> ()) in
+  p.Prop.run <-
+    (fun () ->
+      Store.remove_below store b 0;
+      Store.remove_above store b 1;
+      if Var.is_bound b then begin
+        if Var.value_exn b = 1 then Store.instantiate store x v
+        else Store.remove store x v
+      end
+      else if not (Var.mem v x) then Store.instantiate store b 0
+      else if Var.is_bound x then
+        Store.instantiate store b (if Var.value_exn x = v then 1 else 0));
+  Store.post store p ~on:[ x; b ]

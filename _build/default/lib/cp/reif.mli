@@ -1,0 +1,4 @@
+(** Reified constraints. *)
+
+val eq_const : Store.t -> Var.t -> int -> Var.t -> unit
+(** [eq_const s x v b] posts [b <=> (x = v)], with [b] a 0/1 variable. *)

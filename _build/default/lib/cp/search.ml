@@ -1,0 +1,253 @@
+(* Depth-first search with pluggable variable/value ordering, optional
+   wall-clock timeout and branch-and-bound minimisation.
+
+   The paper's optimiser (section 4.3) relies on exactly this machinery:
+   a first-fail variable ordering that treats the most demanding VMs
+   first, a value ordering that tries a VM's current location first, and
+   branch & bound on the reconfiguration-cost variable with a timeout
+   after which the best solution so far is kept. *)
+
+type stats = {
+  mutable nodes : int;
+  mutable fails : int;
+  mutable solutions : int;
+  mutable elapsed : float;
+  mutable timed_out : bool;
+}
+
+let fresh_stats () =
+  { nodes = 0; fails = 0; solutions = 0; elapsed = 0.; timed_out = false }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "nodes=%d fails=%d solutions=%d elapsed=%.3fs%s" s.nodes
+    s.fails s.solutions s.elapsed
+    (if s.timed_out then " (timed out)" else "")
+
+type var_select = Var.t array -> Var.t option
+type val_select = Var.t -> int list
+
+exception Stop
+exception Timed_out
+
+(* -- variable orderings -------------------------------------------------- *)
+
+let in_order vars =
+  let n = Array.length vars in
+  let rec go i =
+    if i >= n then None
+    else if not (Var.is_bound vars.(i)) then Some vars.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let first_fail vars =
+  let best = ref None in
+  Array.iter
+    (fun x ->
+      if not (Var.is_bound x) then
+        match !best with
+        | Some b when Var.size b <= Var.size x -> ()
+        | _ -> best := Some x)
+    vars;
+  !best
+
+let by_key key vars =
+  let best = ref None in
+  Array.iter
+    (fun x ->
+      if not (Var.is_bound x) then
+        match !best with
+        | Some b when key b <= key x -> ()
+        | _ -> best := Some x)
+    vars;
+  !best
+
+(* -- value orderings ------------------------------------------------------ *)
+
+let min_value x = Dom.to_list (Var.dom x)
+
+let max_value x = List.rev (Dom.to_list (Var.dom x))
+
+let prefer preferred x =
+  let vs = Dom.to_list (Var.dom x) in
+  match preferred x with
+  | Some p when Var.mem p x -> p :: List.filter (fun v -> v <> p) vs
+  | _ -> vs
+
+(* -- DFS ------------------------------------------------------------------ *)
+
+let now () = Unix.gettimeofday ()
+
+let solve_internal store ~vars ~var_select ~val_select ~timeout ~node_limit
+    ~on_node ~on_solution stats =
+  let deadline = Option.map (fun t -> now () +. t) timeout in
+  let check_limits () =
+    (match deadline with
+    | Some d when now () > d -> raise Timed_out
+    | _ -> ());
+    match node_limit with
+    | Some l when stats.nodes >= l -> raise Timed_out
+    | _ -> ()
+  in
+  let rec descend () =
+    stats.nodes <- stats.nodes + 1;
+    check_limits ();
+    on_node ();
+    match var_select vars with
+    | None ->
+      stats.solutions <- stats.solutions + 1;
+      on_solution ()
+    | Some x ->
+      let values = val_select x in
+      let try_value v =
+        let m = Store.mark store in
+        (try
+           Store.instantiate store x v;
+           Store.propagate store;
+           descend ();
+           Store.undo_to store m
+         with Store.Inconsistent _ ->
+           stats.fails <- stats.fails + 1;
+           Store.undo_to store m)
+      in
+      List.iter try_value values
+  in
+  let start = now () in
+  let root = Store.mark store in
+  (try
+     Store.propagate store;
+     descend ()
+   with
+  | Store.Inconsistent _ -> stats.fails <- stats.fails + 1
+  | Timed_out -> stats.timed_out <- true
+  | Stop -> ());
+  Store.undo_to store root;
+  stats.elapsed <- now () -. start
+
+let solve store ~vars ?(var_select = first_fail) ?(val_select = min_value)
+    ?timeout ?node_limit ~on_solution () =
+  let stats = fresh_stats () in
+  solve_internal store ~vars ~var_select ~val_select ~timeout ~node_limit
+    ~on_node:(fun () -> ())
+    ~on_solution stats;
+  stats
+
+let find_first store ~vars ?var_select ?val_select ?timeout ?node_limit ()
+    =
+  let snapshot = ref None in
+  let on_solution () =
+    snapshot := Some (Array.map Var.value_exn vars);
+    raise Stop
+  in
+  let stats =
+    solve store ~vars ?var_select ?val_select ?timeout ?node_limit
+      ~on_solution ()
+  in
+  (!snapshot, stats)
+
+(* Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let rec luby i =
+  (* find k with 2^k - 1 = i -> 2^(k-1); else recurse on the prefix *)
+  let rec pow2 k = if k = 0 then 1 else 2 * pow2 (k - 1) in
+  let rec find k = if pow2 k - 1 > i then k - 1 else find (k + 1) in
+  let k = find 1 in
+  if pow2 k - 1 = i then pow2 (k - 1) else luby (i - pow2 k + 1)
+
+(* Fisher-Yates over a list. *)
+let shuffle rng l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let minimize store ~vars ~obj ?(var_select = first_fail)
+    ?(val_select = min_value) ?timeout ?node_limit ?(on_improve = fun _ -> ())
+    () =
+  let stats = fresh_stats () in
+  let best = ref max_int in
+  let best_snapshot = ref None in
+  let on_node () =
+    (* branch & bound: require strict improvement over the incumbent *)
+    if !best < max_int then begin
+      Store.remove_above store obj (!best - 1);
+      Store.propagate store
+    end
+  in
+  let on_solution () =
+    let value = Var.lo obj in
+    if value < !best then begin
+      best := value;
+      best_snapshot := Some (value, Array.map Var.value_exn vars);
+      on_improve value
+    end
+  in
+  solve_internal store ~vars ~var_select ~val_select ~timeout ~node_limit
+    ~on_node ~on_solution stats;
+  (!best_snapshot, stats)
+
+(* Restart-based minimisation: repeated bounded searches following the
+   Luby sequence, each restart shuffling the non-preferred tail of the
+   value order to diversify, and re-seeding branch & bound with the
+   incumbent. Stops early when a run completes within its budget (the
+   incumbent is then proven optimal). *)
+let minimize_restarts store ~vars ~obj ?(var_select = first_fail)
+    ?(val_select = min_value) ?(base_node_limit = 1000) ?(restarts = 8)
+    ?(seed = 0x5eed) ?timeout () =
+  let rng = Random.State.make [| seed |] in
+  let best = ref None in
+  let total = fresh_stats () in
+  let deadline = Option.map (fun t -> now () +. t) timeout in
+  let time_left () =
+    match deadline with
+    | None -> None
+    | Some d -> Some (Float.max 0.01 (d -. now ()))
+  in
+  let out_of_time () =
+    match deadline with Some d -> now () >= d | None -> false
+  in
+  let exception Done in
+  (try
+     for i = 0 to restarts - 1 do
+       if out_of_time () then raise Done;
+       (* tighten with the incumbent: restarts only look for better *)
+       (match !best with
+       | Some (v, _) -> (
+         try
+           Store.remove_above store obj (v - 1);
+           Store.propagate store
+         with Store.Inconsistent _ -> raise Done)
+       | None -> ());
+       let val_select_i x =
+         let vs = val_select x in
+         if i = 0 then vs
+         else
+           match vs with
+           | preferred :: tail -> preferred :: shuffle rng tail
+           | [] -> []
+       in
+       let node_limit = base_node_limit * luby (i + 1) in
+       let result, stats =
+         minimize store ~vars ~obj ~var_select ~val_select:val_select_i
+           ?timeout:(time_left ()) ~node_limit ()
+       in
+       total.nodes <- total.nodes + stats.nodes;
+       total.fails <- total.fails + stats.fails;
+       total.solutions <- total.solutions + stats.solutions;
+       total.elapsed <- total.elapsed +. stats.elapsed;
+       (match result with
+       | Some (v, snap) -> (
+         match !best with
+         | Some (bv, _) when bv <= v -> ()
+         | _ -> best := Some (v, snap))
+       | None -> ());
+       (* a run that finished within its budget proved optimality of the
+          incumbent under the current bound *)
+       if not stats.timed_out then raise Done
+     done;
+     total.timed_out <- true
+   with Done -> ());
+  (!best, total)

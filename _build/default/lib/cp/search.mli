@@ -1,0 +1,72 @@
+(** Depth-first search, enumeration and branch-and-bound minimisation. *)
+
+type stats = {
+  mutable nodes : int;
+  mutable fails : int;
+  mutable solutions : int;
+  mutable elapsed : float;        (** seconds *)
+  mutable timed_out : bool;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+val fresh_stats : unit -> stats
+
+type var_select = Var.t array -> Var.t option
+(** Picks the next unbound variable to branch on ([None] = all bound). *)
+
+type val_select = Var.t -> int list
+(** Candidate values, in the order they should be tried. *)
+
+exception Stop
+(** Raise from [on_solution] to stop the search. *)
+
+val in_order : var_select
+val first_fail : var_select
+(** Smallest current domain first (Haralick & Elliott). *)
+
+val by_key : (Var.t -> int) -> var_select
+(** Unbound variable minimising the key. Use a negated key for
+    "largest demand first" orderings. *)
+
+val min_value : val_select
+val max_value : val_select
+
+val prefer : (Var.t -> int option) -> val_select
+(** [prefer f] tries [f x] first when still in the domain — e.g. a VM's
+    current node — then the remaining values in increasing order. *)
+
+val solve :
+  Store.t -> vars:Var.t array -> ?var_select:var_select ->
+  ?val_select:val_select -> ?timeout:float -> ?node_limit:int ->
+  on_solution:(unit -> unit) -> unit -> stats
+(** Enumerate solutions (assignments of [vars]); [on_solution] runs with
+    the store instantiated and may read any variable. The store is
+    restored to its root state before returning. *)
+
+val find_first :
+  Store.t -> vars:Var.t array -> ?var_select:var_select ->
+  ?val_select:val_select -> ?timeout:float -> ?node_limit:int -> unit ->
+  int array option * stats
+(** First solution as a value snapshot of [vars]. *)
+
+val minimize :
+  Store.t -> vars:Var.t array -> obj:Var.t -> ?var_select:var_select ->
+  ?val_select:val_select -> ?timeout:float -> ?node_limit:int ->
+  ?on_improve:(int -> unit) -> unit ->
+  (int * int array) option * stats
+(** Branch & bound on [obj]. Returns the best objective value with the
+    snapshot of [vars] at that solution (the incumbent at timeout if the
+    search did not complete). *)
+
+val luby : int -> int
+(** The Luby restart sequence (1-indexed): 1 1 2 1 1 2 4 ... *)
+
+val minimize_restarts :
+  Store.t -> vars:Var.t array -> obj:Var.t -> ?var_select:var_select ->
+  ?val_select:val_select -> ?base_node_limit:int -> ?restarts:int ->
+  ?seed:int -> ?timeout:float -> unit -> (int * int array) option * stats
+(** Restart-based branch & bound: Luby-bounded runs, shuffled value-order
+    tails after the first run, incumbent carried across restarts. Note
+    the store's objective domain is tightened in place across runs (use
+    a dedicated store). Stops early when a run completes (optimality
+    proven). *)

@@ -1,0 +1,140 @@
+(* The constraint store: owns variables, the backtracking trail and the
+   propagation queue.
+
+   Trailing strategy: every domain update pushes the (variable, previous
+   domain) pair; [undo_to] pops entries back to a mark. Domains being
+   immutable values, restoration is a single field write. *)
+
+exception Inconsistent of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Inconsistent s)) fmt
+
+type trail_entry = { v : Var.t; old_dom : Dom.t }
+
+let dummy_entry =
+  let v =
+    { Var.id = -1; name = "<dummy>"; dom = Dom.empty; watchers = [] }
+  in
+  { v; old_dom = Dom.empty }
+
+type t = {
+  mutable vars : Var.t list;       (* newest first *)
+  mutable nvars : int;
+  mutable trail : trail_entry array;
+  mutable trail_len : int;
+  queue : Prop.t Queue.t;
+  mutable propagations : int;      (* cumulative propagator runs *)
+  mutable updates : int;           (* cumulative domain updates *)
+}
+
+type mark = int
+
+let create () =
+  {
+    vars = [];
+    nvars = 0;
+    trail = Array.make 256 dummy_entry;
+    trail_len = 0;
+    queue = Queue.create ();
+    propagations = 0;
+    updates = 0;
+  }
+
+let vars t = List.rev t.vars
+let propagation_count t = t.propagations
+let update_count t = t.updates
+
+let new_var ?name t ~lo ~hi =
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "v%d" t.nvars
+  in
+  if lo > hi then fail "new_var %s: empty initial domain [%d,%d]" name lo hi;
+  let v =
+    { Var.id = t.nvars; name; dom = Dom.interval lo hi; watchers = [] }
+  in
+  t.nvars <- t.nvars + 1;
+  t.vars <- v :: t.vars;
+  v
+
+let new_var_of_values ?name t values =
+  let d = Dom.of_list values in
+  if Dom.is_empty d then fail "new_var_of_values: empty domain";
+  let v = new_var ?name t ~lo:(Dom.lo d) ~hi:(Dom.hi d) in
+  v.Var.dom <- d;
+  v
+
+let constant t c = new_var ~name:(Printf.sprintf "const%d" c) t ~lo:c ~hi:c
+
+(* -- trail --------------------------------------------------------------- *)
+
+let push_trail t entry =
+  if t.trail_len = Array.length t.trail then begin
+    let bigger = Array.make (2 * Array.length t.trail) dummy_entry in
+    Array.blit t.trail 0 bigger 0 t.trail_len;
+    t.trail <- bigger
+  end;
+  t.trail.(t.trail_len) <- entry;
+  t.trail_len <- t.trail_len + 1
+
+let mark t = t.trail_len
+
+let undo_to t m =
+  while t.trail_len > m do
+    t.trail_len <- t.trail_len - 1;
+    let { v; old_dom } = t.trail.(t.trail_len) in
+    v.Var.dom <- old_dom
+  done
+
+(* -- scheduling and updates ---------------------------------------------- *)
+
+let schedule t (p : Prop.t) =
+  if not p.scheduled then begin
+    p.scheduled <- true;
+    Queue.add p t.queue
+  end
+
+let schedule_watchers t (v : Var.t) = List.iter (schedule t) v.watchers
+
+let set_dom t (v : Var.t) d =
+  if Dom.is_empty d then begin
+    (* wake nobody; the search will undo *)
+    fail "%s: domain wiped out" v.name
+  end;
+  if Dom.size d < Dom.size v.dom then begin
+    push_trail t { v; old_dom = v.dom };
+    v.dom <- d;
+    t.updates <- t.updates + 1;
+    schedule_watchers t v
+  end
+
+let remove t v x = set_dom t v (Dom.remove x (Var.dom v))
+let remove_below t v x = set_dom t v (Dom.remove_below x (Var.dom v))
+let remove_above t v x = set_dom t v (Dom.remove_above x (Var.dom v))
+
+let instantiate t v x =
+  if not (Var.mem x v) then
+    fail "%s: cannot instantiate to %d (not in %a)" (Var.name v) x Dom.pp
+      (Var.dom v);
+  set_dom t v (Dom.keep_only x (Var.dom v))
+
+(* -- propagation --------------------------------------------------------- *)
+
+let clear_queue t =
+  Queue.iter (fun (p : Prop.t) -> p.scheduled <- false) t.queue;
+  Queue.clear t.queue
+
+let propagate t =
+  try
+    while not (Queue.is_empty t.queue) do
+      let p = Queue.pop t.queue in
+      p.Prop.scheduled <- false;
+      t.propagations <- t.propagations + 1;
+      p.Prop.run ()
+    done
+  with Inconsistent _ as e ->
+    clear_queue t;
+    raise e
+
+let post t (p : Prop.t) ~on =
+  List.iter (fun v -> Var.watch v p) on;
+  schedule t p

@@ -1,0 +1,54 @@
+(** The constraint store: variables, backtracking trail, propagation queue.
+
+    Typical use: create a store, create variables, post constraints (which
+    register propagators via {!post}), then call {!propagate} to reach a
+    fixpoint; the {!Search} module drives the mark/instantiate/undo cycle. *)
+
+exception Inconsistent of string
+(** Raised when a propagator or update proves the current state has no
+    solution. The store's propagation queue is cleared before the
+    exception escapes {!propagate}. *)
+
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [fail fmt ...] raises {!Inconsistent} with a formatted message. *)
+
+type t
+type mark
+
+val create : unit -> t
+
+val new_var : ?name:string -> t -> lo:int -> hi:int -> Var.t
+val new_var_of_values : ?name:string -> t -> int list -> Var.t
+val constant : t -> int -> Var.t
+
+val vars : t -> Var.t list
+(** All variables, in creation order. *)
+
+val propagation_count : t -> int
+(** Cumulative number of propagator executions (statistics). *)
+
+val update_count : t -> int
+(** Cumulative number of effective domain updates (statistics). *)
+
+val mark : t -> mark
+val undo_to : t -> mark -> unit
+
+val set_dom : t -> Var.t -> Dom.t -> unit
+(** Replace a variable's domain (trailing the old one and waking watchers
+    when the domain actually shrank). Raises {!Inconsistent} when the new
+    domain is empty. *)
+
+val remove : t -> Var.t -> int -> unit
+val remove_below : t -> Var.t -> int -> unit
+val remove_above : t -> Var.t -> int -> unit
+val instantiate : t -> Var.t -> int -> unit
+
+val schedule : t -> Prop.t -> unit
+(** Enqueue a propagator unless already queued. *)
+
+val post : t -> Prop.t -> on:Var.t list -> unit
+(** Register a propagator as watcher of [on] and schedule its first run. *)
+
+val propagate : t -> unit
+(** Run queued propagators to fixpoint. Raises {!Inconsistent} on failure
+    (queue is cleared first, so the store can be reused after undo). *)

@@ -1,0 +1,36 @@
+(* Extensional (table) constraint: the variables must jointly take one
+   of the allowed tuples. Generalised arc consistency by support
+   scanning — O(tuples x arity) per wake-up, fine for the small tables
+   this library needs. *)
+
+let post store vars tuples =
+  let vars = Array.of_list vars in
+  let arity = Array.length vars in
+  if arity = 0 then invalid_arg "Table.post: no variables";
+  List.iter
+    (fun t ->
+      if Array.length t <> arity then
+        invalid_arg "Table.post: tuple arity mismatch")
+    tuples;
+  let tuples = Array.of_list tuples in
+  let p = Prop.make ~name:"table" (fun () -> ()) in
+  p.Prop.run <-
+    (fun () ->
+      (* a tuple is alive when every component is still in its domain *)
+      let alive t =
+        let ok = ref true in
+        Array.iteri (fun i v -> if not (Var.mem v vars.(i)) then ok := false) t;
+        !ok
+      in
+      let living = Array.to_list tuples |> List.filter alive in
+      if living = [] then Store.fail "table: no tuple left";
+      (* supported values per variable *)
+      Array.iteri
+        (fun i x ->
+          let supported = Hashtbl.create 8 in
+          List.iter (fun t -> Hashtbl.replace supported t.(i) ()) living;
+          Dom.iter
+            (fun v -> if not (Hashtbl.mem supported v) then Store.remove store x v)
+            (Var.dom x))
+        vars);
+  Store.post store p ~on:(Array.to_list vars)

@@ -1,0 +1,4 @@
+(** Extensional constraint: the variables jointly take one of the given
+    tuples (generalised arc consistency). *)
+
+val post : Store.t -> Var.t list -> int array list -> unit

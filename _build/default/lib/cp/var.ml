@@ -1,0 +1,31 @@
+(* Finite-domain variables. Domain mutation goes through [Store], which
+   handles trailing and propagator scheduling; this module only holds the
+   representation and read accessors. *)
+
+type t = {
+  id : int;
+  name : string;
+  mutable dom : Dom.t;
+  mutable watchers : Prop.t list;
+}
+
+let id t = t.id
+let name t = t.name
+let dom t = t.dom
+
+let lo t = Dom.lo t.dom
+let hi t = Dom.hi t.dom
+let size t = Dom.size t.dom
+let is_bound t = Dom.is_bound t.dom
+let mem v t = Dom.mem v t.dom
+
+let value_exn t =
+  if not (is_bound t) then
+    invalid_arg (Printf.sprintf "Var.value_exn: %s not bound" t.name);
+  Dom.value_exn t.dom
+
+let watch t prop =
+  if not (List.exists (fun (p : Prop.t) -> p.id = prop.Prop.id) t.watchers)
+  then t.watchers <- prop :: t.watchers
+
+let pp ppf t = Fmt.pf ppf "%s=%a" t.name Dom.pp t.dom

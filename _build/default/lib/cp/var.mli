@@ -1,0 +1,29 @@
+(** Finite-domain integer variables.
+
+    All domain {e mutation} must go through {!Store} (for trailing and
+    propagator scheduling); this interface exposes only reads, plus
+    {!watch} used by constraint implementations. *)
+
+type t = {
+  id : int;
+  name : string;
+  mutable dom : Dom.t;
+  mutable watchers : Prop.t list;
+}
+
+val id : t -> int
+val name : t -> string
+val dom : t -> Dom.t
+val lo : t -> int
+val hi : t -> int
+val size : t -> int
+val is_bound : t -> bool
+val mem : int -> t -> bool
+
+val value_exn : t -> int
+(** Value of a bound variable. Raises [Invalid_argument] otherwise. *)
+
+val watch : t -> Prop.t -> unit
+(** Subscribe a propagator to this variable's domain changes. Idempotent. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/monitor/collector.ml: Demand Entropy_core History Sample

@@ -1,0 +1,1 @@
+lib/monitor/collector.mli: Demand Entropy_core History

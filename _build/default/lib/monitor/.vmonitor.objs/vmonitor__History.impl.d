@@ -1,0 +1,1 @@
+lib/monitor/history.ml: List Option Sample

@@ -1,0 +1,1 @@
+lib/monitor/history.mli: Entropy_core Sample Vm

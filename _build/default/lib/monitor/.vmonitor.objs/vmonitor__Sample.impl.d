@@ -1,0 +1,1 @@
+lib/monitor/sample.ml: Array Demand Entropy_core Fmt

@@ -1,0 +1,1 @@
+lib/monitor/sample.mli: Demand Entropy_core Format Vm

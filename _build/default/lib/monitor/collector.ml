@@ -1,0 +1,47 @@
+(* The monitoring service head (Ganglia stand-in). A collector polls a
+   source of raw per-VM CPU readings, keeps a bounded history, and
+   answers the control loop's observation requests with a smoothed
+   demand vector.
+
+   The paper reports that Entropy accumulates fresh monitoring data for
+   about 10 seconds before each iteration; [smoothing_span] models that
+   accumulation window. *)
+
+open Entropy_core
+
+type source = unit -> float * int array
+(* current time, per-VM CPU consumption *)
+
+type t = {
+  source : source;
+  history : History.t;
+  smoothing_span : float;
+  mutable polls : int;
+}
+
+let create ?(capacity = 128) ?(smoothing_span = 10.) source =
+  { source; history = History.create ~capacity (); smoothing_span; polls = 0 }
+
+let poll t =
+  let time, cpu = t.source () in
+  t.polls <- t.polls + 1;
+  History.add t.history (Sample.make ~time ~cpu)
+
+let polls t = t.polls
+let history t = t.history
+
+(* Smoothed demand: per-VM average over the accumulation window. An
+   empty history triggers an immediate poll. *)
+let demand t =
+  if History.latest t.history = None then poll t;
+  match History.latest t.history with
+  | None -> Demand.make ~vm_count:0 ~default:0
+  | Some latest ->
+    let now = Sample.time latest in
+    let vm_count = Sample.vm_count latest in
+    Demand.of_fn ~vm_count (fun vm_id ->
+        match
+          History.average_cpu t.history ~now ~span:t.smoothing_span vm_id
+        with
+        | Some v -> v
+        | None -> 0)

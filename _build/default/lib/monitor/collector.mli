@@ -1,0 +1,23 @@
+(** The monitoring service head (Ganglia stand-in): polls raw per-VM CPU
+    readings and serves smoothed demand vectors to the control loop. *)
+
+open Entropy_core
+
+type source = unit -> float * int array
+(** A reading: current time and per-VM CPU consumption. *)
+
+type t
+
+val create : ?capacity:int -> ?smoothing_span:float -> source -> t
+(** [smoothing_span] (default 10 s) is the accumulation window the paper
+    reports before each loop iteration. *)
+
+val poll : t -> unit
+(** Take one reading from the source. *)
+
+val polls : t -> int
+val history : t -> History.t
+
+val demand : t -> Demand.t
+(** Smoothed per-VM CPU demand (window average, latest reading as
+    fallback). Polls once when the history is empty. *)

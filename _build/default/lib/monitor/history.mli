@@ -1,0 +1,14 @@
+(** Bounded sample history. *)
+
+open Entropy_core
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val add : t -> Sample.t -> unit
+val latest : t -> Sample.t option
+val length : t -> int
+val newest_first : t -> Sample.t list
+val window : t -> now:float -> span:float -> Sample.t list
+val average_cpu : t -> now:float -> span:float -> Vm.id -> int option
+(** Mean CPU of a VM over the window; latest sample when empty. *)

@@ -1,0 +1,12 @@
+(** A monitoring sample: per-VM CPU consumption at an instant. *)
+
+open Entropy_core
+
+type t
+
+val make : time:float -> cpu:int array -> t
+val time : t -> float
+val cpu : t -> Vm.id -> int
+val vm_count : t -> int
+val to_demand : t -> Demand.t
+val pp : Format.formatter -> t -> unit

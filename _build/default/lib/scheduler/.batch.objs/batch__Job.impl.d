@@ -1,0 +1,1 @@
+lib/scheduler/job.ml: Float Fmt Int

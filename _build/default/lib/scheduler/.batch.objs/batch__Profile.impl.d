@@ -1,0 +1,1 @@
+lib/scheduler/profile.ml: Float List

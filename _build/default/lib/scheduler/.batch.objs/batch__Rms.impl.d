@@ -1,0 +1,1 @@
+lib/scheduler/rms.ml: Float Job List Profile

@@ -1,0 +1,1 @@
+lib/scheduler/rms.mli: Job

@@ -1,0 +1,1 @@
+lib/scheduler/static_alloc.ml: Int Job List Rms Vworkload

@@ -1,0 +1,1 @@
+lib/scheduler/static_alloc.mli: Job Rms Vworkload

@@ -1,0 +1,1 @@
+lib/scheduler/swf.ml: Float Fmt Fun Job List Printf String

@@ -1,0 +1,1 @@
+lib/scheduler/swf.mli: Job

@@ -1,0 +1,35 @@
+(* Batch jobs as a traditional Resource Management System sees them: a
+   rigid request of [nodes_required] nodes for a [walltime] estimated by
+   the user, with a (hidden) actual duration. *)
+
+type t = {
+  id : int;
+  name : string;
+  arrival : float;
+  nodes_required : int;
+  walltime : float;  (* the user's estimate (slot length) *)
+  actual : float;    (* real duration, <= or > walltime *)
+}
+
+let make ~id ~name ?(arrival = 0.) ~nodes_required ~walltime ~actual () =
+  if nodes_required <= 0 then invalid_arg "Job.make: nodes_required <= 0";
+  if walltime <= 0. then invalid_arg "Job.make: walltime <= 0";
+  { id; name; arrival; nodes_required; walltime; actual }
+
+let compare_fcfs a b =
+  match Float.compare a.arrival b.arrival with
+  | 0 -> Int.compare a.id b.id
+  | c -> c
+
+(* Jobs that exceed their walltime are killed at the end of the slot:
+   the computation is lost (the paper's "worst case"). *)
+let killed t = t.actual > t.walltime
+
+let pp ppf t =
+  Fmt.pf ppf "%s(%dn,%.0fs est,%.0fs real)" t.name t.nodes_required
+    t.walltime t.actual
+
+type placement = { job : t; start : float }
+
+let slot_end p = p.start +. p.job.walltime
+let completion p = if killed p.job then None else Some (p.start +. p.job.actual)

@@ -1,0 +1,28 @@
+(** Rigid batch jobs (node count x walltime reservations). *)
+
+type t = {
+  id : int;
+  name : string;
+  arrival : float;
+  nodes_required : int;
+  walltime : float;
+  actual : float;
+}
+
+val make :
+  id:int -> name:string -> ?arrival:float -> nodes_required:int ->
+  walltime:float -> actual:float -> unit -> t
+
+val compare_fcfs : t -> t -> int
+
+val killed : t -> bool
+(** The job needs more than its walltime: the RMS kills it at the end of
+    the slot and the computation is lost. *)
+
+val pp : Format.formatter -> t -> unit
+
+type placement = { job : t; start : float }
+
+val slot_end : placement -> float
+val completion : placement -> float option
+(** Completion time, [None] when the job was killed. *)

@@ -1,0 +1,69 @@
+(* Free-node profile: a step function of available nodes over time,
+   supporting "earliest interval where n nodes are free for d seconds"
+   queries — the core primitive of reservation-based scheduling. *)
+
+type t = {
+  capacity : int;
+  mutable breakpoints : (float * int) list;
+  (* sorted by time; (t, free) means free nodes from t (inclusive)
+     until the next breakpoint; implicit (0, capacity) start *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Profile.create: capacity <= 0";
+  { capacity; breakpoints = [ (0., capacity) ] }
+
+let capacity t = t.capacity
+
+let free_at t time =
+  let rec go free = function
+    | [] -> free
+    | (bt, bf) :: rest -> if bt <= time then go bf rest else free
+  in
+  go t.capacity t.breakpoints
+
+(* Subtract [nodes] over [start, finish). *)
+let allocate t ~start ~finish ~nodes =
+  if finish <= start then invalid_arg "Profile.allocate: empty interval";
+  let free_before_finish = free_at t finish in
+  (* insert explicit breakpoints at start and finish *)
+  let with_bp time free bps =
+    if List.exists (fun (bt, _) -> bt = time) bps then bps
+    else
+      List.sort
+        (fun (a, _) (b, _) -> Float.compare a b)
+        ((time, free) :: bps)
+  in
+  let bps = with_bp start (free_at t start) t.breakpoints in
+  let bps = with_bp finish free_before_finish bps in
+  t.breakpoints <-
+    List.map
+      (fun (bt, bf) ->
+        if bt >= start && bt < finish then (bt, bf - nodes) else (bt, bf))
+      bps;
+  if List.exists (fun (_, bf) -> bf < 0) t.breakpoints then
+    invalid_arg "Profile.allocate: over-allocation"
+
+(* Minimum free nodes over [start, finish). *)
+let min_free t ~start ~finish =
+  let m = ref (free_at t start) in
+  List.iter
+    (fun (bt, bf) -> if bt > start && bt < finish then m := min !m bf)
+    t.breakpoints;
+  !m
+
+(* Earliest time >= after where [nodes] are free for [duration]. *)
+let earliest t ~after ~nodes ~duration =
+  if nodes > t.capacity then
+    invalid_arg "Profile.earliest: request exceeds capacity";
+  let candidates =
+    after :: List.filter_map
+               (fun (bt, _) -> if bt > after then Some bt else None)
+               t.breakpoints
+  in
+  let fits start = min_free t ~start ~finish:(start +. duration) >= nodes in
+  let rec go = function
+    | [] -> assert false (* the profile is eventually all-free *)
+    | c :: rest -> if fits c then c else go rest
+  in
+  go (List.sort Float.compare candidates)

@@ -1,0 +1,12 @@
+(** Free-node step profile with earliest-fit queries. *)
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+val free_at : t -> float -> int
+val allocate : t -> start:float -> finish:float -> nodes:int -> unit
+(** Raises [Invalid_argument] on over-allocation. *)
+
+val min_free : t -> start:float -> finish:float -> int
+val earliest : t -> after:float -> nodes:int -> duration:float -> float

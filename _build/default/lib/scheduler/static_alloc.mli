@@ -1,0 +1,37 @@
+(** The static-allocation FCFS baseline (Figures 12 and 13): vjobs
+    submitted as rigid node x walltime reservations. *)
+
+module Trace = Vworkload.Trace
+
+val nodes_required : node_cpu:int -> node_mem:int -> Trace.t -> int
+(** Nodes a user must book: FFD bin count with a full processing unit
+    per VM. *)
+
+val default_overestimate : float
+(** Users overestimate their walltime (x1.5 by default). *)
+
+val job_of_trace :
+  ?overestimate:float -> node_cpu:int -> node_mem:int -> id:int ->
+  Trace.t -> Job.t
+
+type run = {
+  schedule : Rms.schedule;
+  traces : (Job.t * Trace.t) list;
+}
+
+val run :
+  ?overestimate:float -> ?release:Rms.release ->
+  ?policy:[ `Fcfs | `Backfill ] -> capacity:int -> node_cpu:int ->
+  node_mem:int -> Trace.t list -> run
+
+val makespan : run -> float
+
+val demand_at : Vworkload.Program.t -> float -> int
+(** CPU demand of a program [offset] seconds after launch on dedicated
+    resources. *)
+
+val sample : run -> float -> int * int
+(** [(memory_mb, cpu_demand)] of the running jobs at a given time. *)
+
+val series : ?period:float -> run -> (float * (int * int)) list
+(** Sampled utilization over the whole schedule (Figure 13 baseline). *)

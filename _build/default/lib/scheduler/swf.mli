@@ -1,0 +1,13 @@
+(** Standard Workload Format (Parallel Workloads Archive) reader and
+    writer — a subset sufficient to replay real batch traces through the
+    RMS baselines. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_line : lineno:int -> string -> Job.t option
+(** [None] for skipped entries (failed submissions, zero processors). *)
+
+val of_string : string -> Job.t list
+val load : string -> Job.t list
+val to_string : Job.t list -> string
+val save : string -> Job.t list -> unit

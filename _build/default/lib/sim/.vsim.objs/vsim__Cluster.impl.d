@@ -1,0 +1,1 @@
+lib/sim/cluster.ml: Array Configuration Demand Engine Entropy_core Float Hashtbl List Node Perf_model Storage Vjob Vm Vworkload

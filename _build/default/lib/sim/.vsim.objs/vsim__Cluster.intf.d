@@ -1,0 +1,1 @@
+lib/sim/cluster.mli: Configuration Demand Engine Entropy_core Node Perf_model Storage Vjob Vm Vworkload

@@ -1,0 +1,1 @@
+lib/sim/executor.ml: Action Array Cluster Configuration Continuous Engine Entropy_core Fmt List Perf_model Plan Storage

@@ -1,0 +1,1 @@
+lib/sim/executor.mli: Action Cluster Entropy_core Format Node Plan Vjob

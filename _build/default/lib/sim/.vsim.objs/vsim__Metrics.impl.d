@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Array Cluster Configuration Engine Entropy_core Float List Node

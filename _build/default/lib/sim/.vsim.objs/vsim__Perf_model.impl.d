@@ -1,0 +1,1 @@
+lib/sim/perf_model.ml: Action Configuration Entropy_core List Vm

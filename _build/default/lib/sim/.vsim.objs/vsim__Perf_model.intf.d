@@ -1,0 +1,1 @@
+lib/sim/perf_model.mli: Action Configuration Entropy_core Node

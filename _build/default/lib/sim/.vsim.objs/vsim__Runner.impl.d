@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Cluster Configuration Decision Engine Entropy_core Executor Float List Metrics Optimizer Option Perf_model Plan Printf Vjob Vm Vmonitor Vworkload

@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Action Configuration Decision Entropy_core Executor Metrics Node Perf_model Storage Vjob Vm Vworkload

@@ -1,0 +1,1 @@
+lib/sim/storage.ml: Action Array Entropy_core

@@ -1,0 +1,1 @@
+lib/sim/storage.mli: Action Entropy_core Vm

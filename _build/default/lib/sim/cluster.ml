@@ -1,0 +1,306 @@
+(* The simulated cluster: node and VM entities, workload progress and
+   contention.
+
+   Execution model:
+   - a vjob is *launched* when all of its VMs are Running for the first
+     time (the paper starts the embedded application then);
+   - a launched, running VM executes its phase program: Compute phases
+     progress with the CPU share the node can give (full speed needs an
+     entire processing unit), Idle phases progress with wall time;
+   - a suspended VM is frozen (no progress at all);
+   - context-switch operations touching a node decelerate its busy VMs
+     (factor 1.3 local / 1.5 remote, section 2.3);
+   - when every VM of a vjob exhausts its program the vjob is complete
+     and its owner signals Entropy (the stop happens at the next loop
+     iteration).
+
+   Rates change only at discrete events (action start/end, phase end,
+   launch); the cluster re-synchronises progress and re-schedules phase
+   completions at each such event. Stale completion events are detected
+   with per-VM epochs. *)
+
+open Entropy_core
+module Program = Vworkload.Program
+
+type vm_rt = {
+  vm : Vm.t;
+  mutable phases : Program.t;   (* remaining program, head = current *)
+  mutable launched : bool;
+  mutable finished : bool;
+  mutable last_sync : float;
+  mutable rate : float;         (* current phase progress per wall second *)
+  mutable epoch : int;
+}
+
+type t = {
+  engine : Engine.t;
+  params : Perf_model.params;
+  mutable config : Configuration.t;
+  rts : vm_rt array;
+  vjobs : Vjob.t array;
+  local_ops : int array;        (* per-node running local operations *)
+  remote_ops : int array;
+  storage : Storage.t option;   (* NFS bandwidth sharing, when modelled *)
+  completions : (Vjob.id, float) Hashtbl.t;
+  mutable on_change : unit -> unit;
+}
+
+let storage t = t.storage
+
+let engine t = t.engine
+let params t = t.params
+let config t = t.config
+let now t = Engine.now t.engine
+let vjobs t = Array.to_list t.vjobs
+
+let on_change t f = t.on_change <- f
+
+(* -- demand --------------------------------------------------------------- *)
+
+(* What the VM asks for (hundredths of a core). Defined for every
+   non-terminated VM — the decision module also needs the demand a
+   sleeping or waiting VM would have if running. *)
+let vm_demand_rt rt =
+  if rt.finished then Program.idle_demand
+  else if not rt.launched then Program.idle_demand
+  else Program.demand rt.phases
+
+let vm_demand t vm_id = vm_demand_rt t.rts.(vm_id)
+
+let demand t =
+  Demand.of_fn ~vm_count:(Array.length t.rts) (fun vm_id ->
+      match Configuration.state t.config vm_id with
+      | Configuration.Terminated -> 0
+      | Configuration.Running _ | Configuration.Sleeping _
+      | Configuration.Sleeping_ram _ | Configuration.Waiting ->
+        vm_demand t vm_id)
+
+(* Monitoring reading: same vector, as a raw array. *)
+let cpu_readings t =
+  Array.init (Array.length t.rts) (fun vm_id ->
+      match Configuration.state t.config vm_id with
+      | Configuration.Terminated -> 0
+      | _ -> vm_demand t vm_id)
+
+(* A node is busy when it hosts a launched running VM computing at full
+   speed (other than [except]). *)
+let busy ?except t node_id =
+  List.exists
+    (fun vm_id ->
+      (match except with Some e -> vm_id <> e | None -> true)
+      &&
+      let rt = t.rts.(vm_id) in
+      rt.launched && (not rt.finished)
+      && match rt.phases with Program.Compute _ :: _ -> true | _ -> false)
+    (Configuration.running_on t.config node_id)
+
+(* -- contention ------------------------------------------------------------ *)
+
+let node_decel t node_id =
+  if t.remote_ops.(node_id) > 0 then t.params.Perf_model.decel_remote
+  else if t.local_ops.(node_id) > 0 then t.params.Perf_model.decel_local
+  else 1.
+
+let register_op t ~nodes ~local =
+  List.iter
+    (fun n ->
+      if local then t.local_ops.(n) <- t.local_ops.(n) + 1
+      else t.remote_ops.(n) <- t.remote_ops.(n) + 1)
+    nodes
+
+let unregister_op t ~nodes ~local =
+  List.iter
+    (fun n ->
+      if local then t.local_ops.(n) <- t.local_ops.(n) - 1
+      else t.remote_ops.(n) <- t.remote_ops.(n) - 1)
+    nodes
+
+(* -- progress -------------------------------------------------------------- *)
+
+let sync_vm t rt =
+  let dt = now t -. rt.last_sync in
+  if dt > 0. && rt.rate > 0. then begin
+    (match rt.phases with
+    | Program.Compute w :: rest ->
+      rt.phases <- Program.Compute (w -. (rt.rate *. dt)) :: rest
+    | Program.Idle d :: rest ->
+      rt.phases <- Program.Idle (d -. (rt.rate *. dt)) :: rest
+    | [] -> ())
+  end;
+  rt.last_sync <- now t
+
+let vjob_of_vm t vm_id =
+  let found = ref None in
+  Array.iter
+    (fun vj -> if List.mem vm_id (Vjob.vms vj) then found := Some vj)
+    t.vjobs;
+  !found
+
+let check_vjob_completion t rt =
+  match vjob_of_vm t rt.vm.Vm.id with
+  | None -> ()
+  | Some vj ->
+    let all_done =
+      List.for_all (fun vm_id -> t.rts.(vm_id).finished) (Vjob.vms vj)
+    in
+    if all_done && not (Hashtbl.mem t.completions (Vjob.id vj)) then
+      Hashtbl.replace t.completions (Vjob.id vj) (now t)
+
+let completions t =
+  Hashtbl.fold (fun id time acc -> (id, time) :: acc) t.completions []
+  |> List.sort compare
+
+let completed t vjob = Hashtbl.mem t.completions (Vjob.id vjob)
+
+let rec advance_phase t vm_id epoch () =
+  let rt = t.rts.(vm_id) in
+  if rt.epoch = epoch && not rt.finished then begin
+    sync_vm t rt;
+    (match rt.phases with
+    | [] -> ()
+    | _ :: rest -> rt.phases <- Program.normalize rest);
+    if Program.is_empty rt.phases then begin
+      rt.finished <- true;
+      check_vjob_completion t rt
+    end;
+    (* demand changed: every node sharing resources with this VM is
+       affected, recompute globally (cheap at our scales) *)
+    recompute t
+  end
+
+(* Recompute every running VM's rate and reschedule its phase end. *)
+and recompute t =
+  let nvm = Array.length t.rts in
+  (* first synchronise all progress at the current instant *)
+  for vm_id = 0 to nvm - 1 do
+    sync_vm t t.rts.(vm_id)
+  done;
+  (* per-node demand totals *)
+  let nnodes = Configuration.node_count t.config in
+  let totals = Array.make nnodes 0 in
+  for vm_id = 0 to nvm - 1 do
+    match Configuration.state t.config vm_id with
+    | Configuration.Running node -> totals.(node) <- totals.(node) + vm_demand t vm_id
+    | _ -> ()
+  done;
+  for vm_id = 0 to nvm - 1 do
+    let rt = t.rts.(vm_id) in
+    rt.epoch <- rt.epoch + 1;
+    let set_rate rate =
+      rt.rate <- rate;
+      if rate > 0. then begin
+        let remaining =
+          match rt.phases with
+          | Program.Compute w :: _ -> w
+          | Program.Idle d :: _ -> d
+          | [] -> 0.
+        in
+        if remaining > 0. then
+          ignore
+            (Engine.schedule_after t.engine ~delay:(remaining /. rate)
+               (advance_phase t vm_id rt.epoch))
+        else ignore (Engine.schedule_after t.engine ~delay:0. (advance_phase t vm_id rt.epoch))
+      end
+    in
+    if rt.finished || not rt.launched then rt.rate <- 0.
+    else
+      match Configuration.state t.config vm_id with
+      | Configuration.Running node -> (
+        match rt.phases with
+        | Program.Idle _ :: _ -> set_rate 1.
+        | Program.Compute _ :: _ ->
+          let cap = float_of_int (Node.cpu_capacity (Configuration.node t.config node)) in
+          let total = float_of_int (max totals.(node) 1) in
+          let scale = Float.min 1. (cap /. total) in
+          let alloc =
+            float_of_int (vm_demand t vm_id) *. scale /. 100.
+          in
+          let rate = alloc /. node_decel t node in
+          set_rate rate
+        | [] -> rt.rate <- 0.)
+      | Configuration.Waiting | Configuration.Sleeping _
+      | Configuration.Sleeping_ram _ | Configuration.Terminated ->
+        rt.rate <- 0.
+  done;
+  t.on_change ()
+
+(* Launch the vjobs whose VMs are all running for the first time. *)
+let check_launches t =
+  Array.iter
+    (fun vj ->
+      let vms = Vjob.vms vj in
+      let all_running =
+        List.for_all
+          (fun vm_id ->
+            match Configuration.state t.config vm_id with
+            | Configuration.Running _ -> true
+            | _ -> false)
+          vms
+      in
+      let any_unlaunched =
+        List.exists (fun vm_id -> not t.rts.(vm_id).launched) vms
+      in
+      if all_running && any_unlaunched then
+        List.iter
+          (fun vm_id ->
+            let rt = t.rts.(vm_id) in
+            if not rt.launched then begin
+              rt.launched <- true;
+              rt.last_sync <- now t;
+              if Program.is_empty rt.phases then begin
+                rt.finished <- true;
+                check_vjob_completion t rt
+              end
+            end)
+          vms)
+    t.vjobs
+
+let set_config t config =
+  t.config <- config;
+  check_launches t;
+  recompute t
+
+(* -- construction ----------------------------------------------------------- *)
+
+let create ?(params = Perf_model.defaults) ?storage ~engine ~config ~vjobs
+    ~programs () =
+  let rts =
+    Array.map
+      (fun vm ->
+        {
+          vm;
+          phases = Program.normalize (programs (Vm.id vm));
+          launched = false;
+          finished = false;
+          last_sync = Engine.now engine;
+          rate = 0.;
+          epoch = 0;
+        })
+      (Configuration.vms config)
+  in
+  let n = Configuration.node_count config in
+  let t =
+    {
+      engine;
+      params;
+      config;
+      rts;
+      vjobs = Array.of_list vjobs;
+      local_ops = Array.make n 0;
+      remote_ops = Array.make n 0;
+      storage;
+      completions = Hashtbl.create 16;
+      on_change = (fun () -> ());
+    }
+  in
+  check_launches t;
+  recompute t;
+  t
+
+let all_complete t =
+  Array.for_all (fun vj -> Hashtbl.mem t.completions (Vjob.id vj)) t.vjobs
+
+let remaining_work t =
+  Array.fold_left
+    (fun acc rt -> acc +. Program.total_compute rt.phases)
+    0. t.rts

@@ -1,0 +1,47 @@
+(** The simulated cluster: VM workload progress, CPU sharing, contention
+    from in-flight context-switch operations, vjob launch/completion. *)
+
+open Entropy_core
+
+type t
+
+val create :
+  ?params:Perf_model.params -> ?storage:Storage.t -> engine:Engine.t ->
+  config:Configuration.t -> vjobs:Vjob.t list ->
+  programs:(Vm.id -> Vworkload.Program.t) -> unit -> t
+
+val storage : t -> Storage.t option
+
+val engine : t -> Engine.t
+val params : t -> Perf_model.params
+val config : t -> Configuration.t
+val now : t -> float
+val vjobs : t -> Vjob.t list
+
+val set_config : t -> Configuration.t -> unit
+(** Install a new configuration (after an action completes): checks for
+    newly launched vjobs and recomputes all progress rates. *)
+
+val on_change : t -> (unit -> unit) -> unit
+(** Hook called after every rate recomputation (metrics sampling). *)
+
+val demand : t -> Demand.t
+(** Current per-VM CPU demand (full processing unit while computing). *)
+
+val vm_demand : t -> Vm.id -> int
+val cpu_readings : t -> int array
+(** What the monitoring daemons report. *)
+
+val busy : ?except:Vm.id -> t -> Node.id -> bool
+(** Node hosts a running VM computing at full speed. *)
+
+val node_decel : t -> Node.id -> float
+val register_op : t -> nodes:Node.id list -> local:bool -> unit
+val unregister_op : t -> nodes:Node.id list -> local:bool -> unit
+
+val recompute : t -> unit
+
+val completions : t -> (Vjob.id * float) list
+val completed : t -> Vjob.t -> bool
+val all_complete : t -> bool
+val remaining_work : t -> float

@@ -1,0 +1,56 @@
+(* Discrete-event simulation core: a clock and an event heap. Event
+   callbacks may schedule further events. Cancellation uses generation
+   tokens: a cancelled event stays queued but its callback is skipped. *)
+
+type event = { mutable cancelled : bool; run : unit -> unit }
+
+type t = {
+  mutable now : float;
+  queue : event Heap.t;
+  mutable executed : int;
+}
+
+let create () = { now = 0.; queue = Heap.create (); executed = 0 }
+
+let now t = t.now
+let pending t = Heap.length t.queue
+let executed t = t.executed
+
+type handle = event
+
+let schedule t ~at run =
+  if at < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%.3f is in the past (now=%.3f)" at
+         t.now);
+  let ev = { cancelled = false; run } in
+  Heap.push t.queue at ev;
+  ev
+
+let schedule_after t ~delay run = schedule t ~at:(t.now +. delay) run
+
+let cancel (ev : handle) = ev.cancelled <- true
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, ev) ->
+    t.now <- max t.now time;
+    if not ev.cancelled then begin
+      t.executed <- t.executed + 1;
+      ev.run ()
+    end;
+    true
+
+let run ?(until = infinity) ?(max_events = max_int) t =
+  let rec go n =
+    if n >= max_events then ()
+    else
+      match Heap.peek t.queue with
+      | None -> ()
+      | Some entry when entry.Heap.prio > until -> ()
+      | Some _ ->
+        ignore (step t);
+        go (n + 1)
+  in
+  go 0

@@ -1,0 +1,24 @@
+(** Discrete-event simulation core. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+val pending : t -> int
+(** Queued events (including cancelled ones not yet drained). *)
+
+val executed : t -> int
+
+type handle
+
+val schedule : t -> at:float -> (unit -> unit) -> handle
+(** Raises [Invalid_argument] when [at] is in the past. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+val cancel : handle -> unit
+
+val step : t -> bool
+(** Execute the next event; [false] when the queue is empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Drain events with time [<= until]. *)

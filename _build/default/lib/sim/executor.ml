@@ -1,0 +1,264 @@
+(* Execute a reconfiguration plan on the simulated cluster.
+
+   Two execution models are provided:
+   - [execute]: the paper's pool model — pools run sequentially; inside
+     a pool every action starts in parallel, except the suspends and
+     resumes, which are pipelined one second apart (in the order the
+     consistency pass sorted them);
+   - [execute_continuous]: the event-driven model (Entropy 2 /
+     BtrPlace) — each action (or vjob suspend/resume group) starts as
+     soon as its claim fits the live free resources, honouring per-VM
+     action precedence.
+
+   In both, an in-flight operation registers contention on the nodes it
+   touches, durations account for co-resident busy VMs and NFS bandwidth
+   sharing (Perf_model, Storage), and the configuration changes when the
+   action completes. An injected failure leaves the VM state unchanged. *)
+
+open Entropy_core
+
+type record = {
+  started_at : float;
+  finished_at : float;
+  cost : int;           (* Table 1 plan cost, computed at start *)
+  migrations : int;
+  suspends : int;
+  resumes : int;
+  local_resumes : int;
+  runs : int;
+  stops : int;
+  pools : int;
+  failed : int;         (* injected action failures (state unchanged) *)
+}
+
+let duration t = t.finished_at -. t.started_at
+
+let pp_record ppf r =
+  Fmt.pf ppf
+    "switch cost=%d duration=%.0fs (%d pools, %dM %dS %dR %drun %dstop)"
+    r.cost (duration r) r.pools r.migrations r.suspends r.resumes r.runs
+    r.stops
+
+let touched_nodes = function
+  | Action.Run { dst; _ } -> [ dst ]
+  | Action.Stop { host; _ } -> [ host ]
+  | Action.Suspend { host; _ } -> [ host ]
+  | Action.Migrate { src; dst; _ } -> [ src; dst ]
+  | Action.Resume { src; dst; _ } -> if src = dst then [ dst ] else [ src; dst ]
+  (* RAM pause/unpause: too short to create measurable contention *)
+  | Action.Suspend_ram _ | Action.Resume_ram _ -> []
+
+let is_pipelined = function
+  | Action.Suspend _ | Action.Resume _ | Action.Suspend_ram _
+  | Action.Resume_ram _ -> true
+  | Action.Run _ | Action.Stop _ | Action.Migrate _ -> false
+
+let mk_record cluster plan ~started_at ~cost ~pools ~failed =
+  {
+    started_at;
+    finished_at = Engine.now (Cluster.engine cluster);
+    cost;
+    migrations = Plan.migration_count plan;
+    suspends = Plan.suspend_count plan;
+    resumes = Plan.resume_count plan;
+    local_resumes = Plan.local_resume_count plan;
+    runs = Plan.run_count plan;
+    stops = Plan.stop_count plan;
+    pools;
+    failed;
+  }
+
+(* Run one action: contention registration, duration, completion. Calls
+   [on_complete applied] when done ([applied] is false on an injected
+   failure). *)
+let run_action cluster ~should_fail action ~on_complete =
+  let engine = Cluster.engine cluster in
+  let params = Cluster.params cluster in
+  let config = Cluster.config cluster in
+  let vm = Action.vm action in
+  let busy node = Cluster.busy ~except:vm cluster node in
+  let dur = Perf_model.action_duration ~params ~busy action config in
+  (* NFS bandwidth sharing: concurrent image transfers on the same
+     storage server stretch each other *)
+  let storage_transfer =
+    match Cluster.storage cluster with
+    | Some st when Storage.uses_storage action -> Some st
+    | Some _ | None -> None
+  in
+  let dur =
+    match storage_transfer with
+    | Some st ->
+      let factor = Storage.slowdown st vm in
+      Storage.begin_transfer st vm;
+      dur *. factor
+    | None -> dur
+  in
+  let nodes = touched_nodes action in
+  let local = Action.is_local action in
+  Cluster.register_op cluster ~nodes ~local;
+  Cluster.recompute cluster;
+  ignore
+    (Engine.schedule_after engine ~delay:dur (fun () ->
+         (match storage_transfer with
+         | Some st -> Storage.end_transfer st vm
+         | None -> ());
+         Cluster.unregister_op cluster ~nodes ~local;
+         if should_fail action then begin
+           (* the hypervisor operation failed: the VM keeps its previous
+              state; the next control-loop iteration observes the
+              unchanged configuration and replans *)
+           Cluster.recompute cluster;
+           on_complete false
+         end
+         else begin
+           let config = Cluster.config cluster in
+           Cluster.set_config cluster (Action.apply config action);
+           on_complete true
+         end))
+
+(* -- pool-based execution --------------------------------------------------- *)
+
+let execute ?(should_fail = fun _ -> false) cluster plan ~on_done =
+  let engine = Cluster.engine cluster in
+  let params = Cluster.params cluster in
+  let started_at = Engine.now engine in
+  let cost = Plan.cost (Cluster.config cluster) plan in
+  let pools = Array.of_list (Plan.pools plan) in
+  let gap = params.Perf_model.pipeline_gap_s in
+  let failures = ref 0 in
+  let rec run_pool i =
+    if i >= Array.length pools then
+      on_done
+        (mk_record cluster plan ~started_at ~cost ~pools:(Array.length pools)
+           ~failed:!failures)
+    else begin
+      let actions = pools.(i) in
+      let remaining = ref (List.length actions) in
+      let finish_one applied =
+        if not applied then incr failures;
+        decr remaining;
+        if !remaining = 0 then run_pool (i + 1)
+      in
+      (* pipeline offsets: the k-th suspend/resume starts k seconds in *)
+      let k = ref 0 in
+      List.iter
+        (fun action ->
+          let offset =
+            if is_pipelined action then begin
+              let o = float_of_int !k *. gap in
+              incr k;
+              o
+            end
+            else 0.
+          in
+          ignore
+            (Engine.schedule_after engine ~delay:offset (fun () ->
+                 run_action cluster ~should_fail action
+                   ~on_complete:finish_one)))
+        actions;
+      if actions = [] then run_pool (i + 1)
+    end
+  in
+  run_pool 0
+
+(* -- continuous (event-driven) execution ------------------------------------- *)
+
+let execute_continuous ?(should_fail = fun _ -> false) ?vjobs cluster plan
+    ~on_done =
+  let engine = Cluster.engine cluster in
+  let params = Cluster.params cluster in
+  let started_at = Engine.now engine in
+  let cost = Plan.cost (Cluster.config cluster) plan in
+  let gap = params.Perf_model.pipeline_gap_s in
+  let pending = ref (Continuous.group_actions ?vjobs plan) in
+  let prereq = Continuous.vm_prerequisites plan in
+  let completed = Array.make (Array.length prereq) false in
+  let failures = ref 0 in
+  let in_flight = ref 0 in
+  let n = Configuration.node_count (Cluster.config cluster) in
+  (* claims reserved by in-flight actions, on top of the live loads *)
+  let claimed_cpu = Array.make n 0 and claimed_mem = Array.make n 0 in
+  let group_feasible g =
+    let config = Cluster.config cluster in
+    let demand = Cluster.demand cluster in
+    List.for_all
+      (fun (i, _) ->
+        match prereq.(i) with None -> true | Some j -> completed.(j))
+      g
+    &&
+    let need_cpu = Array.make n 0 and need_mem = Array.make n 0 in
+    List.iter
+      (fun (_, a) ->
+        match Action.claim config demand a with
+        | Some (node, cpu, mem) ->
+          need_cpu.(node) <- need_cpu.(node) + cpu;
+          need_mem.(node) <- need_mem.(node) + mem
+        | None -> ())
+      g;
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if
+        (need_cpu.(i) > 0 || need_mem.(i) > 0)
+        && (need_cpu.(i) > Configuration.free_cpu config demand i - claimed_cpu.(i)
+           || need_mem.(i) > Configuration.free_mem config i - claimed_mem.(i))
+      then ok := false
+    done;
+    !ok
+  in
+  let finished () =
+    on_done (mk_record cluster plan ~started_at ~cost ~pools:1 ~failed:!failures)
+  in
+  let rec start_group g =
+    let config = Cluster.config cluster in
+    let demand = Cluster.demand cluster in
+    List.iteri
+      (fun k (i, a) ->
+        let claim = Action.claim config demand a in
+        (match claim with
+        | Some (node, cpu, mem) ->
+          claimed_cpu.(node) <- claimed_cpu.(node) + cpu;
+          claimed_mem.(node) <- claimed_mem.(node) + mem
+        | None -> ());
+        incr in_flight;
+        let offset = if List.length g > 1 then float_of_int k *. gap else 0. in
+        ignore
+          (Engine.schedule_after engine ~delay:offset (fun () ->
+               run_action cluster ~should_fail a ~on_complete:(fun applied ->
+                   if not applied then incr failures;
+                   completed.(i) <- true;
+                   (match claim with
+                   | Some (node, cpu, mem) ->
+                     claimed_cpu.(node) <- claimed_cpu.(node) - cpu;
+                     claimed_mem.(node) <- claimed_mem.(node) - mem
+                   | None -> ());
+                   decr in_flight;
+                   try_start ();
+                   if !in_flight = 0 && !pending = [] then finished ()))))
+      g
+  and try_start () =
+    let rec scan () =
+      let started = ref false in
+      pending :=
+        List.filter
+          (fun g ->
+            if group_feasible g then begin
+              start_group g;
+              started := true;
+              false
+            end
+            else true)
+          !pending;
+      if !started then scan ()
+    in
+    scan ();
+    (* live demands can drift from the planning-time ones: when nothing
+       can start and nothing is in flight, force the oldest group (the
+       plan's own order is a valid execution under planning demands) *)
+    if !in_flight = 0 then
+      match !pending with
+      | g :: rest ->
+        pending := rest;
+        start_group g
+      | [] -> ()
+  in
+  if !pending = [] then finished () else try_start ()

@@ -1,0 +1,42 @@
+(** Plan execution on the simulated cluster, with parallel pools,
+    pipelined suspends/resumes and contention effects. *)
+
+open Entropy_core
+
+type record = {
+  started_at : float;
+  finished_at : float;
+  cost : int;
+  migrations : int;
+  suspends : int;
+  resumes : int;
+  local_resumes : int;
+  runs : int;
+  stops : int;
+  pools : int;
+  failed : int;  (** injected action failures (VM state unchanged) *)
+}
+
+val duration : record -> float
+val pp_record : Format.formatter -> record -> unit
+
+val touched_nodes : Action.t -> Node.id list
+val is_pipelined : Action.t -> bool
+
+val execute :
+  ?should_fail:(Action.t -> bool) -> Cluster.t -> Plan.t ->
+  on_done:(record -> unit) -> unit
+(** Pool-based execution (the paper's model): schedules the whole switch
+    on the cluster's engine and calls [on_done] when the last pool
+    completes. [should_fail] injects hypervisor failures: the action
+    takes its normal time, then leaves the VM in its previous state (the
+    loop replans at its next iteration). *)
+
+val execute_continuous :
+  ?should_fail:(Action.t -> bool) -> ?vjobs:Vjob.t list -> Cluster.t ->
+  Plan.t -> on_done:(record -> unit) -> unit
+(** Event-driven execution (Entropy 2 / BtrPlace model): each action —
+    or vjob suspend/resume group when [vjobs] is given — starts as soon
+    as its claim fits the live free resources, honouring per-VM action
+    precedence. Typically shortens the switch vs {!execute}; the
+    record's [pools] field is 1. *)

@@ -1,0 +1,14 @@
+(** Binary min-heap with FIFO tie-breaking on equal priorities. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+(** Smallest priority (earliest inserted among ties). *)
+
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+val peek : 'a t -> 'a entry option

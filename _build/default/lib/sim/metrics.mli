@@ -1,0 +1,29 @@
+(** Resource-utilization time series (Figure 13 data). *)
+
+type point = {
+  time : float;
+  mem_used_mb : int;
+  cpu_demand_pct : float;  (** may exceed 100 under overload *)
+  cpu_used_pct : float;
+  running_vms : int;
+  active_nodes : int;  (** nodes hosting at least one running VM *)
+}
+
+type t
+
+val snapshot : Cluster.t -> point
+
+val start : ?period:float -> Cluster.t -> t
+(** Begin periodic sampling on the cluster's engine (default 30 s). *)
+
+val stop : t -> unit
+val points : t -> point list
+(** In chronological order. *)
+
+val peak_cpu_demand : t -> float
+val mean_cpu_used : t -> float
+val mean_mem_used : t -> float
+
+val node_seconds : t -> float
+(** Integral of active nodes over time — the energy proxy power-aware
+    placement minimises. *)

@@ -1,0 +1,169 @@
+(* End-to-end simulated runs of the Entropy control loop (the paper's
+   section 5.2 experiment): a cluster, a set of vjobs submitted at time
+   zero running NGB-like workloads, the monitoring collector, the
+   decision module and the plan executor, wired on the discrete-event
+   engine. *)
+
+open Entropy_core
+module Trace = Vworkload.Trace
+
+type result = {
+  makespan : float;  (* completion time of the last vjob *)
+  completions : (Vjob.t * float) list;
+  switches : Executor.record list;
+  series : Metrics.point list;
+  iterations : int;
+}
+
+(* Build the initial configuration (+ vjobs + programs) from traces.
+   [arrival_spacing] staggers the submissions: vjob j arrives at
+   j * spacing seconds (0 = the paper's simultaneous submission). *)
+let setup ?(arrival_spacing = 0.) ~nodes ~traces () =
+  let vm_specs =
+    List.concat_map
+      (fun t ->
+        List.map2 (fun m p -> (t, m, p)) t.Trace.memories t.Trace.programs)
+      traces
+  in
+  let vms =
+    Array.of_list
+      (List.mapi
+         (fun i (t, m, _) ->
+           Vm.make ~id:i
+             ~name:(Printf.sprintf "%s-vm%02d" t.Trace.name i)
+             ~memory_mb:m)
+         vm_specs)
+  in
+  let programs = Array.of_list (List.map (fun (_, _, p) -> p) vm_specs) in
+  let config = Configuration.make ~nodes ~vms in
+  let vjobs =
+    let next = ref 0 in
+    List.mapi
+      (fun j t ->
+        let ids = List.init t.Trace.vm_count (fun k -> !next + k) in
+        next := !next + t.Trace.vm_count;
+        Vjob.make ~id:j ~name:t.Trace.name ~vms:ids
+          ~submit_time:(float_of_int j *. Float.max 0.001 arrival_spacing)
+          ())
+      traces
+  in
+  (config, vjobs, fun vm_id -> programs.(vm_id))
+
+let vjob_terminated config vjob =
+  List.for_all
+    (fun vm_id -> Configuration.state config vm_id = Configuration.Terminated)
+    (Vjob.vms vjob)
+
+(* Run the control loop over an arbitrary initial configuration (VMs may
+   already be running/sleeping). *)
+let run_custom ?(params = Perf_model.defaults) ?(period = 30.)
+    ?(sample_period = 30.) ?(poll_period = 5.) ?(cp_timeout = 1.0)
+    ?(max_time = 1_000_000.) ?decision ?should_fail ?storage
+    ?(execution = `Pools) ~config ~vjobs ~programs () =
+  let engine = Engine.create () in
+  let cluster =
+    Cluster.create ~params ?storage ~engine ~config ~vjobs ~programs ()
+  in
+  let collector =
+    Vmonitor.Collector.create (fun () ->
+        (Engine.now engine, Cluster.cpu_readings cluster))
+  in
+  let decision =
+    match decision with
+    | Some d -> d
+    | None -> Decision.consolidation ~cp_timeout ()
+  in
+  let metrics = Metrics.start ~period:sample_period cluster in
+  let switches = ref [] in
+  let iterations = ref 0 in
+  let done_flag = ref false in
+  (* periodic monitoring polls, Ganglia style *)
+  let rec poll_loop () =
+    if not !done_flag then begin
+      Vmonitor.Collector.poll collector;
+      ignore (Engine.schedule_after engine ~delay:poll_period poll_loop)
+    end
+  in
+  poll_loop ();
+  let rec iterate () =
+    let config = Cluster.config cluster in
+    let now = Engine.now engine in
+    (* the RMS only sees the vjobs that have been submitted *)
+    let queue =
+      List.filter
+        (fun vj ->
+          Vjob.submit_time vj <= now && not (vjob_terminated config vj))
+        vjobs
+    in
+    let all_done =
+      List.for_all (fun vj -> vjob_terminated config vj) vjobs
+    in
+    if all_done then begin
+      done_flag := true;
+      Metrics.stop metrics
+    end
+    else if queue = [] then
+      (* nothing submitted yet: wait for the next arrivals *)
+      ignore (Engine.schedule_after engine ~delay:period iterate)
+    else begin
+      incr iterations;
+      Vmonitor.Collector.poll collector;
+      let demand = Vmonitor.Collector.demand collector in
+      let finished =
+        List.filter_map
+          (fun vj ->
+            if Cluster.completed cluster vj then Some (Vjob.id vj) else None)
+          queue
+      in
+      let obs = { Decision.config; demand; queue; finished } in
+      let result = decision.Decision.decide obs in
+      if Plan.is_empty result.Optimizer.plan then
+        ignore (Engine.schedule_after engine ~delay:period iterate)
+      else begin
+        let on_done r =
+          switches := r :: !switches;
+          ignore (Engine.schedule_after engine ~delay:period iterate)
+        in
+        match execution with
+        | `Pools ->
+          Executor.execute ?should_fail cluster result.Optimizer.plan ~on_done
+        | `Continuous ->
+          Executor.execute_continuous ?should_fail ~vjobs:queue cluster
+            result.Optimizer.plan ~on_done
+      end
+    end
+  in
+  ignore (Engine.schedule_after engine ~delay:0.5 iterate);
+  Engine.run ~until:max_time engine;
+  let completions =
+    List.filter_map
+      (fun (id, time) ->
+        List.find_opt (fun vj -> Vjob.id vj = id) vjobs
+        |> Option.map (fun vj -> (vj, time)))
+      (Cluster.completions cluster)
+  in
+  let makespan =
+    List.fold_left (fun acc (_, t) -> Float.max acc t) 0. completions
+  in
+  {
+    makespan;
+    completions;
+    switches = List.rev !switches;
+    series = Metrics.points metrics;
+    iterations = !iterations;
+  }
+
+let run_entropy ?params ?period ?sample_period ?poll_period ?cp_timeout
+    ?max_time ?decision ?should_fail ?arrival_spacing ?storage ?execution
+    ~nodes ~traces () =
+  let config, vjobs, programs = setup ?arrival_spacing ~nodes ~traces () in
+  run_custom ?params ?period ?sample_period ?poll_period ?cp_timeout
+    ?max_time ?decision ?should_fail ?storage ?execution ~config ~vjobs
+    ~programs ()
+
+let mean_switch_duration result =
+  match result.switches with
+  | [] -> 0.
+  | s ->
+    List.fold_left (fun acc r -> acc +. Executor.duration r) 0. s
+    /. float_of_int (List.length s)

@@ -1,0 +1,44 @@
+(** End-to-end simulated Entropy runs (the section 5.2 experiment). *)
+
+open Entropy_core
+
+type result = {
+  makespan : float;  (** completion time of the last vjob *)
+  completions : (Vjob.t * float) list;
+  switches : Executor.record list;
+  series : Metrics.point list;
+  iterations : int;  (** control-loop iterations executed *)
+}
+
+val setup :
+  ?arrival_spacing:float -> nodes:Node.t array ->
+  traces:Vworkload.Trace.t list -> unit ->
+  Configuration.t * Vjob.t list * (Vm.id -> Vworkload.Program.t)
+(** Flatten traces into an all-waiting configuration, vjobs and per-VM
+    programs. [arrival_spacing] staggers submissions (vjob j arrives at
+    j * spacing; default: all at t=0 as in the paper). *)
+
+val run_custom :
+  ?params:Perf_model.params -> ?period:float -> ?sample_period:float ->
+  ?poll_period:float -> ?cp_timeout:float -> ?max_time:float ->
+  ?decision:Decision.t -> ?should_fail:(Action.t -> bool) ->
+  ?storage:Storage.t -> ?execution:[ `Pools | `Continuous ] ->
+  config:Configuration.t -> vjobs:Vjob.t list ->
+  programs:(Vm.id -> Vworkload.Program.t) -> unit -> result
+(** Run the control loop over an arbitrary initial configuration (VMs
+    may already be running or sleeping). [execution] selects pool-based
+    (default, the paper's model) or continuous switch execution. *)
+
+val run_entropy :
+  ?params:Perf_model.params -> ?period:float -> ?sample_period:float ->
+  ?poll_period:float -> ?cp_timeout:float -> ?max_time:float ->
+  ?decision:Decision.t -> ?should_fail:(Action.t -> bool) ->
+  ?arrival_spacing:float -> ?storage:Storage.t ->
+  ?execution:[ `Pools | `Continuous ] -> nodes:Node.t array ->
+  traces:Vworkload.Trace.t list -> unit -> result
+(** Run the control loop until every vjob has completed and been
+    stopped. The loop only sees the vjobs already submitted at each
+    iteration. [should_fail] injects hypervisor action failures (see
+    {!Executor.execute}). *)
+
+val mean_switch_duration : result -> float

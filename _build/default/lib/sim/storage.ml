@@ -1,0 +1,60 @@
+(* The storage substrate: the paper's testbed serves every VM's virtual
+   disk — and the suspend images — from three NFS servers. Concurrent
+   image transfers to the same server share its bandwidth, which
+   stretches suspend/resume durations during large cluster-wide context
+   switches (the pipelining of section 4.1 exists precisely to overlap
+   those writes).
+
+   Approximation: an operation's bandwidth share is decided when it
+   starts (the factor equals the number of transfers active on its
+   server at start time, including itself) and keeps that duration. This
+   avoids re-timing in-flight events while preserving the macroscopic
+   effect — bursts of suspends/resumes slow each other down. *)
+
+open Entropy_core
+
+type t = {
+  server_count : int;
+  bandwidth_mb_s : float;  (* informative; per-server nominal rate *)
+  active : int array;      (* in-flight transfers per server *)
+  mutable total_transfers : int;
+}
+
+let create ?(server_count = 3) ?(bandwidth_mb_s = 80.) () =
+  if server_count <= 0 then invalid_arg "Storage.create: server_count <= 0";
+  {
+    server_count;
+    bandwidth_mb_s;
+    active = Array.make server_count 0;
+    total_transfers = 0;
+  }
+
+(* Static assignment of VM images to servers, as an NFS deployment
+   would shard them. *)
+let server_of_vm t vm = vm mod t.server_count
+
+let active_on t server = t.active.(server)
+
+let begin_transfer t vm =
+  let s = server_of_vm t vm in
+  t.active.(s) <- t.active.(s) + 1;
+  t.total_transfers <- t.total_transfers + 1
+
+let end_transfer t vm =
+  let s = server_of_vm t vm in
+  if t.active.(s) <= 0 then invalid_arg "Storage.end_transfer: not active";
+  t.active.(s) <- t.active.(s) - 1
+
+(* Duration multiplier for a transfer starting now (itself included). *)
+let slowdown t vm =
+  float_of_int (max 1 (active_on t (server_of_vm t vm) + 1))
+
+let total_transfers t = t.total_transfers
+
+(* Whether an action moves a VM image through the storage servers. Live
+   migration streams RAM between hypervisors directly; RAM suspends
+   never leave the host. *)
+let uses_storage = function
+  | Action.Suspend _ | Action.Resume _ -> true
+  | Action.Run _ | Action.Stop _ | Action.Migrate _ | Action.Suspend_ram _
+  | Action.Resume_ram _ -> false

@@ -1,0 +1,19 @@
+(** NFS storage substrate: suspend/resume image transfers share each
+    server's bandwidth (the paper's testbed has three NFS servers). *)
+
+open Entropy_core
+
+type t
+
+val create : ?server_count:int -> ?bandwidth_mb_s:float -> unit -> t
+val server_of_vm : t -> Vm.id -> int
+val active_on : t -> int -> int
+val begin_transfer : t -> Vm.id -> unit
+val end_transfer : t -> Vm.id -> unit
+
+val slowdown : t -> Vm.id -> float
+(** Duration multiplier for a transfer starting now (>= 1; equals the
+    number of transfers that will share the server, itself included). *)
+
+val total_transfers : t -> int
+val uses_storage : Action.t -> bool

@@ -1,0 +1,1 @@
+lib/workload/dag.ml: Array Float Fmt Hashtbl Int List Nasgrid Program

@@ -1,0 +1,1 @@
+lib/workload/dag.mli: Nasgrid Program

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Configuration Demand Entropy_core Fun List Node Printf Program Random Trace Vjob Vm

@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Configuration Demand Entropy_core Vjob

@@ -1,0 +1,1 @@
+lib/workload/nasgrid.ml: List Printf Program

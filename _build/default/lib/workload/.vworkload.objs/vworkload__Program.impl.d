@@ -1,0 +1,1 @@
+lib/workload/program.ml: Fmt List Printf String

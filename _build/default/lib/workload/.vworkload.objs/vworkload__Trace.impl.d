@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Float Fmt Hashtbl List Nasgrid Printf Program Random

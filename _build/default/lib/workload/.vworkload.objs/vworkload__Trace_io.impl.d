@@ -1,0 +1,1 @@
+lib/workload/trace_io.ml: Fmt Fun List Nasgrid Printf Program String Trace

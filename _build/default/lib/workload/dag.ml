@@ -1,0 +1,206 @@
+(* Explicit task graphs — the actual structure of the NAS Grid
+   Benchmarks. A DAG is a set of tasks, each bound to a VM with an
+   amount of work (CPU-seconds) and dependencies on other tasks.
+
+   [compile] turns a DAG into the per-VM phase programs the simulator
+   executes, under the launch-time assumptions of the paper's testbed:
+   every VM has a dedicated processing unit, so a task's duration equals
+   its work, a task starts when its dependencies complete and its VM is
+   free, and a VM waits (Idle) between its tasks. The phase programs are
+   therefore the DAG's dedicated-resource schedule; contention and
+   suspensions at run time shift whole programs without reordering them
+   (VMs of a vjob pause and resume together). *)
+
+type task = {
+  id : int;
+  vm : int;          (* VM index within the vjob *)
+  work : float;      (* CPU-seconds *)
+  deps : int list;   (* task ids that must complete first *)
+}
+
+type t = {
+  tasks : task array;  (* task ids are dense: tasks.(i).id = i *)
+  vm_count : int;
+}
+
+exception Invalid of string
+
+let invalid fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+let make ~vm_count tasks =
+  let tasks = Array.of_list tasks in
+  Array.iteri
+    (fun i t ->
+      if t.id <> i then invalid "task ids must be dense (task %d at %d)" t.id i;
+      if t.vm < 0 || t.vm >= vm_count then
+        invalid "task %d bound to unknown VM %d" t.id t.vm;
+      if t.work < 0. then invalid "task %d has negative work" t.id;
+      List.iter
+        (fun d ->
+          if d < 0 || d >= Array.length tasks then
+            invalid "task %d depends on unknown task %d" t.id d)
+        t.deps)
+    tasks;
+  { tasks; vm_count }
+
+let task ~id ~vm ~work ?(deps = []) () = { id; vm; work; deps }
+
+let task_count t = Array.length t.tasks
+let vm_count t = t.vm_count
+
+let total_work t =
+  Array.fold_left (fun acc task -> acc +. task.work) 0. t.tasks
+
+(* Topological order; raises on cycles. *)
+let topological_order t =
+  let n = Array.length t.tasks in
+  let state = Array.make n `White in
+  let order = ref [] in
+  let rec visit i =
+    match state.(i) with
+    | `Black -> ()
+    | `Gray -> invalid "dependency cycle through task %d" i
+    | `White ->
+      state.(i) <- `Gray;
+      List.iter visit t.tasks.(i).deps;
+      state.(i) <- `Black;
+      order := i :: !order
+  in
+  for i = 0 to n - 1 do
+    visit i
+  done;
+  List.rev !order
+
+(* Earliest-start schedule with one dedicated processing unit per VM:
+   start = max(deps' finishes, VM cursor). Returns per-task (start,
+   finish). Within a VM, tasks run in topological order. *)
+let schedule t =
+  let n = Array.length t.tasks in
+  let start = Array.make n 0. and finish = Array.make n 0. in
+  let vm_cursor = Array.make t.vm_count 0. in
+  List.iter
+    (fun i ->
+      let task = t.tasks.(i) in
+      let ready =
+        List.fold_left (fun acc d -> Float.max acc finish.(d)) 0. task.deps
+      in
+      let s = Float.max ready vm_cursor.(task.vm) in
+      start.(i) <- s;
+      finish.(i) <- s +. task.work;
+      vm_cursor.(task.vm) <- finish.(i))
+    (topological_order t);
+  (start, finish)
+
+let critical_path t =
+  let _, finish = schedule t in
+  Array.fold_left Float.max 0. finish
+
+(* Compile to per-VM phase programs (Idle gaps + Compute tasks). *)
+let compile t =
+  let start, _finish = schedule t in
+  (* tasks of each VM, by start time *)
+  let by_vm = Array.make t.vm_count [] in
+  Array.iter (fun task -> by_vm.(task.vm) <- task :: by_vm.(task.vm)) t.tasks;
+  Array.to_list
+    (Array.map
+       (fun tasks ->
+         let tasks =
+           List.sort
+             (fun a b -> Float.compare start.(a.id) start.(b.id))
+             tasks
+         in
+         let phases, _ =
+           List.fold_left
+             (fun (acc, cursor) task ->
+               let gap = start.(task.id) -. cursor in
+               let acc = Program.Compute task.work :: Program.Idle gap :: acc in
+               (acc, start.(task.id) +. task.work))
+             ([], 0.) tasks
+         in
+         Program.normalize (List.rev phases))
+       by_vm)
+
+(* -- the NGB families as explicit DAGs ------------------------------------- *)
+
+(* Embarrassingly Distributed: independent tasks, one per VM. *)
+let ed ~vms ~work =
+  make ~vm_count:vms
+    (List.init vms (fun i -> task ~id:i ~vm:i ~work ()))
+
+(* Helical Chain: rounds * vms tasks in one chain cycling over the VMs. *)
+let hc ?(rounds = 3) ~vms ~work () =
+  let n = rounds * vms in
+  make ~vm_count:vms
+    (List.init n (fun i ->
+         task ~id:i ~vm:(i mod vms) ~work
+           ?deps:(if i = 0 then None else Some [ i - 1 ])
+           ()))
+
+(* Visualization Pipeline: [depth] stages; each round, stage s depends
+   on stage s-1 of the same round and on its own previous round. *)
+let vp ?(depth = 3) ?(rounds = 3) ~vms ~work () =
+  (* stage s uses the VM block [s*vms/depth .. (s+1)*vms/depth); tasks
+     are aggregated per (round, stage) on the block's first VM for the
+     dependency structure, with the block's other VMs mirroring the
+     stage as parallel tasks *)
+  let block s = s * vms / depth in
+  let tasks = ref [] in
+  let id = ref 0 in
+  let index = Hashtbl.create 16 in
+  for r = 0 to rounds - 1 do
+    for s = 0 to depth - 1 do
+      let vm_lo = block s in
+      let vm_hi = if s = depth - 1 then vms - 1 else block (s + 1) - 1 in
+      for vm = vm_lo to vm_hi do
+        let deps =
+          (if s > 0 then
+             (* the previous stage of this round, same relative position *)
+             match Hashtbl.find_opt index (r, s - 1) with
+             | Some ids -> ids
+             | None -> []
+           else [])
+          @
+          match Hashtbl.find_opt index (r - 1, s) with
+          | Some ids -> ids
+          | None -> []
+        in
+        let deps = List.sort_uniq Int.compare deps in
+        tasks := task ~id:!id ~vm ~work ~deps () :: !tasks;
+        Hashtbl.replace index (r, s)
+          (!id
+          ::
+          (match Hashtbl.find_opt index (r, s) with
+          | Some ids -> ids
+          | None -> []));
+        incr id
+      done
+    done
+  done;
+  make ~vm_count:vms (List.rev !tasks)
+
+(* Mixed Bag: layered DAG with unequal work per layer. *)
+let mb ?(layers = 3) ~vms ~work () =
+  let layer_of vm = vm * layers / vms in
+  let tasks = ref [] in
+  let id = ref 0 in
+  let by_layer = Hashtbl.create 8 in
+  for vm = 0 to vms - 1 do
+    let l = layer_of vm in
+    let deps =
+      match Hashtbl.find_opt by_layer (l - 1) with Some ids -> ids | None -> []
+    in
+    let my_work = work *. (1. +. (float_of_int l /. 2.)) in
+    tasks := task ~id:!id ~vm ~work:my_work ~deps () :: !tasks;
+    Hashtbl.replace by_layer l
+      (!id
+      :: (match Hashtbl.find_opt by_layer l with Some ids -> ids | None -> []));
+    incr id
+  done;
+  make ~vm_count:vms (List.rev !tasks)
+
+let of_family ?rounds (family : Nasgrid.family) ~vms ~work =
+  match family with
+  | Nasgrid.Ed -> ed ~vms ~work
+  | Nasgrid.Hc -> hc ?rounds ~vms ~work ()
+  | Nasgrid.Vp -> vp ?rounds ~vms ~work ()
+  | Nasgrid.Mb -> mb ~vms ~work ()

@@ -1,0 +1,43 @@
+(** Explicit task graphs (the real structure of the NAS Grid
+    Benchmarks), compiled to per-VM phase programs under the dedicated-
+    resource assumption of the paper's testbed. *)
+
+type task = {
+  id : int;
+  vm : int;
+  work : float;  (** CPU-seconds *)
+  deps : int list;
+}
+
+type t
+
+exception Invalid of string
+
+val make : vm_count:int -> task list -> t
+(** Raises {!Invalid} on dangling dependencies, non-dense ids, unknown
+    VMs or negative work. Cycles are detected on first traversal. *)
+
+val task : id:int -> vm:int -> work:float -> ?deps:int list -> unit -> task
+
+val task_count : t -> int
+val vm_count : t -> int
+val total_work : t -> float
+
+val topological_order : t -> int list
+(** Raises {!Invalid} on a dependency cycle. *)
+
+val schedule : t -> float array * float array
+(** Earliest-start schedule with one dedicated core per VM:
+    per-task [(starts, finishes)]. *)
+
+val critical_path : t -> float
+(** Completion time of the dedicated-resource schedule. *)
+
+val compile : t -> Program.t list
+(** Per-VM phase programs (Idle gaps between Compute tasks). *)
+
+val ed : vms:int -> work:float -> t
+val hc : ?rounds:int -> vms:int -> work:float -> unit -> t
+val vp : ?depth:int -> ?rounds:int -> vms:int -> work:float -> unit -> t
+val mb : ?layers:int -> vms:int -> work:float -> unit -> t
+val of_family : ?rounds:int -> Nasgrid.family -> vms:int -> work:float -> t

@@ -1,0 +1,29 @@
+(** Random configuration generator for the Figure 10 scalability study. *)
+
+open Entropy_core
+
+type spec = {
+  node_count : int;
+  node_cpu : int;
+  node_mem : int;
+  vm_target : int;
+  seed : int;
+}
+
+val default_spec : spec
+(** 200 nodes, 2 CPUs (capacity 200), 4096 MB. *)
+
+type instance = {
+  config : Configuration.t;
+  demand : Demand.t;
+  vjobs : Vjob.t list;
+}
+
+val generate : spec -> instance
+(** Deterministic in [spec.seed]. Running vjobs are placed so that every
+    VM's memory requirement is satisfied; CPU may be overloaded. *)
+
+val figure10_vm_counts : int list
+(** 54, 108, ..., 486 (the paper's x-axis). *)
+
+val figure10_instances : ?samples:int -> vm_count:int -> unit -> instance list

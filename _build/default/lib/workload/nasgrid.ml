@@ -1,0 +1,98 @@
+(* A synthetic reimplementation of the NAS Grid Benchmarks (Frumkin &
+   Van der Wijngaart), the workloads of the paper's evaluation. NGB
+   composes NPB solvers into four data-flow graph families; we reproduce
+   the graph *shapes* as per-VM compute/idle phase programs, which is the
+   property the evaluation exercises: a VM demands a full processing
+   unit while its task computes and is almost idle while waiting on the
+   rest of the DAG.
+
+   Families:
+   - ED (Embarrassingly Distributed): independent tasks, no exchange —
+     every VM computes for the whole job;
+   - HC (Helical Chain): a single chain of tasks cycling through the
+     VMs — exactly one VM computes at a time;
+   - VP (Visualization Pipeline): a depth-3 pipeline (BT -> MG -> FT)
+     over rounds — VM i starts after i pipeline stages and computes once
+     per round;
+   - MB (Mixed Bag): a layered DAG with unequal task sizes — later
+     layers start later and work longer.
+
+   Classes W, A and B scale the per-task work, mirroring NGB problem
+   sizes. *)
+
+type family = Ed | Hc | Vp | Mb
+
+let families = [ Ed; Hc; Vp; Mb ]
+
+let family_to_string = function
+  | Ed -> "ED"
+  | Hc -> "HC"
+  | Vp -> "VP"
+  | Mb -> "MB"
+
+type cls = W | A | B
+
+let classes = [ W; A; B ]
+
+let class_to_string = function W -> "W" | A -> "A" | B -> "B"
+
+(* Per-task work in CPU-seconds. The absolute scale is arbitrary (our
+   substrate is a simulator); the W:A:B ratios follow the NPB class
+   growth (roughly one order of magnitude per class, compressed to keep
+   simulations fast). *)
+let task_work = function W -> 60. | A -> 180. | B -> 480.
+
+(* -- program builders ----------------------------------------------------- *)
+
+let ed ~vms ~work = List.init vms (fun _ -> [ Program.Compute work ])
+
+(* One chain of [rounds * vms] tasks visiting VM 0, 1, ..., vms-1
+   cyclically: VM i idles i*work, computes, idles (vms-1)*work, computes
+   again, ... *)
+let hc ?(rounds = 3) ~vms ~work () =
+  List.init vms (fun i ->
+      let prefix = Program.Idle (float_of_int i *. work) in
+      let rec cycle r =
+        if r = 0 then []
+        else
+          Program.Compute work
+          :: (if r = 1 then []
+              else Program.Idle (float_of_int (vms - 1) *. work) :: cycle (r - 1))
+      in
+      Program.normalize (prefix :: cycle rounds))
+
+(* Pipeline of depth [depth] (default 3, BT-MG-FT in NGB): the VMs are
+   split into [depth] stages; each round, stage s computes after stage
+   s-1. With [rounds] rounds, stage s is busy from round s onward. *)
+let vp ?(depth = 3) ?(rounds = 3) ~vms ~work () =
+  List.init vms (fun i ->
+      let stage = i * depth / vms in
+      let phases = ref [ Program.Idle (float_of_int stage *. work) ] in
+      for r = 0 to rounds - 1 do
+        ignore r;
+        phases := Program.Idle ((float_of_int depth -. 1.) *. work)
+                  :: Program.Compute work :: !phases
+      done;
+      (* drop the trailing inter-round idle *)
+      let l = match !phases with Program.Idle _ :: rest -> rest | l -> l in
+      Program.normalize (List.rev l))
+
+(* Layered DAG with unequal tasks: layer l (of [layers]) starts after
+   the previous layers and works (1 + l/2) * work. *)
+let mb ?(layers = 3) ~vms ~work () =
+  List.init vms (fun i ->
+      let layer = i * layers / vms in
+      let lead_in = float_of_int layer *. work in
+      let my_work = work *. (1. +. (float_of_int layer /. 2.)) in
+      Program.normalize [ Program.Idle lead_in; Program.Compute my_work ])
+
+let programs ?rounds family cls ~vms =
+  let work = task_work cls in
+  match family with
+  | Ed -> ed ~vms ~work
+  | Hc -> hc ?rounds ~vms ~work ()
+  | Vp -> vp ?rounds ~vms ~work ()
+  | Mb -> mb ~vms ~work ()
+
+let name family cls ~vms =
+  Printf.sprintf "%s.%s.%d" (family_to_string family) (class_to_string cls) vms

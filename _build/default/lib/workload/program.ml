@@ -1,0 +1,82 @@
+(* Per-VM programs: the phase sequence a VM executes once its vjob is
+   launched. A Compute phase represents a NAS-grid task needing a full
+   processing unit; it holds an amount of work in CPU-seconds (wall time
+   = work when the VM gets a whole core, longer under contention). An
+   Idle phase represents waiting for other tasks of the DAG and advances
+   with wall-clock time whenever the VM runs. *)
+
+type phase =
+  | Compute of float  (* CPU-seconds of work *)
+  | Idle of float     (* wall seconds *)
+
+type t = phase list
+
+(* CPU demand (hundredths of a core) of a VM executing a phase. *)
+let compute_demand = 100
+let idle_demand = 5
+
+let demand_of_phase = function
+  | Compute _ -> compute_demand
+  | Idle _ -> idle_demand
+
+let demand = function
+  | [] -> 0
+  | phase :: _ -> demand_of_phase phase
+
+let total_compute t =
+  List.fold_left
+    (fun acc -> function Compute w -> acc +. w | Idle _ -> acc)
+    0. t
+
+let min_duration t =
+  (* wall time with a dedicated core and no suspension *)
+  List.fold_left
+    (fun acc -> function Compute w -> acc +. w | Idle d -> acc +. d)
+    0. t
+
+let is_empty t = t = []
+
+(* Drop zero-length phases and merge consecutive phases of one kind. *)
+let normalize t =
+  let rec go = function
+    | [] -> []
+    | Compute w :: rest when w <= 0. -> go rest
+    | Idle d :: rest when d <= 0. -> go rest
+    | Compute a :: Compute b :: rest -> go (Compute (a +. b) :: rest)
+    | Idle a :: Idle b :: rest -> go (Idle (a +. b) :: rest)
+    | p :: rest -> p :: go rest
+  in
+  go t
+
+let pp_phase ppf = function
+  | Compute w -> Fmt.pf ppf "C%.0f" w
+  | Idle d -> Fmt.pf ppf "I%.0f" d
+
+let pp ppf t = Fmt.pf ppf "[%a]" Fmt.(list ~sep:sp pp_phase) t
+
+(* Textual form used by the trace and cluster-description formats:
+   comma-separated [C<cpu-seconds>] / [I<wall-seconds>] phases. *)
+let phase_of_string s =
+  if String.length s < 2 then Error (Printf.sprintf "empty phase %S" s)
+  else
+    match float_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | None -> Error (Printf.sprintf "bad duration in phase %S" s)
+    | Some v when v < 0. ->
+      Error (Printf.sprintf "negative duration in phase %S" s)
+    | Some v -> (
+      match s.[0] with
+      | 'C' | 'c' -> Ok (Compute v)
+      | 'I' | 'i' -> Ok (Idle v)
+      | _ -> Error (Printf.sprintf "unknown phase kind in %S (use C or I)" s))
+
+let of_string s =
+  if String.trim s = "" then Ok []
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | tok :: rest -> (
+        match phase_of_string tok with
+        | Ok p -> go (p :: acc) rest
+        | Error _ as e -> e)
+    in
+    go [] (String.split_on_char ',' s)

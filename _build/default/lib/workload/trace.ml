@@ -1,0 +1,62 @@
+(* Trace specifications: one trace = one vjob workload (per-VM memory
+   sizes + per-VM programs). The catalogue reproduces the paper's "81
+   real traces observable on the different benchmarks of the NGB suite
+   for the sizes W, A and B": the 4 families x 3 classes, declined over
+   VM counts (9 or 18) and seeded memory profiles. *)
+
+type t = {
+  name : string;
+  family : Nasgrid.family;
+  cls : Nasgrid.cls;
+  vm_count : int;
+  memories : int list;   (* per-VM memory, MB *)
+  programs : Program.t list;
+}
+
+let memory_choices = [ 256; 512; 1024; 2048 ]
+
+let pick_memories rng vm_count =
+  List.init vm_count (fun _ ->
+      List.nth memory_choices (Random.State.int rng (List.length memory_choices)))
+
+let make ?(seed = 0) ?(vm_count = 9) family cls =
+  let rng = Random.State.make [| seed; Hashtbl.hash (family, cls, vm_count) |] in
+  {
+    name = Printf.sprintf "%s#%d" (Nasgrid.name family cls ~vms:vm_count) seed;
+    family;
+    cls;
+    vm_count;
+    memories = pick_memories rng vm_count;
+    programs = Nasgrid.programs family cls ~vms:vm_count;
+  }
+
+(* The 81-trace catalogue: 4 families x 3 classes x {9,18} VMs x seeds,
+   truncated to 81 entries (the paper's count). *)
+let catalogue ?(count = 81) () =
+  let specs = ref [] in
+  let seed = ref 0 in
+  while List.length !specs < count do
+    List.iter
+      (fun family ->
+        List.iter
+          (fun cls ->
+            List.iter
+              (fun vm_count ->
+                if List.length !specs < count then
+                  specs := make ~seed:!seed ~vm_count family cls :: !specs)
+              [ 9; 18 ])
+          Nasgrid.classes)
+      Nasgrid.families;
+    incr seed
+  done;
+  List.rev !specs
+
+let total_compute t =
+  List.fold_left (fun acc p -> acc +. Program.total_compute p) 0. t.programs
+
+let min_duration t =
+  List.fold_left (fun acc p -> Float.max acc (Program.min_duration p)) 0.
+    t.programs
+
+let pp ppf t =
+  Fmt.pf ppf "%s (%d VMs, %.0f cpu-s)" t.name t.vm_count (total_compute t)

@@ -1,0 +1,24 @@
+(** Trace catalogue: vjob workload specifications (NGB-like). *)
+
+type t = {
+  name : string;
+  family : Nasgrid.family;
+  cls : Nasgrid.cls;
+  vm_count : int;
+  memories : int list;
+  programs : Program.t list;
+}
+
+val memory_choices : int list
+(** 256 / 512 / 1024 / 2048 MB, as in the paper's experiments. *)
+
+val make : ?seed:int -> ?vm_count:int -> Nasgrid.family -> Nasgrid.cls -> t
+
+val catalogue : ?count:int -> unit -> t list
+(** The 81-trace catalogue (default count 81). *)
+
+val total_compute : t -> float
+val min_duration : t -> float
+(** Longest per-VM minimum duration: the vjob cannot finish faster. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,156 @@
+(* Plain-text serialisation of trace specifications, so users can bring
+   their own vjob workloads (or archive generated ones). The format is
+   line-based:
+
+     # comment
+     trace ED.W.9#0 family=ED class=W
+     vm mem=512 program=C60
+     vm mem=1024 program=I30,C60,I10
+     trace ...
+
+   Programs are comma-separated phases: [C<w>] for a compute phase of
+   [w] CPU-seconds, [I<d>] for an idle phase of [d] wall seconds. *)
+
+exception Parse_error of { line : int; message : string }
+
+let parse_error line fmt =
+  Fmt.kstr (fun message -> raise (Parse_error { line; message })) fmt
+
+(* -- writing ---------------------------------------------------------------- *)
+
+let phase_to_string = function
+  | Program.Compute w -> Printf.sprintf "C%g" w
+  | Program.Idle d -> Printf.sprintf "I%g" d
+
+let program_to_string program =
+  String.concat "," (List.map phase_to_string program)
+
+let trace_to_lines (t : Trace.t) =
+  Printf.sprintf "trace %s family=%s class=%s" t.Trace.name
+    (Nasgrid.family_to_string t.Trace.family)
+    (Nasgrid.class_to_string t.Trace.cls)
+  :: List.map2
+       (fun mem program ->
+         Printf.sprintf "vm mem=%d program=%s" mem (program_to_string program))
+       t.Trace.memories t.Trace.programs
+
+let to_string traces =
+  String.concat "\n" (List.concat_map trace_to_lines traces) ^ "\n"
+
+let save path traces =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string traces))
+
+(* -- parsing ----------------------------------------------------------------- *)
+
+let parse_program lineno s =
+  match Program.of_string s with
+  | Ok p -> p
+  | Error message -> parse_error lineno "%s" message
+
+let parse_family lineno s =
+  match String.uppercase_ascii s with
+  | "ED" -> Nasgrid.Ed
+  | "HC" -> Nasgrid.Hc
+  | "VP" -> Nasgrid.Vp
+  | "MB" -> Nasgrid.Mb
+  | _ -> parse_error lineno "unknown family %S" s
+
+let parse_class lineno s =
+  match String.uppercase_ascii s with
+  | "W" -> Nasgrid.W
+  | "A" -> Nasgrid.A
+  | "B" -> Nasgrid.B
+  | _ -> parse_error lineno "unknown class %S" s
+
+(* key=value fields after the leading keyword *)
+let fields lineno tokens =
+  List.map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i ->
+        (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+      | None -> parse_error lineno "expected key=value, got %S" tok)
+    tokens
+
+let field lineno kvs key =
+  match List.assoc_opt key kvs with
+  | Some v -> v
+  | None -> parse_error lineno "missing field %S" key
+
+type partial = {
+  name : string;
+  family : Nasgrid.family;
+  cls : Nasgrid.cls;
+  mutable rev_vms : (int * Program.t) list;
+}
+
+let close_partial lineno p =
+  if p.rev_vms = [] then
+    parse_error lineno "trace %S has no VMs" p.name
+  else
+    let vms = List.rev p.rev_vms in
+    {
+      Trace.name = p.name;
+      family = p.family;
+      cls = p.cls;
+      vm_count = List.length vms;
+      memories = List.map fst vms;
+      programs = List.map snd vms;
+    }
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let current = ref None in
+  let finished = ref [] in
+  let flush lineno =
+    match !current with
+    | Some p ->
+      finished := close_partial lineno p :: !finished;
+      current := None
+    | None -> ()
+  in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | "trace" :: name :: rest ->
+          flush lineno;
+          let kvs = fields lineno rest in
+          current :=
+            Some
+              {
+                name;
+                family = parse_family lineno (field lineno kvs "family");
+                cls = parse_class lineno (field lineno kvs "class");
+                rev_vms = [];
+              }
+        | "vm" :: rest -> (
+          let kvs = fields lineno rest in
+          let mem =
+            match int_of_string_opt (field lineno kvs "mem") with
+            | Some m when m > 0 -> m
+            | Some _ | None -> parse_error lineno "bad vm memory"
+          in
+          let program = parse_program lineno (field lineno kvs "program") in
+          match !current with
+          | None -> parse_error lineno "vm line outside of a trace"
+          | Some p -> p.rev_vms <- (mem, program) :: p.rev_vms)
+        | keyword :: _ -> parse_error lineno "unknown keyword %S" keyword
+        | [] -> ())
+    lines;
+  flush (List.length lines);
+  List.rev !finished
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

@@ -1,0 +1,12 @@
+(** Plain-text (de)serialisation of trace specifications. *)
+
+exception Parse_error of { line : int; message : string }
+
+val program_to_string : Program.t -> string
+val to_string : Trace.t list -> string
+val of_string : string -> Trace.t list
+(** Raises {!Parse_error} with a 1-based line number on malformed
+    input. *)
+
+val save : string -> Trace.t list -> unit
+val load : string -> Trace.t list

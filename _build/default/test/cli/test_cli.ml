@@ -1,0 +1,297 @@
+(* Tests for the I/O layers: the trace format, the SWF reader and the
+   entropyctl cluster-description language. *)
+
+open Entropy_core
+module Trace = Vworkload.Trace
+module Trace_io = Vworkload.Trace_io
+module Nasgrid = Vworkload.Nasgrid
+module Program = Vworkload.Program
+module Spec = Entropy_cli.Spec
+module Swf = Batch.Swf
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float eps = Alcotest.(check (float eps))
+
+(* -- trace_io -------------------------------------------------------------- *)
+
+let test_trace_roundtrip () =
+  let traces =
+    [
+      Trace.make ~seed:1 ~vm_count:9 Nasgrid.Ed Nasgrid.W;
+      Trace.make ~seed:2 ~vm_count:18 Nasgrid.Hc Nasgrid.B;
+    ]
+  in
+  let parsed = Trace_io.of_string (Trace_io.to_string traces) in
+  check_int "count" 2 (List.length parsed);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "name" a.Trace.name b.Trace.name;
+      check_bool "memories" true (a.Trace.memories = b.Trace.memories);
+      check_bool "programs" true (a.Trace.programs = b.Trace.programs))
+    traces parsed
+
+let test_trace_parse_handwritten () =
+  let text =
+    "# a hand-written workload\n\
+     trace my.job family=MB class=A\n\
+     vm mem=512 program=C60\n\
+     vm mem=1024 program=I30,C60.5,I10\n"
+  in
+  match Trace_io.of_string text with
+  | [ t ] ->
+    Alcotest.(check string) "name" "my.job" t.Trace.name;
+    check_int "vms" 2 t.Trace.vm_count;
+    check_bool "family" true (t.Trace.family = Nasgrid.Mb);
+    (match List.nth t.Trace.programs 1 with
+    | [ Program.Idle 30.; Program.Compute w; Program.Idle 10. ] ->
+      check_float 1e-9 "fractional work" 60.5 w
+    | p -> Alcotest.failf "unexpected program %a" Program.pp p)
+  | l -> Alcotest.failf "expected 1 trace, got %d" (List.length l)
+
+let test_trace_parse_errors () =
+  let expect_error text =
+    check_bool "rejected" true
+      (try
+         ignore (Trace_io.of_string text);
+         false
+       with Trace_io.Parse_error _ -> true)
+  in
+  expect_error "vm mem=512 program=C60\n";
+  expect_error "trace x family=ZZ class=W\nvm mem=512 program=C60\n";
+  expect_error "trace x family=ED class=W\nvm mem=-1 program=C60\n";
+  expect_error "trace x family=ED class=W\nvm mem=512 program=X60\n";
+  expect_error "trace x family=ED class=W\n" (* no VMs *)
+
+let test_trace_parse_error_line_number () =
+  let text = "trace x family=ED class=W\nvm mem=512 program=C60\nnonsense\n" in
+  try
+    ignore (Trace_io.of_string text);
+    Alcotest.fail "expected parse error"
+  with Trace_io.Parse_error { line; _ } -> check_int "line" 3 line
+
+(* -- swf --------------------------------------------------------------------- *)
+
+let sample_swf =
+  "; SWF header comment\n\
+   ; MaxNodes: 128\n\
+   1 0 10 3600 16 -1 -1 16 7200 -1 1 1 1 -1 1 -1 -1 -1\n\
+   2 60 0 1800 8 -1 -1 -1 -1 -1 1 2 1 -1 1 -1 -1 -1\n\
+   3 120 5 -1 4 -1 -1 4 600 -1 0 3 1 -1 1 -1 -1 -1\n"
+
+let test_swf_parses_jobs () =
+  let jobs = Swf.of_string sample_swf in
+  (* job 3 has runtime -1: skipped *)
+  check_int "two jobs" 2 (List.length jobs);
+  let j1 = List.hd jobs in
+  check_int "id" 1 j1.Batch.Job.id;
+  check_float 1e-9 "arrival" 0. j1.Batch.Job.arrival;
+  check_int "nodes" 16 j1.Batch.Job.nodes_required;
+  check_float 1e-9 "walltime" 7200. j1.Batch.Job.walltime;
+  check_float 1e-9 "actual" 3600. j1.Batch.Job.actual
+
+let test_swf_fallbacks () =
+  let jobs = Swf.of_string sample_swf in
+  let j2 = List.nth jobs 1 in
+  (* requested procs/time absent: falls back to used/run *)
+  check_int "nodes from used" 8 j2.Batch.Job.nodes_required;
+  check_float 1e-9 "walltime from runtime" 1800. j2.Batch.Job.walltime
+
+let test_swf_roundtrip () =
+  let jobs = Swf.of_string sample_swf in
+  let jobs' = Swf.of_string (Swf.to_string jobs) in
+  check_int "count" (List.length jobs) (List.length jobs');
+  List.iter2
+    (fun (a : Batch.Job.t) (b : Batch.Job.t) ->
+      check_int "nodes" a.Batch.Job.nodes_required b.Batch.Job.nodes_required;
+      check_float 1e-9 "actual" a.Batch.Job.actual b.Batch.Job.actual)
+    jobs jobs'
+
+let test_swf_schedulable () =
+  let jobs = Swf.of_string sample_swf in
+  let s = Batch.Rms.backfill ~capacity:32 jobs in
+  check_bool "finite makespan" true (s.Batch.Rms.makespan > 0.);
+  check_int "all placed" 2 (List.length s.Batch.Rms.placements)
+
+let test_swf_rejects_garbage () =
+  check_bool "rejected" true
+    (try
+       ignore (Swf.of_string "not a number at all\n");
+       false
+     with Swf.Parse_error _ -> true)
+
+(* -- spec --------------------------------------------------------------------- *)
+
+let demo_spec =
+  "# demo\n\
+   node N0 cpu=2.0 mem=3584\n\
+   node N1 cpu=1.5 mem=2048\n\
+   vm web mem=512 demand=10 state=running@N0\n\
+   vm db mem=2048 demand=100 state=sleeping@N1\n\
+   vm loose mem=256\n\
+   vjob site vms=web,db priority=0\n\
+   rule spread web,db\n\
+   rule ban web nodes=N1\n"
+
+let test_spec_parses () =
+  let spec = Spec.of_string demo_spec in
+  check_int "nodes" 2 (Configuration.node_count spec.Spec.config);
+  check_int "vms" 3 (Configuration.vm_count spec.Spec.config);
+  check_int "cpu scaled" 150
+    (Node.cpu_capacity (Configuration.node spec.Spec.config 1));
+  check_bool "web running" true
+    (Configuration.state spec.Spec.config 0 = Configuration.Running 0);
+  check_bool "db sleeping" true
+    (Configuration.state spec.Spec.config 1 = Configuration.Sleeping 1);
+  check_int "web demand" 10 (Demand.cpu spec.Spec.demand 0);
+  check_int "rules" 2 (List.length spec.Spec.rules)
+
+let test_spec_implicit_vjob () =
+  let spec = Spec.of_string demo_spec in
+  (* "loose" gets an implicit singleton vjob *)
+  check_int "two vjobs" 2 (List.length spec.Spec.vjobs);
+  let implicit =
+    List.find (fun v -> Vjob.name v = "loose") spec.Spec.vjobs
+  in
+  check_bool "singleton" true (Vjob.vms implicit = [ 2 ])
+
+let test_spec_sleeping_ram_state () =
+  let spec =
+    Spec.of_string
+      "node N0 cpu=2 mem=4096\nvm a mem=1024 state=sleeping-ram@N0\n"
+  in
+  check_bool "ram state" true
+    (Configuration.state spec.Spec.config 0 = Configuration.Sleeping_ram 0);
+  check_int "ram memory held" 1024
+    (Configuration.mem_load spec.Spec.config 0)
+
+let test_spec_programs () =
+  let spec =
+    Spec.of_string
+      "node N0 cpu=2 mem=4096\n\
+       vm a mem=512 program=C60,I30\n\
+       vm b mem=512\n"
+  in
+  (match spec.Spec.programs.(0) with
+  | [ Program.Compute 60.; Program.Idle 30. ] -> ()
+  | p -> Alcotest.failf "unexpected program %a" Program.pp p);
+  check_bool "no program = empty" true (spec.Spec.programs.(1) = []);
+  check_bool "bad program rejected" true
+    (try
+       ignore
+         (Spec.of_string "node N0 cpu=2 mem=4096\nvm a mem=512 program=X1\n");
+       false
+     with Spec.Parse_error _ -> true)
+
+let test_program_of_string () =
+  (match Program.of_string "C60,I30.5,c2" with
+  | Ok [ Program.Compute 60.; Program.Idle 30.5; Program.Compute 2. ] -> ()
+  | Ok p -> Alcotest.failf "unexpected %a" Program.pp p
+  | Error e -> Alcotest.fail e);
+  check_bool "empty ok" true (Program.of_string "" = Ok []);
+  check_bool "junk rejected" true
+    (match Program.of_string "Z9" with Error _ -> true | Ok _ -> false);
+  check_bool "negative rejected" true
+    (match Program.of_string "C-5" with Error _ -> true | Ok _ -> false)
+
+let test_spec_quota_rule () =
+  let spec =
+    Spec.of_string
+      "node N0 cpu=2 mem=4096\n\
+       node N1 cpu=2 mem=4096\n\
+       vm a mem=512\n\
+       rule quota - nodes=N0 max=1\n"
+  in
+  (match spec.Spec.rules with
+  | [ Placement_rules.Quota ([ 0 ], 1) ] -> ()
+  | _ -> Alcotest.fail "expected a quota rule");
+  check_bool "quota without max rejected" true
+    (try
+       ignore
+         (Spec.of_string
+            "node N0 cpu=2 mem=4096\nvm a mem=512\nrule quota - nodes=N0\n");
+       false
+     with Spec.Parse_error _ -> true)
+
+let test_spec_errors () =
+  let expect text =
+    check_bool "rejected" true
+      (try
+         ignore (Spec.of_string text);
+         false
+       with Spec.Parse_error _ -> true)
+  in
+  expect "vm a mem=512\n" (* no node *);
+  expect "node N0 cpu=2 mem=1024\n" (* no vm *);
+  expect "node N0 cpu=2 mem=1024\nvm a mem=512 state=running@NX\n";
+  expect "node N0 cpu=2 mem=1024\nvm a mem=512\nvm a mem=512\n";
+  expect
+    "node N0 cpu=2 mem=1024\nvm a mem=512\nvjob j vms=a\nvjob k vms=a\n";
+  expect "node N0 cpu=2 mem=1024\nvm a mem=512\nrule ban a\n";
+  expect "node N0 cpu=2 mem=1024\nvm a mem=512\nrule warp a\n"
+
+let test_spec_plan_roundtrip () =
+  (* the spec's configuration can be decided upon and the plan applies *)
+  let spec = Spec.of_string demo_spec in
+  let decision = Decision.consolidation ~cp_timeout:0.3 ~rules:spec.Spec.rules () in
+  let obs =
+    {
+      Decision.config = spec.Spec.config;
+      demand = spec.Spec.demand;
+      queue = spec.Spec.vjobs;
+      finished = [];
+    }
+  in
+  let result = decision.Decision.decide obs in
+  check_bool "viable" true
+    (Configuration.is_viable result.Optimizer.target spec.Spec.demand);
+  check_bool "rules hold" true
+    (Placement_rules.check_all result.Optimizer.target spec.Spec.rules)
+
+let prop_trace_roundtrip =
+  QCheck.Test.make ~name:"trace_io roundtrips the whole catalogue" ~count:1
+    QCheck.unit
+    (fun () ->
+      let traces = Trace.catalogue () in
+      let parsed = Trace_io.of_string (Trace_io.to_string traces) in
+      List.length parsed = List.length traces
+      && List.for_all2
+           (fun a b ->
+             a.Trace.memories = b.Trace.memories
+             && a.Trace.programs = b.Trace.programs)
+           traces parsed)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "io"
+    [
+      ( "trace_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "handwritten" `Quick test_trace_parse_handwritten;
+          Alcotest.test_case "errors" `Quick test_trace_parse_errors;
+          Alcotest.test_case "error line" `Quick
+            test_trace_parse_error_line_number;
+        ]
+        @ qsuite [ prop_trace_roundtrip ] );
+      ( "swf",
+        [
+          Alcotest.test_case "parses" `Quick test_swf_parses_jobs;
+          Alcotest.test_case "fallbacks" `Quick test_swf_fallbacks;
+          Alcotest.test_case "roundtrip" `Quick test_swf_roundtrip;
+          Alcotest.test_case "schedulable" `Quick test_swf_schedulable;
+          Alcotest.test_case "rejects garbage" `Quick test_swf_rejects_garbage;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "parses" `Quick test_spec_parses;
+          Alcotest.test_case "implicit vjob" `Quick test_spec_implicit_vjob;
+          Alcotest.test_case "sleeping-ram" `Quick test_spec_sleeping_ram_state;
+          Alcotest.test_case "programs" `Quick test_spec_programs;
+          Alcotest.test_case "program of_string" `Quick test_program_of_string;
+          Alcotest.test_case "quota rule" `Quick test_spec_quota_rule;
+          Alcotest.test_case "errors" `Quick test_spec_errors;
+          Alcotest.test_case "plan roundtrip" `Quick test_spec_plan_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,954 @@
+(* Tests for the discrete-event simulator: heap, engine, the Figure 3
+   performance model, cluster workload execution, plan execution and the
+   end-to-end runner. *)
+
+open Entropy_core
+module Program = Vworkload.Program
+module Trace = Vworkload.Trace
+module Nasgrid = Vworkload.Nasgrid
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float eps = Alcotest.(check (float eps))
+
+(* -- heap ------------------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let h = Vsim.Heap.create () in
+  List.iter (fun (p, v) -> Vsim.Heap.push h p v) [ (3., "c"); (1., "a"); (2., "b") ];
+  let pop () = match Vsim.Heap.pop h with Some (_, v) -> v | None -> "!" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ]
+
+let test_heap_fifo_ties () =
+  let h = Vsim.Heap.create () in
+  List.iter (fun v -> Vsim.Heap.push h 1. v) [ "x"; "y"; "z" ];
+  let pop () = match Vsim.Heap.pop h with Some (_, v) -> v | None -> "!" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "fifo" [ "x"; "y"; "z" ] [ first; second; third ]
+
+let heap_pops_sorted =
+  QCheck.Test.make ~name:"heap pops in priority order" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.))
+    (fun prios ->
+      let h = Vsim.Heap.create () in
+      List.iter (fun p -> Vsim.Heap.push h p p) prios;
+      let rec drain acc =
+        match Vsim.Heap.pop h with
+        | None -> List.rev acc
+        | Some (_, v) -> drain (v :: acc)
+      in
+      drain [] = List.sort Float.compare prios)
+
+(* -- engine ----------------------------------------------------------------- *)
+
+let test_engine_ordering () =
+  let e = Vsim.Engine.create () in
+  let log = ref [] in
+  ignore (Vsim.Engine.schedule e ~at:5. (fun () -> log := "b" :: !log));
+  ignore (Vsim.Engine.schedule e ~at:1. (fun () -> log := "a" :: !log));
+  Vsim.Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b" ] (List.rev !log);
+  check_float 1e-9 "clock" 5. (Vsim.Engine.now e)
+
+let test_engine_cancel () =
+  let e = Vsim.Engine.create () in
+  let fired = ref false in
+  let h = Vsim.Engine.schedule e ~at:1. (fun () -> fired := true) in
+  Vsim.Engine.cancel h;
+  Vsim.Engine.run e;
+  check_bool "not fired" false !fired
+
+let test_engine_schedule_in_callback () =
+  let e = Vsim.Engine.create () in
+  let log = ref [] in
+  ignore
+    (Vsim.Engine.schedule e ~at:1. (fun () ->
+         log := 1 :: !log;
+         ignore
+           (Vsim.Engine.schedule_after e ~delay:2. (fun () -> log := 2 :: !log))));
+  Vsim.Engine.run e;
+  Alcotest.(check (list int)) "chained" [ 1; 2 ] (List.rev !log);
+  check_float 1e-9 "clock" 3. (Vsim.Engine.now e)
+
+let test_engine_until () =
+  let e = Vsim.Engine.create () in
+  let count = ref 0 in
+  ignore (Vsim.Engine.schedule e ~at:1. (fun () -> incr count));
+  ignore (Vsim.Engine.schedule e ~at:10. (fun () -> incr count));
+  Vsim.Engine.run ~until:5. e;
+  check_int "only first" 1 !count
+
+let test_engine_rejects_past () =
+  let e = Vsim.Engine.create () in
+  ignore (Vsim.Engine.schedule e ~at:2. (fun () -> ()));
+  Vsim.Engine.run e;
+  check_bool "past rejected" true
+    (try
+       ignore (Vsim.Engine.schedule e ~at:1. (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+(* -- perf model (Figure 3 calibration) -------------------------------------- *)
+
+let p = Vsim.Perf_model.defaults
+
+let test_perf_boot_stop_memory_independent () =
+  check_float 1e-9 "boot" (Vsim.Perf_model.boot p) 6.;
+  check_float 1e-9 "shutdown" (Vsim.Perf_model.clean_shutdown p) 25.
+
+let test_perf_migrate_scales_with_memory () =
+  let d512 = Vsim.Perf_model.migrate p ~memory_mb:512 in
+  let d2048 = Vsim.Perf_model.migrate p ~memory_mb:2048 in
+  check_bool "larger VM slower" true (d2048 > d512);
+  (* paper: migrating a 2 GB VM takes up to ~26 s *)
+  check_bool "2GB ~26s" true (d2048 > 20. && d2048 < 30.);
+  check_bool "512MB <= 10s" true (d512 < 10.)
+
+let test_perf_suspend_remote_doubles () =
+  let local = Vsim.Perf_model.suspend p ~memory_mb:2048 ~transfer:Vsim.Perf_model.Local in
+  let scp = Vsim.Perf_model.suspend p ~memory_mb:2048 ~transfer:Vsim.Perf_model.Scp in
+  check_bool "local ~100s" true (local > 80. && local < 120.);
+  check_bool "scp roughly doubles" true
+    (scp > 1.7 *. local && scp < 2.3 *. local)
+
+let test_perf_resume_remote_vs_local () =
+  let local = Vsim.Perf_model.resume p ~memory_mb:2048 ~transfer:Vsim.Perf_model.Local in
+  let scp = Vsim.Perf_model.resume p ~memory_mb:2048 ~transfer:Vsim.Perf_model.Scp in
+  check_bool "local ~80s" true (local > 60. && local < 110.);
+  check_bool "remote roughly 2x" true (scp > 1.7 *. local && scp < 2.4 *. local);
+  (* the paper reports remote resumes of up to ~3 minutes *)
+  check_bool "remote under 3.5 min" true (scp < 210.)
+
+let test_perf_deceleration () =
+  check_float 1e-9 "no busy" 1.
+    (Vsim.Perf_model.deceleration p ~local:true ~busy_coresident:false);
+  check_float 1e-9 "local busy" 1.3
+    (Vsim.Perf_model.deceleration p ~local:true ~busy_coresident:true);
+  check_float 1e-9 "remote busy" 1.5
+    (Vsim.Perf_model.deceleration p ~local:false ~busy_coresident:true)
+
+let test_perf_figure3_rows () =
+  let rows = Vsim.Perf_model.figure3_rows () in
+  check_int "3 memory sizes" 3 (List.length rows);
+  List.iter
+    (fun (_, cells) -> check_int "9 operations" 9 (List.length cells))
+    rows;
+  (* durations grow with memory for memory-led operations *)
+  let value mem op =
+    let _, cells = List.find (fun (m, _) -> m = mem) rows in
+    List.assoc op cells
+  in
+  List.iter
+    (fun op ->
+      check_bool (op ^ " monotone") true
+        (value 512 op < value 1024 op && value 1024 op < value 2048 op))
+    [ "migrate"; "suspend local"; "resume local+scp" ];
+  check_float 1e-9 "boot flat" (value 512 "start/run") (value 2048 "start/run")
+
+let test_perf_action_duration_contention () =
+  let nodes = [| Node.testbed ~id:0 ~name:"N0"; Node.testbed ~id:1 ~name:"N1" |] in
+  let vms = [| Vm.make ~id:0 ~name:"vm0" ~memory_mb:1024 |] in
+  let config = Configuration.make ~nodes ~vms in
+  let config = Configuration.set_state config 0 (Configuration.Running 0) in
+  let action = Action.Migrate { vm = 0; src = 0; dst = 1 } in
+  let quiet = Vsim.Perf_model.action_duration ~busy:(fun _ -> false) action config in
+  let busy = Vsim.Perf_model.action_duration ~busy:(fun _ -> true) action config in
+  check_float 1e-6 "busy = 1.5x quiet" (quiet *. 1.5) busy
+
+(* -- cluster ----------------------------------------------------------------- *)
+
+let mk_cluster ?(node_count = 2) ?(cpu = 200) ?(mem = 3584) ~programs
+    ~memories () =
+  let engine = Vsim.Engine.create () in
+  let nodes =
+    Array.init node_count (fun i ->
+        Node.make ~id:i ~name:(Printf.sprintf "N%d" i) ~cpu_capacity:cpu
+          ~memory_mb:mem)
+  in
+  let vms =
+    Array.of_list
+      (List.mapi
+         (fun i m -> Vm.make ~id:i ~name:(Printf.sprintf "vm%d" i) ~memory_mb:m)
+         memories)
+  in
+  let config = Configuration.make ~nodes ~vms in
+  let vjobs =
+    [ Vjob.make ~id:0 ~name:"j0" ~vms:(List.mapi (fun i _ -> i) memories) () ]
+  in
+  let programs_arr = Array.of_list programs in
+  let cluster =
+    Vsim.Cluster.create ~engine ~config ~vjobs
+      ~programs:(fun vm -> programs_arr.(vm))
+      ()
+  in
+  (engine, cluster, vjobs)
+
+let run_all vms_hosts engine cluster =
+  (* place VMs and let the engine drain *)
+  let config =
+    List.fold_left
+      (fun cfg (vm, node) -> Action.apply cfg (Action.Run { vm; dst = node }))
+      (Vsim.Cluster.config cluster) vms_hosts
+  in
+  Vsim.Cluster.set_config cluster config;
+  Vsim.Engine.run engine
+
+let test_cluster_full_speed_compute () =
+  let engine, cluster, _ =
+    mk_cluster ~programs:[ [ Program.Compute 100. ] ] ~memories:[ 512 ] ()
+  in
+  run_all [ (0, 0) ] engine cluster;
+  check_bool "complete" true (Vsim.Cluster.all_complete cluster);
+  (* full speed: 100 cpu-seconds in ~100 s *)
+  let _, t = List.hd (Vsim.Cluster.completions cluster) in
+  check_float 0.5 "wall time" 100. t
+
+let test_cluster_contention_halves_speed () =
+  (* three full-CPU VMs on one 2-core node: each runs at 2/3 speed *)
+  let engine, cluster, _ =
+    mk_cluster
+      ~programs:
+        [ [ Program.Compute 100. ]; [ Program.Compute 100. ]; [ Program.Compute 100. ] ]
+      ~memories:[ 512; 512; 512 ] ()
+  in
+  run_all [ (0, 0); (1, 0); (2, 0) ] engine cluster;
+  let _, t = List.hd (Vsim.Cluster.completions cluster) in
+  check_float 1.0 "2/3 speed" 150. t
+
+let test_cluster_idle_phase_wall_clock () =
+  let engine, cluster, _ =
+    mk_cluster
+      ~programs:[ [ Program.Idle 50.; Program.Compute 10. ] ]
+      ~memories:[ 512 ] ()
+  in
+  run_all [ (0, 0) ] engine cluster;
+  let _, t = List.hd (Vsim.Cluster.completions cluster) in
+  check_float 0.5 "50 idle + 10 compute" 60. t
+
+let test_cluster_launch_requires_all_vms () =
+  (* a 2-VM vjob: running only one VM must not start the program *)
+  let engine, cluster, _ =
+    mk_cluster
+      ~programs:[ [ Program.Compute 10. ]; [ Program.Compute 10. ] ]
+      ~memories:[ 512; 512 ] ()
+  in
+  let config =
+    Action.apply (Vsim.Cluster.config cluster) (Action.Run { vm = 0; dst = 0 })
+  in
+  Vsim.Cluster.set_config cluster config;
+  Vsim.Engine.run ~until:100. engine;
+  check_bool "not complete" false (Vsim.Cluster.all_complete cluster);
+  (* now run the second VM: the vjob launches and finishes *)
+  let config =
+    Action.apply (Vsim.Cluster.config cluster) (Action.Run { vm = 1; dst = 1 })
+  in
+  Vsim.Cluster.set_config cluster config;
+  Vsim.Engine.run engine;
+  check_bool "complete" true (Vsim.Cluster.all_complete cluster)
+
+let test_cluster_suspension_freezes_progress () =
+  let engine, cluster, _ =
+    mk_cluster ~programs:[ [ Program.Compute 100. ] ] ~memories:[ 512 ] ()
+  in
+  let config =
+    Action.apply (Vsim.Cluster.config cluster) (Action.Run { vm = 0; dst = 0 })
+  in
+  Vsim.Cluster.set_config cluster config;
+  (* run 30 s, suspend for 100 s, resume *)
+  Vsim.Engine.run ~until:30. engine;
+  ignore
+    (Vsim.Engine.schedule engine ~at:30. (fun () ->
+         Vsim.Cluster.set_config cluster
+           (Action.apply (Vsim.Cluster.config cluster)
+              (Action.Suspend { vm = 0; host = 0 }))));
+  ignore
+    (Vsim.Engine.schedule engine ~at:130. (fun () ->
+         Vsim.Cluster.set_config cluster
+           (Action.apply (Vsim.Cluster.config cluster)
+              (Action.Resume { vm = 0; src = 0; dst = 0 }))));
+  Vsim.Engine.run engine;
+  let _, t = List.hd (Vsim.Cluster.completions cluster) in
+  check_float 1.0 "frozen 100 s" 200. t
+
+let test_cluster_demand_follows_phases () =
+  let engine, cluster, _ =
+    mk_cluster
+      ~programs:[ [ Program.Compute 10.; Program.Idle 50. ] ]
+      ~memories:[ 512 ] ()
+  in
+  let config =
+    Action.apply (Vsim.Cluster.config cluster) (Action.Run { vm = 0; dst = 0 })
+  in
+  Vsim.Cluster.set_config cluster config;
+  check_int "computing" Program.compute_demand (Vsim.Cluster.vm_demand cluster 0);
+  Vsim.Engine.run ~until:20. engine;
+  check_int "idling" Program.idle_demand (Vsim.Cluster.vm_demand cluster 0)
+
+let test_cluster_decel_during_op () =
+  let engine, cluster, _ =
+    mk_cluster ~programs:[ [ Program.Compute 100. ] ] ~memories:[ 512 ] ()
+  in
+  let config =
+    Action.apply (Vsim.Cluster.config cluster) (Action.Run { vm = 0; dst = 0 })
+  in
+  Vsim.Cluster.set_config cluster config;
+  (* a remote operation holds node 0 from t=0 to t=60 *)
+  Vsim.Cluster.register_op cluster ~nodes:[ 0 ] ~local:false;
+  Vsim.Cluster.recompute cluster;
+  ignore
+    (Vsim.Engine.schedule engine ~at:60. (fun () ->
+         Vsim.Cluster.unregister_op cluster ~nodes:[ 0 ] ~local:false;
+         Vsim.Cluster.recompute cluster));
+  Vsim.Engine.run engine;
+  let _, t = List.hd (Vsim.Cluster.completions cluster) in
+  (* 60 s at 1/1.5 speed = 40 cpu-s done, then 60 more at full speed *)
+  check_float 1.0 "decelerated" 120. t
+
+(* -- executor ----------------------------------------------------------------- *)
+
+let test_executor_applies_plan () =
+  let engine, cluster, _ =
+    mk_cluster
+      ~programs:[ [ Program.Compute 1000. ]; [ Program.Compute 1000. ] ]
+      ~memories:[ 512; 512 ] ()
+  in
+  let plan =
+    Plan.make [ [ Action.Run { vm = 0; dst = 0 }; Action.Run { vm = 1; dst = 1 } ] ]
+  in
+  let record = ref None in
+  Vsim.Executor.execute cluster plan ~on_done:(fun r -> record := Some r);
+  Vsim.Engine.run ~until:50. engine;
+  (match !record with
+  | None -> Alcotest.fail "executor did not finish"
+  | Some r ->
+    check_int "runs" 2 r.Vsim.Executor.runs;
+    (* both boots in parallel: ~6 s *)
+    check_float 1.0 "parallel boot" 6. (Vsim.Executor.duration r));
+  check_bool "both running" true
+    (Configuration.running_vms (Vsim.Cluster.config cluster) = [ 0; 1 ])
+
+let test_executor_pools_sequential () =
+  let engine, cluster, _ =
+    mk_cluster
+      ~programs:[ [ Program.Compute 1000. ]; [ Program.Compute 1000. ] ]
+      ~memories:[ 512; 512 ] ()
+  in
+  let plan =
+    Plan.make
+      [
+        [ Action.Run { vm = 0; dst = 0 } ];
+        [ Action.Run { vm = 1; dst = 1 } ];
+      ]
+  in
+  let record = ref None in
+  Vsim.Executor.execute cluster plan ~on_done:(fun r -> record := Some r);
+  Vsim.Engine.run ~until:50. engine;
+  match !record with
+  | None -> Alcotest.fail "executor did not finish"
+  | Some r -> check_float 1.0 "two boots back to back" 12. (Vsim.Executor.duration r)
+
+let test_executor_pipelines_suspends () =
+  let engine, cluster, _ =
+    mk_cluster
+      ~programs:[ [ Program.Compute 10000. ]; [ Program.Compute 10000. ] ]
+      ~memories:[ 512; 512 ] ()
+  in
+  let config =
+    List.fold_left
+      (fun cfg (vm, node) -> Action.apply cfg (Action.Run { vm; dst = node }))
+      (Vsim.Cluster.config cluster)
+      [ (0, 0); (1, 1) ]
+  in
+  Vsim.Cluster.set_config cluster config;
+  let plan =
+    Plan.make
+      [ [ Action.Suspend { vm = 0; host = 0 }; Action.Suspend { vm = 1; host = 1 } ] ]
+  in
+  let record = ref None in
+  Vsim.Executor.execute cluster plan ~on_done:(fun r -> record := Some r);
+  Vsim.Engine.run engine;
+  match !record with
+  | None -> Alcotest.fail "executor did not finish"
+  | Some r ->
+    let single =
+      Vsim.Perf_model.suspend p ~memory_mb:512 ~transfer:Vsim.Perf_model.Local
+    in
+    (* pipelined: second starts 1 s after the first, both overlap *)
+    check_bool "overlapping, staggered by 1s" true
+      (Vsim.Executor.duration r >= single
+      && Vsim.Executor.duration r <= single +. 1.5);
+    check_int "two suspends" 2 r.Vsim.Executor.suspends
+
+(* -- metrics ------------------------------------------------------------------ *)
+
+let test_metrics_overload_visible () =
+  let engine, cluster, _ =
+    mk_cluster ~node_count:1
+      ~programs:
+        [ [ Program.Compute 50. ]; [ Program.Compute 50. ]; [ Program.Compute 50. ] ]
+      ~memories:[ 512; 512; 512 ] ()
+  in
+  let metrics = Vsim.Metrics.start ~period:10. cluster in
+  let config =
+    List.fold_left
+      (fun cfg (vm, node) -> Action.apply cfg (Action.Run { vm; dst = node }))
+      (Vsim.Cluster.config cluster)
+      [ (0, 0); (1, 0); (2, 0) ]
+  in
+  Vsim.Cluster.set_config cluster config;
+  (* the sampler reschedules forever: bound the run, then stop it *)
+  Vsim.Engine.run ~until:60. engine;
+  Vsim.Metrics.stop metrics;
+  (* 3 full-CPU VMs on 2 cores: demand 150% of capacity *)
+  check_float 1.0 "peak demand 150%" 150. (Vsim.Metrics.peak_cpu_demand metrics);
+  let points = Vsim.Metrics.points metrics in
+  let peak_mem =
+    List.fold_left (fun acc p -> max acc p.Vsim.Metrics.mem_used_mb) 0 points
+  in
+  check_int "mem used" 1536 peak_mem;
+  List.iter
+    (fun pt ->
+      check_bool "used capped at 100" true (pt.Vsim.Metrics.cpu_used_pct <= 100.001))
+    points;
+  (* the single node is active while the VMs run *)
+  let peak_active =
+    List.fold_left (fun acc p -> max acc p.Vsim.Metrics.active_nodes) 0 points
+  in
+  check_int "one active node" 1 peak_active;
+  check_bool "node-seconds accumulated" true
+    (Vsim.Metrics.node_seconds metrics > 0.)
+
+(* -- runner (end to end) ------------------------------------------------------ *)
+
+let testbed_nodes n =
+  Array.init n (fun i -> Node.testbed ~id:i ~name:(Printf.sprintf "N%d" i))
+
+let test_runner_single_vjob () =
+  let traces = [ Trace.make ~seed:0 ~vm_count:9 Nasgrid.Ed Nasgrid.W ] in
+  let r = Vsim.Runner.run_entropy ~cp_timeout:0.2 ~nodes:(testbed_nodes 11) ~traces () in
+  check_int "one completion" 1 (List.length r.Vsim.Runner.completions);
+  (* ED.W: 60 s of work; plus boot and loop latency, well under 5 min *)
+  check_bool "fast completion" true (r.Vsim.Runner.makespan < 300.);
+  check_bool "at least one switch (the runs)" true
+    (List.length r.Vsim.Runner.switches >= 1)
+
+let test_runner_overload_suspends_and_completes () =
+  (* 8 vjobs of 9 full-CPU VMs on 11 nodes (22 cores): must suspend *)
+  let traces =
+    List.init 8 (fun i ->
+        let family = List.nth Nasgrid.families (i mod 4) in
+        Trace.make ~seed:i ~vm_count:9 family Nasgrid.W)
+  in
+  let r = Vsim.Runner.run_entropy ~cp_timeout:0.2 ~nodes:(testbed_nodes 11) ~traces () in
+  check_int "all complete" 8 (List.length r.Vsim.Runner.completions);
+  let total_suspends =
+    List.fold_left (fun acc s -> acc + s.Vsim.Executor.suspends) 0 r.Vsim.Runner.switches
+  in
+  check_bool "suspends happened" true (total_suspends > 0);
+  check_bool "finite makespan" true (r.Vsim.Runner.makespan < 20_000.)
+
+let test_runner_beats_static_fcfs () =
+  (* the headline claim: dynamic consolidation + context switches beat
+     the static FCFS allocation *)
+  let traces =
+    List.init 8 (fun i ->
+        let family = List.nth Nasgrid.families (i mod 4) in
+        Trace.make ~seed:i ~vm_count:9 family Nasgrid.W)
+  in
+  let entropy =
+    Vsim.Runner.run_entropy ~cp_timeout:0.2 ~nodes:(testbed_nodes 11) ~traces ()
+  in
+  let static =
+    Batch.Static_alloc.run ~capacity:11 ~node_cpu:200 ~node_mem:3584 traces
+  in
+  let fcfs = Batch.Static_alloc.makespan static in
+  check_bool "entropy at least 20% faster" true
+    (entropy.Vsim.Runner.makespan < 0.8 *. fcfs)
+
+let test_runner_switch_cost_duration_correlate () =
+  let traces =
+    List.init 8 (fun i ->
+        let family = List.nth Nasgrid.families (i mod 4) in
+        Trace.make ~seed:i ~vm_count:9 family Nasgrid.W)
+  in
+  let r = Vsim.Runner.run_entropy ~cp_timeout:0.2 ~nodes:(testbed_nodes 11) ~traces () in
+  (* Figure 11's shape: zero-cost switches are fast (run/stop only);
+     expensive switches (suspends/resumes) take minutes *)
+  let cheap =
+    List.filter (fun s -> s.Vsim.Executor.cost = 0) r.Vsim.Runner.switches
+  in
+  let dear =
+    List.filter (fun s -> s.Vsim.Executor.cost > 10_000) r.Vsim.Runner.switches
+  in
+  check_bool "has cheap switches" true (cheap <> []);
+  check_bool "has dear switches" true (dear <> []);
+  (* run/stop-only switches: bounded by a shutdown plus a boot per pool *)
+  List.iter
+    (fun s -> check_bool "cheap is fast" true (Vsim.Executor.duration s <= 40.))
+    cheap;
+  List.iter
+    (fun s -> check_bool "dear is slow" true (Vsim.Executor.duration s > 60.))
+    dear
+
+let test_runner_recovers_from_failures () =
+  (* every first attempt of each migration fails; the loop replans and
+     the workload still completes *)
+  let failed_once = Hashtbl.create 16 in
+  let should_fail = function
+    | Action.Migrate { vm; _ } ->
+      if Hashtbl.mem failed_once vm then false
+      else begin
+        Hashtbl.replace failed_once vm ();
+        true
+      end
+    | _ -> false
+  in
+  let traces =
+    List.init 3 (fun i -> Trace.make ~seed:i ~vm_count:4 Nasgrid.Ed Nasgrid.W)
+  in
+  let r =
+    Vsim.Runner.run_entropy ~cp_timeout:0.2 ~should_fail
+      ~nodes:(testbed_nodes 4) ~traces ()
+  in
+  check_int "all complete despite failures" 3
+    (List.length r.Vsim.Runner.completions);
+  check_bool "finite" true (r.Vsim.Runner.makespan < 10_000.)
+
+let test_executor_failure_keeps_state () =
+  let engine, cluster, _ =
+    mk_cluster
+      ~programs:[ [ Program.Compute 1000. ] ]
+      ~memories:[ 512 ] ()
+  in
+  let plan = Plan.make [ [ Action.Run { vm = 0; dst = 0 } ] ] in
+  let record = ref None in
+  Vsim.Executor.execute
+    ~should_fail:(fun _ -> true)
+    cluster plan
+    ~on_done:(fun r -> record := Some r);
+  Vsim.Engine.run ~until:50. engine;
+  (match !record with
+  | Some r -> check_int "one failure" 1 r.Vsim.Executor.failed
+  | None -> Alcotest.fail "executor did not finish");
+  check_bool "still waiting" true
+    (Configuration.state (Vsim.Cluster.config cluster) 0 = Configuration.Waiting)
+
+let test_executor_continuous_applies_plan () =
+  let engine, cluster, _ =
+    mk_cluster
+      ~programs:[ [ Program.Compute 1000. ]; [ Program.Compute 1000. ] ]
+      ~memories:[ 512; 512 ] ()
+  in
+  let plan =
+    Plan.make
+      [ [ Action.Run { vm = 0; dst = 0 }; Action.Run { vm = 1; dst = 1 } ] ]
+  in
+  let record = ref None in
+  Vsim.Executor.execute_continuous cluster plan ~on_done:(fun r ->
+      record := Some r);
+  Vsim.Engine.run ~until:50. engine;
+  (match !record with
+  | None -> Alcotest.fail "did not finish"
+  | Some r -> check_int "runs" 2 r.Vsim.Executor.runs);
+  check_bool "both running" true
+    (Configuration.running_vms (Vsim.Cluster.config cluster) = [ 0; 1 ])
+
+let test_executor_continuous_overlaps_pools () =
+  (* pool plan: pool1 = suspend(2 GB, ~100 s) + migrate(512 MB, ~8 s);
+     pool2 = resume(2 GB, ~80 s) waiting only on the migration. The
+     continuous executor overlaps the resume with the suspend. *)
+  let engine, cluster, _ =
+    mk_cluster ~node_count:3 ~mem:2048
+      ~programs:
+        [
+          [ Program.Compute 10000. ];
+          [ Program.Compute 10000. ];
+          [ Program.Compute 10000. ];
+        ]
+      ~memories:[ 2048; 512; 2048 ] ()
+  in
+  let config =
+    List.fold_left
+      (fun cfg (vm, node) -> Action.apply cfg (Action.Run { vm; dst = node }))
+      (Vsim.Cluster.config cluster)
+      [ (0, 0); (1, 1); (2, 1) ]
+  in
+  let config = Action.apply config (Action.Suspend { vm = 2; host = 1 }) in
+  Vsim.Cluster.set_config cluster config;
+  let plan =
+    Plan.make
+      [
+        [
+          Action.Suspend { vm = 0; host = 0 };
+          Action.Migrate { vm = 1; src = 1; dst = 2 };
+        ];
+        [ Action.Resume { vm = 2; src = 1; dst = 1 } ];
+      ]
+  in
+  let run exec =
+    let record = ref None in
+    exec cluster plan ~on_done:(fun r -> record := Some r);
+    Vsim.Engine.run ~until:(Vsim.Engine.now engine +. 1000.) engine;
+    match !record with
+    | Some r -> Vsim.Executor.duration r
+    | None -> Alcotest.fail "did not finish"
+  in
+  (* run once continuous on this cluster; rebuild an identical cluster
+     for the pool run *)
+  let continuous =
+    run (fun cluster plan ~on_done ->
+        Vsim.Executor.execute_continuous cluster plan ~on_done)
+  in
+  let engine2, cluster2, _ =
+    mk_cluster ~node_count:3 ~mem:2048
+      ~programs:
+        [
+          [ Program.Compute 10000. ];
+          [ Program.Compute 10000. ];
+          [ Program.Compute 10000. ];
+        ]
+      ~memories:[ 2048; 512; 2048 ] ()
+  in
+  let config2 =
+    List.fold_left
+      (fun cfg (vm, node) -> Action.apply cfg (Action.Run { vm; dst = node }))
+      (Vsim.Cluster.config cluster2)
+      [ (0, 0); (1, 1); (2, 1) ]
+  in
+  let config2 = Action.apply config2 (Action.Suspend { vm = 2; host = 1 }) in
+  Vsim.Cluster.set_config cluster2 config2;
+  let record2 = ref None in
+  Vsim.Executor.execute cluster2 plan ~on_done:(fun r -> record2 := Some r);
+  Vsim.Engine.run ~until:1000. engine2;
+  let pooled =
+    match !record2 with
+    | Some r -> Vsim.Executor.duration r
+    | None -> Alcotest.fail "pool run did not finish"
+  in
+  check_bool "continuous much faster" true (continuous < 0.8 *. pooled)
+
+let test_runner_continuous_execution_completes () =
+  let traces =
+    List.init 4 (fun i ->
+        let family = List.nth Nasgrid.families (i mod 4) in
+        Trace.make ~seed:i ~vm_count:9 family Nasgrid.W)
+  in
+  let r =
+    Vsim.Runner.run_entropy ~cp_timeout:0.2 ~execution:`Continuous
+      ~nodes:(testbed_nodes 11) ~traces ()
+  in
+  check_int "all complete" 4 (List.length r.Vsim.Runner.completions)
+
+(* -- storage ---------------------------------------------------------------------- *)
+
+let test_storage_sharding_and_counts () =
+  let st = Vsim.Storage.create ~server_count:3 () in
+  check_int "vm0 -> server 0" 0 (Vsim.Storage.server_of_vm st 0);
+  check_int "vm4 -> server 1" 1 (Vsim.Storage.server_of_vm st 4);
+  Vsim.Storage.begin_transfer st 0;
+  Vsim.Storage.begin_transfer st 3;
+  (* both on server 0 *)
+  check_int "two active" 2 (Vsim.Storage.active_on st 0);
+  check_float 1e-9 "third shares three ways" 3. (Vsim.Storage.slowdown st 6);
+  check_float 1e-9 "other server free" 1. (Vsim.Storage.slowdown st 1);
+  Vsim.Storage.end_transfer st 0;
+  check_int "one active" 1 (Vsim.Storage.active_on st 0)
+
+let test_storage_only_disk_images () =
+  check_bool "suspend uses storage" true
+    (Vsim.Storage.uses_storage (Action.Suspend { vm = 0; host = 0 }));
+  check_bool "resume uses storage" true
+    (Vsim.Storage.uses_storage (Action.Resume { vm = 0; src = 0; dst = 1 }));
+  check_bool "migration streams directly" false
+    (Vsim.Storage.uses_storage (Action.Migrate { vm = 0; src = 0; dst = 1 }));
+  check_bool "ram suspend stays on host" false
+    (Vsim.Storage.uses_storage (Action.Suspend_ram { vm = 0; host = 0 }))
+
+let test_storage_contention_stretches_suspends () =
+  (* two simultaneous suspends of same-server VMs take ~2x; on distinct
+     servers they overlap freely *)
+  let run ~server_count vms_hosts =
+    let engine = Vsim.Engine.create () in
+    let storage = Vsim.Storage.create ~server_count () in
+    let nodes = testbed_nodes 4 in
+    let vms =
+      Array.of_list
+        (List.mapi
+           (fun i _ -> Vm.make ~id:i ~name:(Printf.sprintf "vm%d" i) ~memory_mb:512)
+           vms_hosts)
+    in
+    let config = Configuration.make ~nodes ~vms in
+    let vjobs =
+      [ Vjob.make ~id:0 ~name:"j" ~vms:(List.mapi (fun i _ -> i) vms_hosts) () ]
+    in
+    let cluster =
+      Vsim.Cluster.create ~storage ~engine ~config ~vjobs
+        ~programs:(fun _ -> [ Program.Compute 10000. ])
+        ()
+    in
+    let config =
+      List.fold_left
+        (fun cfg (vm, node) -> Action.apply cfg (Action.Run { vm; dst = node }))
+        (Vsim.Cluster.config cluster) vms_hosts
+    in
+    Vsim.Cluster.set_config cluster config;
+    let plan =
+      Plan.make
+        [ List.map (fun (vm, node) -> Action.Suspend { vm; host = node }) vms_hosts ]
+    in
+    let record = ref None in
+    Vsim.Executor.execute cluster plan ~on_done:(fun r -> record := Some r);
+    Vsim.Engine.run engine;
+    match !record with
+    | Some r -> Vsim.Executor.duration r
+    | None -> Alcotest.fail "executor did not finish"
+  in
+  (* one server: the two image writes share it *)
+  let contended = run ~server_count:1 [ (0, 0); (1, 1) ] in
+  (* many servers: vm0 -> s0, vm1 -> s1 *)
+  let parallel = run ~server_count:2 [ (0, 0); (1, 1) ] in
+  check_bool "contention visible" true (contended > 1.4 *. parallel)
+
+(* -- online rms ------------------------------------------------------------------ *)
+
+let test_rms_simulate_frees_early () =
+  (* job0's slot is 20 but it actually runs 10: the online scheduler
+     starts job1 at 10, the rigid one at 20 *)
+  let j0 =
+    Batch.Job.make ~id:0 ~name:"j0" ~nodes_required:10 ~walltime:20. ~actual:10. ()
+  in
+  let j1 =
+    Batch.Job.make ~id:1 ~name:"j1" ~nodes_required:10 ~walltime:10. ~actual:10. ()
+  in
+  let online = Batch.Rms.simulate ~capacity:10 [ j0; j1 ] in
+  let rigid = Batch.Rms.fcfs ~release:Batch.Rms.Walltime ~capacity:10 [ j0; j1 ] in
+  check_float 1e-9 "online makespan" 20. online.Batch.Rms.makespan;
+  check_float 1e-9 "rigid makespan" 30. rigid.Batch.Rms.makespan
+
+let test_rms_simulate_backfill_vs_strict () =
+  let mk id nodes walltime =
+    Batch.Job.make ~id ~name:(Printf.sprintf "j%d" id) ~nodes_required:nodes
+      ~walltime ~actual:walltime ()
+  in
+  let jobs = [ mk 0 8 10.; mk 1 8 10.; mk 2 2 10. ] in
+  let bf = Batch.Rms.simulate ~backfill:true ~capacity:10 jobs in
+  let strict = Batch.Rms.simulate ~backfill:false ~capacity:10 jobs in
+  let start sched id =
+    let p =
+      List.find
+        (fun (p : Batch.Job.placement) -> p.Batch.Job.job.Batch.Job.id = id)
+        sched.Batch.Rms.placements
+    in
+    p.Batch.Job.start
+  in
+  check_float 1e-9 "backfilled at 0" 0. (start bf 2);
+  check_float 1e-9 "strict waits" 10. (start strict 2)
+
+let test_rms_simulate_staggered_arrivals () =
+  let mk id arrival nodes =
+    Batch.Job.make ~id ~name:(Printf.sprintf "j%d" id) ~arrival
+      ~nodes_required:nodes ~walltime:10. ~actual:10. ()
+  in
+  let jobs = [ mk 0 0. 5; mk 1 3. 5; mk 2 50. 10 ] in
+  let s = Batch.Rms.simulate ~capacity:10 jobs in
+  let start id =
+    let p =
+      List.find
+        (fun (p : Batch.Job.placement) -> p.Batch.Job.job.Batch.Job.id = id)
+        s.Batch.Rms.placements
+    in
+    p.Batch.Job.start
+  in
+  check_float 1e-9 "j1 at its arrival" 3. (start 1);
+  check_float 1e-9 "j2 at its arrival" 50. (start 2);
+  check_float 1e-9 "makespan" 60. s.Batch.Rms.makespan
+
+(* -- monitor ------------------------------------------------------------------- *)
+
+let test_collector_smoothing () =
+  let readings = ref [] in
+  let clock = ref 0. in
+  let source () =
+    match !readings with
+    | [] -> (!clock, [| 0 |])
+    | r :: rest ->
+      readings := rest;
+      clock := !clock +. 5.;
+      (!clock, [| r |])
+  in
+  let collector = Vmonitor.Collector.create ~smoothing_span:10. source in
+  readings := [ 100; 0; 100 ];
+  Vmonitor.Collector.poll collector;
+  Vmonitor.Collector.poll collector;
+  Vmonitor.Collector.poll collector;
+  (* samples land at t=5,10,15; the 10 s window from t=15 includes all
+     three (inclusive bound): mean (100+0+100)/3 = 66 *)
+  let d = Vmonitor.Collector.demand collector in
+  check_int "smoothed" 66 (Demand.cpu d 0)
+
+let test_history_average_fallback () =
+  let h = Vmonitor.History.create () in
+  Vmonitor.History.add h (Vmonitor.Sample.make ~time:0. ~cpu:[| 42 |]);
+  (* a window far in the future is empty: fall back to the latest *)
+  Alcotest.(check (option int))
+    "fallback" (Some 42)
+    (Vmonitor.History.average_cpu h ~now:1000. ~span:10. 0)
+
+let test_collector_poll_count_and_bootstrap () =
+  let clock = ref 0. in
+  let source () =
+    clock := !clock +. 1.;
+    (!clock, [| 7 |])
+  in
+  let c = Vmonitor.Collector.create source in
+  check_int "no polls yet" 0 (Vmonitor.Collector.polls c);
+  (* demand on an empty history polls once by itself *)
+  let d = Vmonitor.Collector.demand c in
+  check_int "bootstrap poll" 1 (Vmonitor.Collector.polls c);
+  check_int "value" 7 (Demand.cpu d 0)
+
+let test_engine_max_events () =
+  let e = Vsim.Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Vsim.Engine.schedule_after e ~delay:1. tick)
+  in
+  ignore (Vsim.Engine.schedule_after e ~delay:1. tick);
+  Vsim.Engine.run ~max_events:5 e;
+  check_int "bounded" 5 !count
+
+let test_history_window_and_eviction () =
+  let h = Vmonitor.History.create ~capacity:3 () in
+  List.iter
+    (fun (t, v) -> Vmonitor.History.add h (Vmonitor.Sample.make ~time:t ~cpu:[| v |]))
+    [ (0., 1); (10., 2); (20., 3); (30., 4) ];
+  check_int "capacity respected" 3 (Vmonitor.History.length h);
+  (match Vmonitor.History.latest h with
+  | Some s -> check_int "latest" 4 (Vmonitor.Sample.cpu s 0)
+  | None -> Alcotest.fail "expected latest");
+  check_int "window size" 2
+    (List.length (Vmonitor.History.window h ~now:30. ~span:10.))
+
+(* -- run -------------------------------------------------------------------------- *)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "vsim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+        ]
+        @ qsuite [ heap_pops_sorted ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "chained" `Quick test_engine_schedule_in_callback;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+        ] );
+      ( "perf_model",
+        [
+          Alcotest.test_case "boot/stop flat" `Quick
+            test_perf_boot_stop_memory_independent;
+          Alcotest.test_case "migrate scales" `Quick
+            test_perf_migrate_scales_with_memory;
+          Alcotest.test_case "suspend remote 2x" `Quick
+            test_perf_suspend_remote_doubles;
+          Alcotest.test_case "resume remote 2x" `Quick
+            test_perf_resume_remote_vs_local;
+          Alcotest.test_case "deceleration" `Quick test_perf_deceleration;
+          Alcotest.test_case "figure 3 rows" `Quick test_perf_figure3_rows;
+          Alcotest.test_case "contended action" `Quick
+            test_perf_action_duration_contention;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "full speed" `Quick test_cluster_full_speed_compute;
+          Alcotest.test_case "contention" `Quick
+            test_cluster_contention_halves_speed;
+          Alcotest.test_case "idle wall clock" `Quick
+            test_cluster_idle_phase_wall_clock;
+          Alcotest.test_case "launch needs all VMs" `Quick
+            test_cluster_launch_requires_all_vms;
+          Alcotest.test_case "suspension freezes" `Quick
+            test_cluster_suspension_freezes_progress;
+          Alcotest.test_case "demand follows phases" `Quick
+            test_cluster_demand_follows_phases;
+          Alcotest.test_case "operation decelerates" `Quick
+            test_cluster_decel_during_op;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "applies plan" `Quick test_executor_applies_plan;
+          Alcotest.test_case "pools sequential" `Quick
+            test_executor_pools_sequential;
+          Alcotest.test_case "pipelined suspends" `Quick
+            test_executor_pipelines_suspends;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "overload visible" `Quick test_metrics_overload_visible ]
+      );
+      ( "runner",
+        [
+          Alcotest.test_case "single vjob" `Quick test_runner_single_vjob;
+          Alcotest.test_case "overload resolved" `Quick
+            test_runner_overload_suspends_and_completes;
+          Alcotest.test_case "beats static FCFS" `Quick
+            test_runner_beats_static_fcfs;
+          Alcotest.test_case "cost/duration correlate" `Quick
+            test_runner_switch_cost_duration_correlate;
+          Alcotest.test_case "recovers from failures" `Quick
+            test_runner_recovers_from_failures;
+          Alcotest.test_case "failure keeps state" `Quick
+            test_executor_failure_keeps_state;
+        ] );
+      ( "continuous-executor",
+        [
+          Alcotest.test_case "applies plan" `Quick
+            test_executor_continuous_applies_plan;
+          Alcotest.test_case "overlaps pools" `Quick
+            test_executor_continuous_overlaps_pools;
+          Alcotest.test_case "runner completes" `Quick
+            test_runner_continuous_execution_completes;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "sharding + counts" `Quick
+            test_storage_sharding_and_counts;
+          Alcotest.test_case "disk images only" `Quick
+            test_storage_only_disk_images;
+          Alcotest.test_case "contention stretches" `Quick
+            test_storage_contention_stretches_suspends;
+        ] );
+      ( "online-rms",
+        [
+          Alcotest.test_case "frees early" `Quick test_rms_simulate_frees_early;
+          Alcotest.test_case "backfill vs strict" `Quick
+            test_rms_simulate_backfill_vs_strict;
+          Alcotest.test_case "staggered arrivals" `Quick
+            test_rms_simulate_staggered_arrivals;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "collector smoothing" `Quick
+            test_collector_smoothing;
+          Alcotest.test_case "history window" `Quick
+            test_history_window_and_eviction;
+          Alcotest.test_case "history fallback" `Quick
+            test_history_average_fallback;
+          Alcotest.test_case "collector bootstrap" `Quick
+            test_collector_poll_count_and_bootstrap;
+          Alcotest.test_case "engine max events" `Quick
+            test_engine_max_events;
+        ] );
+    ]

@@ -1,0 +1,362 @@
+(* Tests for the workload substrate: phase programs, NGB-like DAG
+   families, the trace catalogue and the Figure 10 generator. *)
+
+open Entropy_core
+module Program = Vworkload.Program
+module Nasgrid = Vworkload.Nasgrid
+module Trace = Vworkload.Trace
+module Generator = Vworkload.Generator
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+
+(* -- program -------------------------------------------------------------- *)
+
+let test_program_demand () =
+  check_int "compute" 100 (Program.demand [ Program.Compute 10. ]);
+  check_int "idle" 5 (Program.demand [ Program.Idle 10. ]);
+  check_int "done" 0 (Program.demand [])
+
+let test_program_totals () =
+  let p = [ Program.Compute 10.; Program.Idle 5.; Program.Compute 2.5 ] in
+  check_float "compute" 12.5 (Program.total_compute p);
+  check_float "min duration" 17.5 (Program.min_duration p)
+
+let test_program_normalize () =
+  let p =
+    [
+      Program.Idle 0.;
+      Program.Compute 5.;
+      Program.Compute 3.;
+      Program.Idle (-1.);
+      Program.Idle 2.;
+      Program.Idle 4.;
+    ]
+  in
+  match Program.normalize p with
+  | [ Program.Compute w; Program.Idle d ] ->
+    check_float "merged compute" 8. w;
+    check_float "merged idle" 6. d
+  | other ->
+    Alcotest.failf "unexpected normal form %a" Program.pp other
+
+(* -- nasgrid --------------------------------------------------------------- *)
+
+let test_ed_everyone_computes () =
+  let programs = Nasgrid.ed ~vms:9 ~work:60. in
+  check_int "9 programs" 9 (List.length programs);
+  List.iter
+    (fun p ->
+      check_float "full work" 60. (Program.total_compute p);
+      check_int "starts computing" 100 (Program.demand p))
+    programs
+
+let test_hc_single_chain () =
+  let vms = 4 in
+  let programs = Nasgrid.hc ~rounds:2 ~vms ~work:10. () in
+  (* exactly one VM computes at any time: total compute = rounds * vms *
+     work and every program's wall span is identical *)
+  let total =
+    List.fold_left (fun acc p -> acc +. Program.total_compute p) 0. programs
+  in
+  check_float "chain work" (2. *. 4. *. 10.) total;
+  (* VM i's last task ends i tasks after VM 0's: spans step by the task
+     work, and the last VM's span is the whole chain *)
+  let spans = List.map Program.min_duration programs in
+  List.iteri
+    (fun i s -> check_float "span steps by work" (List.hd spans +. (10. *. float_of_int i)) s)
+    spans;
+  check_float "chain span" (2. *. 4. *. 10.)
+    (List.fold_left Float.max 0. spans);
+  (* VM 0 computes first; VM 3 waits 3 tasks *)
+  (match List.hd programs with
+  | Program.Compute _ :: _ -> ()
+  | p -> Alcotest.failf "vm0 should compute first: %a" Program.pp p);
+  match List.nth programs 3 with
+  | Program.Idle d :: _ -> check_float "vm3 waits" 30. d
+  | p -> Alcotest.failf "vm3 should idle first: %a" Program.pp p
+
+let test_vp_pipeline_stagger () =
+  let programs = Nasgrid.vp ~depth:3 ~rounds:2 ~vms:9 ~work:10. () in
+  check_int "9 programs" 9 (List.length programs);
+  (* stage 0 starts immediately, stage 2 waits 2 stage-times *)
+  (match List.hd programs with
+  | Program.Compute _ :: _ -> ()
+  | p -> Alcotest.failf "stage0 computes first: %a" Program.pp p);
+  match List.nth programs 8 with
+  | Program.Idle d :: _ -> check_float "stage2 lead-in" 20. d
+  | p -> Alcotest.failf "stage2 should idle: %a" Program.pp p
+
+let test_mb_unequal_layers () =
+  let programs = Nasgrid.mb ~layers:3 ~vms:9 ~work:10. () in
+  let first = List.hd programs and last = List.nth programs 8 in
+  check_float "layer0 work" 10. (Program.total_compute first);
+  check_float "layer2 works more" 20. (Program.total_compute last)
+
+let test_class_scaling () =
+  let w = Nasgrid.task_work Nasgrid.W
+  and a = Nasgrid.task_work Nasgrid.A
+  and b = Nasgrid.task_work Nasgrid.B in
+  check_bool "W < A < B" true (w < a && a < b)
+
+(* -- dag -------------------------------------------------------------------- *)
+
+module Dag = Vworkload.Dag
+
+let test_dag_validation () =
+  check_bool "dangling dep rejected" true
+    (try
+       ignore (Dag.make ~vm_count:1 [ Dag.task ~id:0 ~vm:0 ~work:1. ~deps:[ 5 ] () ]);
+       false
+     with Dag.Invalid _ -> true);
+  check_bool "unknown vm rejected" true
+    (try
+       ignore (Dag.make ~vm_count:1 [ Dag.task ~id:0 ~vm:3 ~work:1. () ]);
+       false
+     with Dag.Invalid _ -> true)
+
+let test_dag_cycle_detected () =
+  let d =
+    Dag.make ~vm_count:1
+      [
+        Dag.task ~id:0 ~vm:0 ~work:1. ~deps:[ 1 ] ();
+        Dag.task ~id:1 ~vm:0 ~work:1. ~deps:[ 0 ] ();
+      ]
+  in
+  check_bool "cycle" true
+    (try
+       ignore (Dag.topological_order d);
+       false
+     with Dag.Invalid _ -> true)
+
+let test_dag_schedule_chain () =
+  (* a -> b on distinct VMs: b waits for a *)
+  let d =
+    Dag.make ~vm_count:2
+      [
+        Dag.task ~id:0 ~vm:0 ~work:10. ();
+        Dag.task ~id:1 ~vm:1 ~work:5. ~deps:[ 0 ] ();
+      ]
+  in
+  let start, finish = Dag.schedule d in
+  check_float "b starts at 10" 10. start.(1);
+  check_float "critical path" 15. (Array.fold_left Float.max 0. finish)
+
+let test_dag_compile_inserts_idle () =
+  let d =
+    Dag.make ~vm_count:2
+      [
+        Dag.task ~id:0 ~vm:0 ~work:10. ();
+        Dag.task ~id:1 ~vm:1 ~work:5. ~deps:[ 0 ] ();
+      ]
+  in
+  match Dag.compile d with
+  | [ p0; p1 ] ->
+    check_bool "vm0 computes immediately" true (p0 = [ Program.Compute 10. ]);
+    check_bool "vm1 idles then computes" true
+      (p1 = [ Program.Idle 10.; Program.Compute 5. ])
+  | _ -> Alcotest.fail "expected 2 programs"
+
+let test_dag_ed_matches_handwritten () =
+  let dag = Dag.ed ~vms:9 ~work:60. in
+  check_bool "same programs" true (Dag.compile dag = Nasgrid.ed ~vms:9 ~work:60.)
+
+let test_dag_hc_matches_handwritten () =
+  let dag = Dag.hc ~rounds:3 ~vms:9 ~work:60. () in
+  let compiled = Dag.compile dag in
+  let handwritten = Nasgrid.hc ~rounds:3 ~vms:9 ~work:60. () in
+  List.iter2
+    (fun a b ->
+      check_float "same compute" (Program.total_compute b)
+        (Program.total_compute a);
+      check_float "same span" (Program.min_duration b)
+        (Program.min_duration a))
+    compiled handwritten
+
+let test_dag_families_consistency () =
+  (* for every family: compiled programs carry all the DAG's work, and
+     the longest program equals the dedicated-resource critical path *)
+  List.iter
+    (fun family ->
+      let dag = Dag.of_family family ~vms:9 ~work:30. in
+      let programs = Dag.compile dag in
+      let compute =
+        List.fold_left (fun acc p -> acc +. Program.total_compute p) 0. programs
+      in
+      check_float
+        (Nasgrid.family_to_string family ^ " work preserved")
+        (Dag.total_work dag) compute;
+      let span =
+        List.fold_left (fun acc p -> Float.max acc (Program.min_duration p)) 0.
+          programs
+      in
+      check_float
+        (Nasgrid.family_to_string family ^ " span = critical path")
+        (Dag.critical_path dag) span)
+    Nasgrid.families
+
+let test_dag_hc_serializes_cpu () =
+  (* in a helical chain at most one VM computes at a time: the total
+     work equals the critical path *)
+  let dag = Dag.hc ~rounds:2 ~vms:5 ~work:7. () in
+  check_float "serial" (Dag.total_work dag) (Dag.critical_path dag)
+
+(* -- trace ----------------------------------------------------------------- *)
+
+let test_trace_catalogue_81 () =
+  let traces = Trace.catalogue () in
+  check_int "81 traces" 81 (List.length traces);
+  List.iter
+    (fun t ->
+      check_int "programs match vms" t.Trace.vm_count
+        (List.length t.Trace.programs);
+      check_int "memories match vms" t.Trace.vm_count
+        (List.length t.Trace.memories);
+      List.iter
+        (fun m ->
+          check_bool "paper memory sizes" true
+            (List.mem m Trace.memory_choices))
+        t.Trace.memories)
+    traces
+
+let test_trace_vm_counts () =
+  let traces = Trace.catalogue () in
+  check_bool "9 or 18 VMs" true
+    (List.for_all
+       (fun t -> t.Trace.vm_count = 9 || t.Trace.vm_count = 18)
+       traces)
+
+let test_trace_deterministic () =
+  let a = Trace.make ~seed:3 ~vm_count:9 Nasgrid.Ed Nasgrid.A in
+  let b = Trace.make ~seed:3 ~vm_count:9 Nasgrid.Ed Nasgrid.A in
+  check_bool "same memories" true (a.Trace.memories = b.Trace.memories)
+
+(* -- generator -------------------------------------------------------------- *)
+
+let test_generator_reaches_vm_target () =
+  let inst =
+    Generator.generate { Generator.default_spec with vm_target = 108; seed = 1 }
+  in
+  let n = Configuration.vm_count inst.Generator.config in
+  check_bool "at least target" true (n >= 108);
+  check_bool "close to target" true (n <= 108 + 18)
+
+let test_generator_memory_satisfied () =
+  (* initial assignment satisfies every VM's memory requirement *)
+  let inst =
+    Generator.generate { Generator.default_spec with vm_target = 216; seed = 2 }
+  in
+  let config = inst.Generator.config in
+  Array.iter
+    (fun node ->
+      check_bool "node memory respected" true
+        (Configuration.mem_load config (Node.id node) <= Node.memory_mb node))
+    (Configuration.nodes config)
+
+let test_generator_deterministic () =
+  let a = Generator.generate { Generator.default_spec with vm_target = 54; seed = 7 } in
+  let b = Generator.generate { Generator.default_spec with vm_target = 54; seed = 7 } in
+  check_bool "equal configs" true
+    (Configuration.equal a.Generator.config b.Generator.config)
+
+let test_generator_vjobs_partition_vms () =
+  let inst =
+    Generator.generate { Generator.default_spec with vm_target = 54; seed = 3 }
+  in
+  let all = List.concat_map Vjob.vms inst.Generator.vjobs in
+  let sorted = List.sort_uniq Int.compare all in
+  check_int "every VM in exactly one vjob"
+    (Configuration.vm_count inst.Generator.config)
+    (List.length sorted);
+  check_int "no duplicates" (List.length all) (List.length sorted)
+
+let test_generator_demands_from_programs () =
+  let inst =
+    Generator.generate { Generator.default_spec with vm_target = 54; seed = 4 }
+  in
+  let ok = ref true in
+  for vm = 0 to Configuration.vm_count inst.Generator.config - 1 do
+    let d = Demand.cpu inst.Generator.demand vm in
+    if d <> Program.compute_demand && d <> Program.idle_demand && d <> 0 then
+      ok := false
+  done;
+  check_bool "demands are phase demands" true !ok
+
+let prop_generator_all_states_appear =
+  QCheck.Test.make ~name:"generator produces running, sleeping and waiting vjobs"
+    ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let inst =
+        Generator.generate
+          { Generator.default_spec with vm_target = 216; seed }
+      in
+      let states =
+        List.filter_map
+          (fun vj -> Configuration.vjob_state inst.Generator.config vj)
+          inst.Generator.vjobs
+      in
+      (* with 12+ vjobs the three states virtually always all appear;
+         accept when at least two distinct states exist *)
+      List.length (List.sort_uniq compare states) >= 2)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "vworkload"
+    [
+      ( "program",
+        [
+          Alcotest.test_case "demand" `Quick test_program_demand;
+          Alcotest.test_case "totals" `Quick test_program_totals;
+          Alcotest.test_case "normalize" `Quick test_program_normalize;
+        ] );
+      ( "nasgrid",
+        [
+          Alcotest.test_case "ED computes everywhere" `Quick
+            test_ed_everyone_computes;
+          Alcotest.test_case "HC single chain" `Quick test_hc_single_chain;
+          Alcotest.test_case "VP pipeline stagger" `Quick
+            test_vp_pipeline_stagger;
+          Alcotest.test_case "MB unequal layers" `Quick
+            test_mb_unequal_layers;
+          Alcotest.test_case "class scaling" `Quick test_class_scaling;
+        ] );
+      ( "dag",
+        [
+          Alcotest.test_case "validation" `Quick test_dag_validation;
+          Alcotest.test_case "cycle detected" `Quick test_dag_cycle_detected;
+          Alcotest.test_case "schedule chain" `Quick test_dag_schedule_chain;
+          Alcotest.test_case "compile inserts idle" `Quick
+            test_dag_compile_inserts_idle;
+          Alcotest.test_case "ED matches handwritten" `Quick
+            test_dag_ed_matches_handwritten;
+          Alcotest.test_case "HC matches handwritten" `Quick
+            test_dag_hc_matches_handwritten;
+          Alcotest.test_case "families consistent" `Quick
+            test_dag_families_consistency;
+          Alcotest.test_case "HC serializes CPU" `Quick
+            test_dag_hc_serializes_cpu;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "catalogue has 81" `Quick test_trace_catalogue_81;
+          Alcotest.test_case "vm counts" `Quick test_trace_vm_counts;
+          Alcotest.test_case "deterministic" `Quick test_trace_deterministic;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "vm target" `Quick
+            test_generator_reaches_vm_target;
+          Alcotest.test_case "memory satisfied" `Quick
+            test_generator_memory_satisfied;
+          Alcotest.test_case "deterministic" `Quick
+            test_generator_deterministic;
+          Alcotest.test_case "vjobs partition VMs" `Quick
+            test_generator_vjobs_partition_vms;
+          Alcotest.test_case "demands from programs" `Quick
+            test_generator_demands_from_programs;
+        ]
+        @ qsuite [ prop_generator_all_states_appear ] );
+    ]
