@@ -2,7 +2,20 @@
    plus microbenches of the constraint-solver substrate. Reported times
    are per full regeneration of the artefact's data (at reduced
    parameters — the experiment drivers in bin/ regenerate the real
-   series). Run with:  dune exec bench/main.exe *)
+   series). Run with:  dune exec bench/main.exe -- [flags]
+
+   Flags:
+     --only SUBSTR    run only benches whose name contains SUBSTR
+     --quota SECONDS  per-bench measurement quota (default 0.8)
+     --json FILE      append a run entry to the JSON trajectory file
+     --label NAME     label of the JSON entry (default "run")
+     --cp-stats       also run one full CP optimisation (fig10, 54 VMs)
+                      and record its search statistics in the JSON entry
+     --cp-timeout S   timeout of that optimisation (default 10s)
+
+   The JSON file is the bench trajectory: each run appends one entry, so
+   successive PRs can compare per-bench ns/run and CP search throughput
+   against every previous recording. *)
 
 open Bechamel
 open Toolkit
@@ -11,7 +24,7 @@ module Generator = Vworkload.Generator
 module Trace = Vworkload.Trace
 module Nasgrid = Vworkload.Nasgrid
 
-(* -- shared fixtures -------------------------------------------------------- *)
+(* -- shared fixtures (lazy: only forced when a selected bench needs them) -- *)
 
 let instance54 =
   lazy (Generator.generate { Generator.default_spec with vm_target = 54; seed = 0 })
@@ -23,6 +36,9 @@ let rjsp_of instance =
   let { Generator.config; demand; vjobs } = instance in
   (config, demand, vjobs, Rjsp.solve ~config ~demand ~queue:vjobs ())
 
+let rjsp54 = lazy (rjsp_of (Lazy.force instance54))
+let rjsp216 = lazy (rjsp_of (Lazy.force instance216))
+
 let small_traces =
   lazy (List.init 2 (fun i -> Trace.make ~seed:i ~vm_count:4 Nasgrid.Ed Nasgrid.W))
 
@@ -32,41 +48,33 @@ let section52_traces =
          let family = List.nth Nasgrid.families (i mod 4) in
          Trace.make ~seed:i ~vm_count:9 family Nasgrid.W))
 
-(* -- per-figure benches ------------------------------------------------------ *)
+(* -- bench table (name, thunk); thunks so fixtures stay unforced under
+   --only filtering (the runtest smoke invocation must stay cheap) -- *)
 
-let bench_fig3 =
-  Test.make ~name:"fig3/duration_model"
-    (Staged.stage (fun () -> ignore (Vsim.Perf_model.figure3_rows ())))
+let mk name thunk = (name, fun () -> Test.make ~name (Staged.stage thunk))
 
-let bench_table1 =
-  let config, demand, vjobs, outcome = rjsp_of (Lazy.force instance54) in
+let bench_table1 () =
+  let config, demand, vjobs, outcome = Lazy.force rjsp54 in
   let target = Rgraph.normalize_sleeping ~current:config outcome.Rjsp.ffd_config in
   let plan = Planner.build_plan ~vjobs ~current:config ~target ~demand () in
   Test.make ~name:"table1/plan_cost"
     (Staged.stage (fun () -> ignore (Plan.cost config plan)))
 
-let bench_fig10_generate =
-  Test.make ~name:"fig10/generate_216vm"
-    (Staged.stage (fun () ->
-         ignore
-           (Generator.generate
-              { Generator.default_spec with vm_target = 216; seed = 1 })))
-
-let bench_fig10_rjsp =
+let bench_fig10_rjsp () =
   let { Generator.config; demand; vjobs } = Lazy.force instance216 in
   Test.make ~name:"fig10/rjsp_ffd_216vm"
     (Staged.stage (fun () ->
          ignore (Rjsp.solve ~config ~demand ~queue:vjobs ())))
 
-let bench_fig10_plan =
-  let config, demand, vjobs, outcome = rjsp_of (Lazy.force instance216) in
+let bench_fig10_plan () =
+  let config, demand, vjobs, outcome = Lazy.force rjsp216 in
   let target = Rgraph.normalize_sleeping ~current:config outcome.Rjsp.ffd_config in
   Test.make ~name:"fig10/plan_build_216vm"
     (Staged.stage (fun () ->
          ignore (Planner.build_plan ~vjobs ~current:config ~target ~demand ())))
 
-let bench_fig10_optimize =
-  let config, demand, vjobs, outcome = rjsp_of (Lazy.force instance54) in
+let bench_fig10_optimize () =
+  let config, demand, vjobs, outcome = Lazy.force rjsp54 in
   Test.make ~name:"fig10/cp_optimize_54vm"
     (Staged.stage (fun () ->
          ignore
@@ -76,7 +84,7 @@ let bench_fig10_optimize =
               ~target_base:outcome.Rjsp.ffd_config
               ~fallback:outcome.Rjsp.ffd_config ())))
 
-let bench_fig11_sim =
+let bench_fig11_sim () =
   let traces = Lazy.force small_traces in
   let nodes =
     Array.init 3 (fun i -> Node.testbed ~id:i ~name:(Printf.sprintf "N%d" i))
@@ -85,7 +93,7 @@ let bench_fig11_sim =
     (Staged.stage (fun () ->
          ignore (Vsim.Runner.run_entropy ~cp_timeout:0.05 ~nodes ~traces ())))
 
-let bench_fig12_static =
+let bench_fig12_static () =
   let traces = Lazy.force section52_traces in
   Test.make ~name:"fig12/static_fcfs_8vjobs"
     (Staged.stage (fun () ->
@@ -93,7 +101,7 @@ let bench_fig12_static =
            (Batch.Static_alloc.run ~capacity:11 ~node_cpu:200 ~node_mem:3584
               traces)))
 
-let bench_fig13_series =
+let bench_fig13_series () =
   let traces = Lazy.force section52_traces in
   let run =
     Batch.Static_alloc.run ~capacity:11 ~node_cpu:200 ~node_mem:3584 traces
@@ -101,34 +109,28 @@ let bench_fig13_series =
   Test.make ~name:"fig13/utilization_series"
     (Staged.stage (fun () -> ignore (Batch.Static_alloc.series ~period:30. run)))
 
-(* -- ablations ---------------------------------------------------------------- *)
-
-let bench_ablation_heuristics =
+let bench_ablation_heuristic name heuristic () =
   let { Generator.config; demand; vjobs } = Lazy.force instance216 in
-  let mk name heuristic =
-    Test.make ~name:(Printf.sprintf "ablation/rjsp_%s" name)
-      (Staged.stage (fun () ->
-           ignore (Rjsp.solve ~heuristic ~config ~demand ~queue:vjobs ())))
-  in
-  [ mk "first_fit" Ffd.First_fit; mk "best_fit" Ffd.Best_fit;
-    mk "worst_fit" Ffd.Worst_fit ]
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore (Rjsp.solve ~heuristic ~config ~demand ~queue:vjobs ())))
 
-let bench_ablation_schedule =
-  let config, demand, vjobs, outcome = rjsp_of (Lazy.force instance216) in
+let bench_ablation_schedule () =
+  let config, demand, vjobs, outcome = Lazy.force rjsp216 in
   let target = Rgraph.normalize_sleeping ~current:config outcome.Rjsp.ffd_config in
   let plan = Planner.build_plan ~vjobs ~current:config ~target ~demand () in
   Test.make ~name:"ablation/timed_schedule_216vm"
     (Staged.stage (fun () -> ignore (Schedule.of_plan config plan)))
 
-let bench_ablation_continuous =
-  let config, demand, vjobs, outcome = rjsp_of (Lazy.force instance216) in
+let bench_ablation_continuous () =
+  let config, demand, vjobs, outcome = Lazy.force rjsp216 in
   let target = Rgraph.normalize_sleeping ~current:config outcome.Rjsp.ffd_config in
   let plan = Planner.build_plan ~vjobs ~current:config ~target ~demand () in
   Test.make ~name:"ablation/continuous_schedule_216vm"
     (Staged.stage (fun () ->
          ignore (Continuous.schedule ~vjobs ~current:config ~demand ~plan ())))
 
-let bench_ablation_online_rms =
+let bench_ablation_online_rms () =
   let traces = Lazy.force section52_traces in
   let jobs =
     List.mapi
@@ -139,106 +141,236 @@ let bench_ablation_online_rms =
   Test.make ~name:"ablation/online_rms_8jobs"
     (Staged.stage (fun () -> ignore (Batch.Rms.simulate ~capacity:11 jobs)))
 
-(* -- solver microbenches -------------------------------------------------------- *)
-
-let bench_solver_domains =
-  Test.make ~name:"solver/domain_ops"
-    (Staged.stage (fun () ->
-         let d = ref (Fdcp.Dom.interval 0 199) in
-         for v = 0 to 198 do
-           d := Fdcp.Dom.remove v !d
-         done;
-         ignore (Fdcp.Dom.value_exn !d)))
-
-let bench_solver_pack =
-  Test.make ~name:"solver/pack_propagation"
-    (Staged.stage (fun () ->
-         let open Fdcp in
-         let s = Store.create () in
-         let vars = Array.init 40 (fun _ -> Store.new_var s ~lo:0 ~hi:19) in
-         let items = Array.map (fun v -> Pack.item v 3) vars in
-         Pack.post s ~items ~capacities:(Array.make 20 6) ();
-         Store.propagate s;
-         Array.iteri
-           (fun i v -> if i < 20 then Store.instantiate s v (i mod 20))
-           vars;
-         Store.propagate s))
-
-let bench_solver_search =
-  Test.make ~name:"solver/search_packing"
-    (Staged.stage (fun () ->
-         let open Fdcp in
-         let s = Store.create () in
-         let vars = Array.init 16 (fun _ -> Store.new_var s ~lo:0 ~hi:7) in
-         let items = Array.mapi (fun i v -> Pack.item v (1 + (i mod 3))) vars in
-         Pack.post s ~items ~capacities:(Array.make 8 4) ();
-         ignore (Search.find_first s ~vars ())))
-
-let bench_solver_knapsack =
-  Test.make ~name:"solver/knapsack_dp"
-    (Staged.stage (fun () ->
-         let open Fdcp in
-         let s = Store.create () in
-         let sel = Array.init 12 (fun _ -> Store.new_var s ~lo:0 ~hi:1) in
-         let sizes = Array.init 12 (fun i -> 3 + (i mod 5)) in
-         let load = Store.new_var s ~lo:20 ~hi:30 in
-         ignore (Knapsack.post s ~sizes ~selectors:sel ~load);
-         Store.propagate s))
-
-(* -- driver ---------------------------------------------------------------------- *)
-
-let all_tests =
+let all_tests : (string * (unit -> Test.t)) list =
   [
-    bench_fig3;
-    bench_table1;
-    bench_fig10_generate;
-    bench_fig10_rjsp;
-    bench_fig10_plan;
-    bench_fig10_optimize;
-    bench_fig11_sim;
-    bench_fig12_static;
-    bench_fig13_series;
+    mk "fig3/duration_model" (fun () -> ignore (Vsim.Perf_model.figure3_rows ()));
+    ("table1/plan_cost", bench_table1);
+    mk "fig10/generate_216vm" (fun () ->
+        ignore
+          (Generator.generate
+             { Generator.default_spec with vm_target = 216; seed = 1 }));
+    ("fig10/rjsp_ffd_216vm", bench_fig10_rjsp);
+    ("fig10/plan_build_216vm", bench_fig10_plan);
+    ("fig10/cp_optimize_54vm", bench_fig10_optimize);
+    ("fig11/entropy_sim_2vjobs", bench_fig11_sim);
+    ("fig12/static_fcfs_8vjobs", bench_fig12_static);
+    ("fig13/utilization_series", bench_fig13_series);
+    ( "ablation/rjsp_first_fit",
+      bench_ablation_heuristic "ablation/rjsp_first_fit" Ffd.First_fit );
+    ( "ablation/rjsp_best_fit",
+      bench_ablation_heuristic "ablation/rjsp_best_fit" Ffd.Best_fit );
+    ( "ablation/rjsp_worst_fit",
+      bench_ablation_heuristic "ablation/rjsp_worst_fit" Ffd.Worst_fit );
+    ("ablation/timed_schedule_216vm", bench_ablation_schedule);
+    ("ablation/continuous_schedule_216vm", bench_ablation_continuous);
+    ("ablation/online_rms_8jobs", bench_ablation_online_rms);
+    mk "solver/domain_ops" (fun () ->
+        let d = ref (Fdcp.Dom.interval 0 199) in
+        for v = 0 to 198 do
+          d := Fdcp.Dom.remove v !d
+        done;
+        ignore (Fdcp.Dom.value_exn !d));
+    mk "solver/pack_propagation" (fun () ->
+        let open Fdcp in
+        let s = Store.create () in
+        let vars = Array.init 40 (fun _ -> Store.new_var s ~lo:0 ~hi:19) in
+        let items = Array.map (fun v -> Pack.item v 3) vars in
+        Pack.post s ~items ~capacities:(Array.make 20 6) ();
+        Store.propagate s;
+        Array.iteri
+          (fun i v -> if i < 20 then Store.instantiate s v (i mod 20))
+          vars;
+        Store.propagate s);
+    mk "solver/search_packing" (fun () ->
+        let open Fdcp in
+        let s = Store.create () in
+        let vars = Array.init 16 (fun _ -> Store.new_var s ~lo:0 ~hi:7) in
+        let items = Array.mapi (fun i v -> Pack.item v (1 + (i mod 3))) vars in
+        Pack.post s ~items ~capacities:(Array.make 8 4) ();
+        ignore (Search.find_first s ~vars ()));
+    mk "solver/knapsack_dp" (fun () ->
+        let open Fdcp in
+        let s = Store.create () in
+        let sel = Array.init 12 (fun _ -> Store.new_var s ~lo:0 ~hi:1) in
+        let sizes = Array.init 12 (fun i -> 3 + (i mod 5)) in
+        let load = Store.new_var s ~lo:20 ~hi:30 in
+        ignore (Knapsack.post s ~sizes ~selectors:sel ~load);
+        Store.propagate s);
   ]
-  @ bench_ablation_heuristics
-  @ [
-      bench_ablation_schedule;
-      bench_ablation_continuous;
-      bench_ablation_online_rms;
-      bench_solver_domains;
-      bench_solver_pack;
-      bench_solver_search;
-      bench_solver_knapsack;
-    ]
+
+(* -- one-shot CP search-statistics probe (fig10 instance, full timeout) -- *)
+
+type cp_probe = {
+  timeout_s : float;
+  cost : int;
+  improved : bool;
+  nodes : int;
+  fails : int;
+  solutions : int;
+  search_elapsed_s : float;
+  timed_out : bool;
+}
+
+let cp_search_stats ~timeout =
+  let config, demand, vjobs, outcome = Lazy.force rjsp54 in
+  let r =
+    Optimizer.optimize ~timeout ~vjobs ~current:config ~demand
+      ~placed:(List.concat_map Vjob.vms outcome.Rjsp.running)
+      ~target_base:outcome.Rjsp.ffd_config ~fallback:outcome.Rjsp.ffd_config ()
+  in
+  let nodes, fails, solutions, search_elapsed_s, timed_out =
+    match r.Optimizer.stats with
+    | Some s ->
+      ( s.Fdcp.Search.nodes,
+        s.Fdcp.Search.fails,
+        s.Fdcp.Search.solutions,
+        s.Fdcp.Search.elapsed,
+        s.Fdcp.Search.timed_out )
+    | None -> (0, 0, 0, 0., false)
+  in
+  {
+    timeout_s = timeout;
+    cost = r.Optimizer.cost;
+    improved = r.Optimizer.improved;
+    nodes;
+    fails;
+    solutions;
+    search_elapsed_s;
+    timed_out;
+  }
+
+(* -- JSON trajectory --------------------------------------------------- *)
+
+let json_entry ~label results probe =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "  { \"label\": %S,\n" label);
+  Buffer.add_string b "    \"ns_per_run\": {\n";
+  List.iteri
+    (fun i (name, ns, _) ->
+      Buffer.add_string b
+        (Printf.sprintf "      %S: %.1f%s\n" name ns
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string b "    }";
+  (match probe with
+  | None -> ()
+  | Some p ->
+    Buffer.add_string b
+      (Printf.sprintf
+         ",\n\
+         \    \"cp_optimize_54vm\": { \"timeout_s\": %g, \"cost\": %d, \
+          \"improved\": %b, \"nodes\": %d, \"fails\": %d, \"solutions\": %d, \
+          \"search_elapsed_s\": %.3f, \"timed_out\": %b }"
+         p.timeout_s p.cost p.improved p.nodes p.fails p.solutions
+         p.search_elapsed_s p.timed_out));
+  Buffer.add_string b " }";
+  Buffer.contents b
+
+let append_json path entry =
+  let prev =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      String.trim s
+    end
+    else ""
+  in
+  let content =
+    if prev = "" || prev = "[]" then "[\n" ^ entry ^ "\n]\n"
+    else
+      match String.rindex_opt prev ']' with
+      | Some i ->
+        String.trim (String.sub prev 0 i) ^ ",\n" ^ entry ^ "\n]\n"
+      | None -> "[\n" ^ entry ^ "\n]\n"
+  in
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+(* -- driver ------------------------------------------------------------ *)
 
 let () =
+  let json = ref "" in
+  let label = ref "run" in
+  let only = ref "" in
+  let quota = ref 0.8 in
+  let cp_stats = ref false in
+  let cp_timeout = ref 10. in
+  Arg.parse
+    [
+      ("--json", Arg.Set_string json, "FILE append a run entry to FILE");
+      ("--label", Arg.Set_string label, "NAME label of the JSON entry");
+      ("--only", Arg.Set_string only, "SUBSTR run only matching benches");
+      ("--quota", Arg.Set_float quota, "SECONDS per-bench quota (default 0.8)");
+      ("--cp-stats", Arg.Set cp_stats, " record full CP search statistics");
+      ( "--cp-timeout",
+        Arg.Set_float cp_timeout,
+        "SECONDS CP probe timeout (default 10)" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "dune exec bench/main.exe -- [flags]";
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    ln = 0
+    ||
+    let rec go i =
+      if i + ln > lh then false
+      else if String.sub hay i ln = needle then true
+      else go (i + 1)
+    in
+    go 0
+  in
+  let selected =
+    List.filter (fun (name, _) -> contains name !only) all_tests
+  in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:None () in
-  Printf.printf "%-32s%16s%10s\n" "benchmark" "time/run" "r^2";
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg instances test in
-      let analysis = Analyze.all ols Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          let time_ns =
-            match Analyze.OLS.estimates ols_result with
-            | Some (t :: _) -> t
-            | _ -> nan
-          in
-          let r2 =
-            match Analyze.OLS.r_square ols_result with
-            | Some r -> r
-            | None -> nan
-          in
-          let pretty t =
-            if t > 1e9 then Printf.sprintf "%8.2f s " (t /. 1e9)
-            else if t > 1e6 then Printf.sprintf "%8.2f ms" (t /. 1e6)
-            else if t > 1e3 then Printf.sprintf "%8.2f us" (t /. 1e3)
-            else Printf.sprintf "%8.0f ns" t
-          in
-          Printf.printf "%-32s%16s%10.3f\n%!" name (pretty time_ns) r2)
-        analysis)
-    all_tests
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second !quota) ~kde:None () in
+  Printf.printf "%-36s%16s%10s\n" "benchmark" "time/run" "r^2";
+  let results =
+    List.concat_map
+      (fun (_, make_test) ->
+        let test = make_test () in
+        let results = Benchmark.all cfg instances test in
+        let analysis = Analyze.all ols Instance.monotonic_clock results in
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            let time_ns =
+              match Analyze.OLS.estimates ols_result with
+              | Some (t :: _) -> t
+              | _ -> nan
+            in
+            let r2 =
+              match Analyze.OLS.r_square ols_result with
+              | Some r -> r
+              | None -> nan
+            in
+            let pretty t =
+              if t > 1e9 then Printf.sprintf "%8.2f s " (t /. 1e9)
+              else if t > 1e6 then Printf.sprintf "%8.2f ms" (t /. 1e6)
+              else if t > 1e3 then Printf.sprintf "%8.2f us" (t /. 1e3)
+              else Printf.sprintf "%8.0f ns" t
+            in
+            Printf.printf "%-36s%16s%10.3f\n%!" name (pretty time_ns) r2;
+            (name, time_ns, r2) :: acc)
+          analysis [])
+      selected
+  in
+  let results = List.rev results in
+  let probe =
+    if !cp_stats then begin
+      let p = cp_search_stats ~timeout:!cp_timeout in
+      Printf.printf
+        "cp_optimize_54vm probe: cost=%d nodes=%d fails=%d solutions=%d \
+         elapsed=%.3fs timed_out=%b\n\
+         %!"
+        p.cost p.nodes p.fails p.solutions p.search_elapsed_s p.timed_out;
+      Some p
+    end
+    else None
+  in
+  if !json <> "" then append_json !json (json_entry ~label:!label results probe)

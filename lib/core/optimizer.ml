@@ -253,7 +253,10 @@ let optimize ?(timeout = default_timeout) ?node_limit ?restarts ?vjobs
        on a node is then detected as soon as its group is decided, not
        at the bottom of the tree), most demanding VMs first inside a
        group; VMs with no current host (waiting/sleeping) come last *)
-    let demand_key = Hashtbl.create 64 in
+    (* dense lookup tables indexed by [Var.id]: the search consults them
+       at every node, so no hashing on the hot path *)
+    let max_id = Array.fold_left (fun acc h -> max acc (Var.id h)) 0 harr in
+    let key_of = Array.make (max_id + 1) max_int in
     Array.iteri
       (fun i h ->
         let vm_id = placed_arr.(i) in
@@ -266,43 +269,46 @@ let optimize ?(timeout = default_timeout) ?node_limit ?restarts ?vjobs
           | Some host -> host
           | None -> n (* after every hosted group *)
         in
-        Hashtbl.replace demand_key (Var.id h) ((group * 1_000_000) - w))
+        key_of.(Var.id h) <- (group * 1_000_000) - w)
       harr;
-    let prefer_tbl = Hashtbl.create 64 in
+    let prefer_of = Array.make (max_id + 1) (-1) in
     Array.iteri
       (fun i h ->
-        Hashtbl.replace prefer_tbl (Var.id h)
-          (preferred_node current placed_arr.(i)))
+        match preferred_node current placed_arr.(i) with
+        | Some p -> prefer_of.(Var.id h) <- p
+        | None -> ())
       harr;
-    let var_select =
-      Search.by_key (fun v ->
-          match Hashtbl.find_opt demand_key (Var.id v) with
-          | Some k -> k
-          | None -> max_int)
-    in
+    let var_select = Search.by_key (fun v -> key_of.(Var.id v)) in
     (* value ordering: the VM's current location first (free move), then
        nodes by decreasing residual capacity — retrying the least-loaded
-       nodes first avoids thrashing against the packing constraints *)
-    let node_rank =
+       nodes first avoids thrashing against the packing constraints.
+       [order] lists the nodes in that fixed rank order once; the search
+       then walks it and filters by domain membership instead of
+       materialising and sorting a value list at every node. *)
+    let order =
       let scored =
         Array.init n (fun j -> (j, (cap_mem.(j) * 1000) + cap_cpu.(j)))
       in
       Array.sort (fun (_, a) (_, b) -> Int.compare b a) scored;
-      let rank = Array.make n 0 in
-      Array.iteri (fun pos (j, _) -> rank.(j) <- pos) scored;
-      rank
+      Array.map fst scored
     in
+    let val_iter v f =
+      let pref = prefer_of.(Var.id v) in
+      if pref >= 0 && Var.mem pref v then f pref;
+      Array.iter (fun node -> if node <> pref && Var.mem node v then f node) order
+    in
+    (* list-based twin of [val_iter] for the restart strategy, which
+       needs materialised lists to shuffle their tails *)
     let val_select v =
-      let preferred =
-        Option.join (Hashtbl.find_opt prefer_tbl (Var.id v))
-      in
-      let values = Fdcp.Dom.to_list (Var.dom v) in
       let values =
-        List.sort (fun a b -> Int.compare node_rank.(a) node_rank.(b)) values
+        Array.fold_right
+          (fun node acc -> if Var.mem node v then node :: acc else acc)
+          order []
       in
-      match preferred with
-      | Some p when Var.mem p v -> p :: List.filter (fun x -> x <> p) values
-      | _ -> values
+      let pref = prefer_of.(Var.id v) in
+      if pref >= 0 && Var.mem pref v then
+        pref :: List.filter (fun x -> x <> pref) values
+      else values
     in
     (* seed branch & bound with the fallback's movement cost: only
        strictly better placements are explored. When the fallback
@@ -321,7 +327,7 @@ let optimize ?(timeout = default_timeout) ?node_limit ?restarts ?vjobs
           Search.minimize_restarts store ~vars:harr ~obj ~var_select
             ~val_select ~restarts ~timeout ()
         | None ->
-          Search.minimize store ~vars:harr ~obj ~var_select ~val_select
+          Search.minimize store ~vars:harr ~obj ~var_select ~val_iter
             ~timeout ?node_limit ()
     in
     Log.debug (fun m ->

@@ -17,7 +17,7 @@ let le_offset store x y c =
     (fun () ->
       Store.remove_above store x (Var.hi y + c);
       Store.remove_below store y (Var.lo x - c));
-  Store.post store p ~on:[ x; y ]
+  Store.post_on store p ~on:[ (Prop.On_bounds, [ x; y ]) ]
 
 let le store x y = le_offset store x y 0
 
@@ -58,4 +58,4 @@ let neq store x y =
     (fun () ->
       if Var.is_bound x then Store.remove store y (Var.value_exn x)
       else if Var.is_bound y then Store.remove store x (Var.value_exn y));
-  Store.post store p ~on:[ x; y ]
+  Store.post_on store p ~on:[ (Prop.On_instantiate, [ x; y ]) ]

@@ -27,7 +27,8 @@ let at_most store ?(name = "count_at_most") vars ~value ~count =
         Array.iter
           (fun x -> if not (Var.is_bound x) then Store.remove store x value)
           vars);
-  Store.post store p ~on:(Array.to_list vars)
+  (* the bound count only changes when a variable becomes instantiated *)
+  Store.post_on store p ~on:[ (Prop.On_instantiate, Array.to_list vars) ]
 
 let at_least store ?(name = "count_at_least") vars ~value ~count =
   if count < 0 then invalid_arg "Count.at_least: negative count";

@@ -45,7 +45,7 @@ let post store ~sizes ~selectors ~load =
   if Array.length selectors <> n then
     invalid_arg "Knapsack.post: arity mismatch";
   Array.iter (fun s -> if s < 0 then invalid_arg "Knapsack.post: negative size") sizes;
-  let p = Prop.make ~name:"knapsack" (fun () -> ()) in
+  let p = Prop.make ~name:"knapsack" ~priority:Prop.Expensive (fun () -> ()) in
   p.Prop.run <-
     (fun () ->
       Array.iter
@@ -115,5 +115,10 @@ let post store ~sizes ~selectors ~load =
           | true, true -> ()
         end
       done);
-  Store.post store p ~on:(load :: Array.to_list selectors);
+  (* selectors are 0/1: any domain change is an instantiation; the load
+     variable matters at the value level (DP intersects its domain) *)
+  Store.post_on store p
+    ~on:
+      [ (Prop.On_instantiate, Array.to_list selectors);
+        (Prop.On_domain, [ load ]) ];
   { sizes; selectors; load }

@@ -28,7 +28,8 @@ let propagate_le store terms c () =
 let sum_le store terms c =
   let p = Prop.make ~name:"linear_le" (fun () -> ()) in
   p.Prop.run <- propagate_le store terms c;
-  Store.post store p ~on:(List.map snd terms)
+  (* bounds consistency: only lo/hi moves can change the propagation *)
+  Store.post_on store p ~on:[ (Prop.On_bounds, List.map snd terms) ]
 
 let sum_ge store terms c =
   sum_le store (List.map (fun (a, x) -> (-a, x)) terms) (-c)

@@ -19,4 +19,4 @@ let post store xs y =
       | [] -> Store.fail "max: no variable can reach the lower bound %d" (Var.lo y)
       | [ only ] -> Store.remove_below store only (Var.lo y)
       | _ -> ());
-  Store.post store p ~on:(y :: xs)
+  Store.post_on store p ~on:[ (Prop.On_bounds, y :: xs) ]

@@ -2,16 +2,29 @@
    which the paper cites for the viability constraint: items (placement
    variable + size) must fit bins of fixed capacities.
 
-   Propagation performed at each wake-up:
+   Propagation performed:
    - fail when a bin's committed load exceeds its capacity;
    - prune bin b from item i when committed(b) + size(i) > cap(b);
    - fail when the total size of unassigned items exceeds the total
      residual capacity.
 
-   The pruning loop only visits the *tight* bins (slack smaller than the
-   item's size): bins are sorted by increasing slack once per wake-up,
-   and each unbound item scans that prefix only — with mostly-roomy
-   clusters this is far cheaper than scanning every (item, bin) pair. *)
+   The propagator is incremental. It subscribes only to On_instantiate
+   events (committed loads can change in no other way) and maintains,
+   across wake-ups:
+   - [committed]: per-bin load of bound items;
+   - [state]: the total residual capacity and the unassigned demand;
+   - [unassigned]: the indices of still-unbound items, packed in a
+     prefix of length [nun.(0)] (swap-removal).
+   All of it is trailed through [Store.save_cell], so backtracking
+   restores the propagator state in lockstep with the domains. Each
+   wake-up therefore costs O(unassigned) plus O(unassigned) per bin
+   whose slack actually shrank, instead of rescanning and re-sorting
+   every (item, bin) pair: newly bound items are committed, and only the
+   touched bins are re-checked against the unassigned items. The first
+   run primes the invariant by checking every bin once; afterwards
+   "slack(b) < size(i) implies b pruned from i" holds at every fixpoint
+   by induction, because undo restores domains and propagator state to a
+   point where it held. *)
 
 type item = { var : Var.t; size : int }
 
@@ -19,48 +32,111 @@ let item var size = { var; size }
 
 let post store ?(name = "pack") ~items ~capacities () =
   let nbins = Array.length capacities in
-  let p = Prop.make ~name (fun () -> ()) in
+  let n = Array.length items in
+  let committed = Array.make nbins 0 in
+  (* state.(0) = sum over bins of max(0, slack); state.(1) = unassigned demand *)
+  let state = Array.make 2 0 in
+  Array.iter (fun c -> if c > 0 then state.(0) <- state.(0) + c) capacities;
+  Array.iter (fun it -> state.(1) <- state.(1) + it.size) items;
+  let unassigned = Array.init n Fun.id in
+  let nun = Array.make 1 n in
+  (* scratch, reset at the end of every run (not trailed) *)
+  let touched = Array.make (max nbins 1) 0 in
+  let is_touched = Array.make nbins false in
+  (* largest item size: a bin with at least this much slack can never
+     prune anything, so its scan is skipped outright *)
+  let max_size = Array.fold_left (fun acc it -> max acc it.size) 0 items in
+  let primed = ref false in
+  let p = Prop.make ~name ~priority:Prop.Expensive (fun () -> ()) in
   p.Prop.run <-
     (fun () ->
-      let committed = Array.make nbins 0 in
-      let unassigned = ref [] in
-      let demand = ref 0 in
-      Array.iter
-        (fun it ->
+      let ntouched = ref 0 in
+      (* [touch] doubles as the trail point for committed.(b): it runs
+         exactly once per bin per wake-up, before the first mutation *)
+      let touch b =
+        if not is_touched.(b) then begin
+          is_touched.(b) <- true;
+          touched.(!ntouched) <- b;
+          incr ntouched;
+          Store.save_cell store committed b
+        end
+      in
+      let saved_globals = ref false in
+      let save_globals () =
+        if not !saved_globals then begin
+          saved_globals := true;
+          Store.save_cell store state 0;
+          Store.save_cell store state 1;
+          Store.save_cell store nun 0
+          (* the swapped [unassigned] cells are NOT trailed: the array
+             stays a permutation of all item indices with the committed
+             items parked at positions >= nun.(0) in commit order, so
+             restoring nun.(0) alone restores the unassigned prefix as a
+             set — and only the set matters *)
+        end
+      in
+      let commit_new_items () =
+        (* scan only the unassigned prefix for newly bound items *)
+        let k = ref 0 in
+        while !k < nun.(0) do
+          let i = unassigned.(!k) in
+          let it = items.(i) in
           if Var.is_bound it.var then begin
             let b = Var.value_exn it.var in
+            save_globals ();
+            state.(1) <- state.(1) - it.size;
             if b >= 0 && b < nbins then begin
-              committed.(b) <- committed.(b) + it.size;
-              if committed.(b) > capacities.(b) then
+              let old_slack = capacities.(b) - committed.(b) in
+              let new_slack = old_slack - it.size in
+              if new_slack < 0 then
                 Store.fail "%s: bin %d overloaded (%d > %d)" name b
-                  committed.(b) capacities.(b)
-            end
+                  (committed.(b) + it.size) capacities.(b);
+              touch b;
+              committed.(b) <- committed.(b) + it.size;
+              state.(0) <- state.(0) - (max old_slack 0 - max new_slack 0)
+            end;
+            (* swap-remove from the unassigned prefix *)
+            let last = nun.(0) - 1 in
+            unassigned.(!k) <- unassigned.(last);
+            unassigned.(last) <- i;
+            nun.(0) <- last
+            (* do not advance k: it now holds the swapped-in item *)
           end
-          else begin
-            unassigned := it :: !unassigned;
-            demand := !demand + it.size
-          end)
-        items;
-      (* bins by increasing slack; items only need to look at the bins
-         whose slack is smaller than their size *)
-      let slack = Array.init nbins (fun b -> (capacities.(b) - committed.(b), b)) in
-      Array.sort compare slack;
-      let residual = ref 0 in
-      Array.iter (fun (s, _) -> if s > 0 then residual := !residual + s) slack;
-      if !demand > !residual then
-        Store.fail "%s: %d units of unassigned demand, %d residual" name
-          !demand !residual;
-      let prune it =
-        let rec go i =
-          if i < nbins then begin
-            let s, b = slack.(i) in
-            if s < it.size then begin
-              Store.remove store it.var b;
-              go (i + 1)
-            end
-          end
-        in
-        go 0
+          else incr k
+        done
       in
-      List.iter prune !unassigned);
-  Store.post store p ~on:(Array.to_list (Array.map (fun it -> it.var) items))
+      let prune_bin b =
+        let slack = capacities.(b) - committed.(b) in
+        if slack < max_size then
+          for k = 0 to nun.(0) - 1 do
+            let it = items.(unassigned.(k)) in
+            if it.size > slack then Store.remove store it.var b
+            (* a removal may instantiate the item; it is committed on the
+               next wake-up, and the prefix only changes there too *)
+          done
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          for j = 0 to !ntouched - 1 do
+            is_touched.(touched.(j)) <- false
+          done)
+        (fun () ->
+          commit_new_items ();
+          if state.(1) > state.(0) then
+            Store.fail "%s: %d units of unassigned demand, %d residual" name
+              state.(1) state.(0);
+          if not !primed then begin
+            primed := true;
+            for b = 0 to nbins - 1 do
+              prune_bin b
+            done
+          end
+          else
+            for j = 0 to !ntouched - 1 do
+              prune_bin touched.(j)
+            done))
+  ;
+  Store.post_on store p
+    ~on:
+      [ ( Prop.On_instantiate,
+          Array.to_list (Array.map (fun it -> it.var) items) ) ]

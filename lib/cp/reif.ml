@@ -15,4 +15,6 @@ let eq_const store x v b =
       else if not (Var.mem v x) then Store.instantiate store b 0
       else if Var.is_bound x then
         Store.instantiate store b (if Var.value_exn x = v then 1 else 0));
-  Store.post store p ~on:[ x; b ]
+  (* x: any removal can decide b (losing v); b: only its instantiation acts *)
+  Store.post_on store p
+    ~on:[ (Prop.On_domain, [ x ]); (Prop.On_instantiate, [ b ]) ]

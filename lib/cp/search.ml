@@ -25,6 +25,7 @@ let pp_stats ppf s =
 
 type var_select = Var.t array -> Var.t option
 type val_select = Var.t -> int list
+type val_iter = Var.t -> (int -> unit) -> unit
 
 exception Stop
 exception Timed_out
@@ -78,13 +79,26 @@ let prefer preferred x =
 
 let now () = Unix.gettimeofday ()
 
-let solve_internal store ~vars ~var_select ~val_select ~timeout ~node_limit
+(* How often (in nodes) the wall clock is consulted. gettimeofday costs
+   more than a typical node expansion, so the deadline is only checked
+   every [deadline_stride] nodes; node limits stay exact. *)
+let deadline_stride_mask = 63
+
+let iter_of_select (sel : val_select) : val_iter =
+ fun x f -> List.iter f (sel x)
+
+let solve_internal store ~vars ~var_select ~val_iter ~timeout ~node_limit
     ~on_node ~on_solution stats =
-  let deadline = Option.map (fun t -> now () +. t) timeout in
+  let deadline =
+    match timeout with Some t -> now () +. t | None -> infinity
+  in
+  let has_deadline = deadline < infinity in
   let check_limits () =
-    (match deadline with
-    | Some d when now () > d -> raise Timed_out
-    | _ -> ());
+    if
+      has_deadline
+      && stats.nodes land deadline_stride_mask = 0
+      && now () > deadline
+    then raise Timed_out;
     match node_limit with
     | Some l when stats.nodes >= l -> raise Timed_out
     | _ -> ()
@@ -98,7 +112,6 @@ let solve_internal store ~vars ~var_select ~val_select ~timeout ~node_limit
       stats.solutions <- stats.solutions + 1;
       on_solution ()
     | Some x ->
-      let values = val_select x in
       let try_value v =
         let m = Store.mark store in
         (try
@@ -108,9 +121,16 @@ let solve_internal store ~vars ~var_select ~val_select ~timeout ~node_limit
            Store.undo_to store m
          with Store.Inconsistent _ ->
            stats.fails <- stats.fails + 1;
-           Store.undo_to store m)
+           Store.undo_to store m;
+           (* fail-heavy regions advance few nodes: keep the deadline
+              honest from the failure path as well *)
+           if
+             has_deadline
+             && stats.fails land deadline_stride_mask = 0
+             && now () > deadline
+           then raise Timed_out)
       in
-      List.iter try_value values
+      val_iter x try_value
   in
   let start = now () in
   let root = Store.mark store in
@@ -124,23 +144,27 @@ let solve_internal store ~vars ~var_select ~val_select ~timeout ~node_limit
   Store.undo_to store root;
   stats.elapsed <- now () -. start
 
+let resolve_val_iter val_select val_iter =
+  match val_iter with Some it -> it | None -> iter_of_select val_select
+
 let solve store ~vars ?(var_select = first_fail) ?(val_select = min_value)
-    ?timeout ?node_limit ~on_solution () =
+    ?val_iter ?timeout ?node_limit ~on_solution () =
   let stats = fresh_stats () in
-  solve_internal store ~vars ~var_select ~val_select ~timeout ~node_limit
+  let val_iter = resolve_val_iter val_select val_iter in
+  solve_internal store ~vars ~var_select ~val_iter ~timeout ~node_limit
     ~on_node:(fun () -> ())
     ~on_solution stats;
   stats
 
-let find_first store ~vars ?var_select ?val_select ?timeout ?node_limit ()
-    =
+let find_first store ~vars ?var_select ?val_select ?val_iter ?timeout
+    ?node_limit () =
   let snapshot = ref None in
   let on_solution () =
     snapshot := Some (Array.map Var.value_exn vars);
     raise Stop
   in
   let stats =
-    solve store ~vars ?var_select ?val_select ?timeout ?node_limit
+    solve store ~vars ?var_select ?val_select ?val_iter ?timeout ?node_limit
       ~on_solution ()
   in
   (!snapshot, stats)
@@ -165,9 +189,10 @@ let shuffle rng l =
   Array.to_list a
 
 let minimize store ~vars ~obj ?(var_select = first_fail)
-    ?(val_select = min_value) ?timeout ?node_limit ?(on_improve = fun _ -> ())
-    () =
+    ?(val_select = min_value) ?val_iter ?timeout ?node_limit
+    ?(on_improve = fun _ -> ()) () =
   let stats = fresh_stats () in
+  let val_iter = resolve_val_iter val_select val_iter in
   let best = ref max_int in
   let best_snapshot = ref None in
   let on_node () =
@@ -185,7 +210,7 @@ let minimize store ~vars ~obj ?(var_select = first_fail)
       on_improve value
     end
   in
-  solve_internal store ~vars ~var_select ~val_select ~timeout ~node_limit
+  solve_internal store ~vars ~var_select ~val_iter ~timeout ~node_limit
     ~on_node ~on_solution stats;
   (!best_snapshot, stats)
 
@@ -209,6 +234,13 @@ let minimize_restarts store ~vars ~obj ?(var_select = first_fail)
   let out_of_time () =
     match deadline with Some d -> now () >= d | None -> false
   in
+  (* [proved] records that optimality was established (a run completed
+     within budget, or the incumbent-tightening wiped the store);
+     [last_timed_out] whether the most recent run hit its own budget.
+     The combination decides [total.timed_out]: exhausting the restart
+     schedule is only a timeout if the search was actually cut short. *)
+  let proved = ref false in
+  let last_timed_out = ref false in
   let exception Done in
   (try
      for i = 0 to restarts - 1 do
@@ -219,7 +251,10 @@ let minimize_restarts store ~vars ~obj ?(var_select = first_fail)
          try
            Store.remove_above store obj (v - 1);
            Store.propagate store
-         with Store.Inconsistent _ -> raise Done)
+         with Store.Inconsistent _ ->
+           (* nothing better than the incumbent exists: optimal *)
+           proved := true;
+           raise Done)
        | None -> ());
        let val_select_i x =
          let vs = val_select x in
@@ -238,6 +273,7 @@ let minimize_restarts store ~vars ~obj ?(var_select = first_fail)
        total.fails <- total.fails + stats.fails;
        total.solutions <- total.solutions + stats.solutions;
        total.elapsed <- total.elapsed +. stats.elapsed;
+       last_timed_out := stats.timed_out;
        (match result with
        | Some (v, snap) -> (
          match !best with
@@ -246,8 +282,11 @@ let minimize_restarts store ~vars ~obj ?(var_select = first_fail)
        | None -> ());
        (* a run that finished within its budget proved optimality of the
           incumbent under the current bound *)
-       if not stats.timed_out then raise Done
-     done;
-     total.timed_out <- true
+       if not stats.timed_out then begin
+         proved := true;
+         raise Done
+       end
+     done
    with Done -> ());
+  total.timed_out <- (not !proved) && (!last_timed_out || out_of_time ());
   (!best, total)

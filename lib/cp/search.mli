@@ -17,6 +17,16 @@ type var_select = Var.t array -> Var.t option
 type val_select = Var.t -> int list
 (** Candidate values, in the order they should be tried. *)
 
+type val_iter = Var.t -> (int -> unit) -> unit
+(** Allocation-free value ordering: applies the callback to each
+    candidate value in order. When supplied to the search entry points
+    it takes precedence over [val_select] on the hot path (the
+    list-based selector is then only a fallback). The iterator is
+    called on the domain as it stands at the node; it must not rely on
+    the domain staying unchanged across callback invocations — the
+    search undoes its trail between values, so the domain seen by the
+    iterator is restored before each subsequent callback. *)
+
 exception Stop
 (** Raise from [on_solution] to stop the search. *)
 
@@ -37,22 +47,22 @@ val prefer : (Var.t -> int option) -> val_select
 
 val solve :
   Store.t -> vars:Var.t array -> ?var_select:var_select ->
-  ?val_select:val_select -> ?timeout:float -> ?node_limit:int ->
-  on_solution:(unit -> unit) -> unit -> stats
+  ?val_select:val_select -> ?val_iter:val_iter -> ?timeout:float ->
+  ?node_limit:int -> on_solution:(unit -> unit) -> unit -> stats
 (** Enumerate solutions (assignments of [vars]); [on_solution] runs with
     the store instantiated and may read any variable. The store is
     restored to its root state before returning. *)
 
 val find_first :
   Store.t -> vars:Var.t array -> ?var_select:var_select ->
-  ?val_select:val_select -> ?timeout:float -> ?node_limit:int -> unit ->
-  int array option * stats
+  ?val_select:val_select -> ?val_iter:val_iter -> ?timeout:float ->
+  ?node_limit:int -> unit -> int array option * stats
 (** First solution as a value snapshot of [vars]. *)
 
 val minimize :
   Store.t -> vars:Var.t array -> obj:Var.t -> ?var_select:var_select ->
-  ?val_select:val_select -> ?timeout:float -> ?node_limit:int ->
-  ?on_improve:(int -> unit) -> unit ->
+  ?val_select:val_select -> ?val_iter:val_iter -> ?timeout:float ->
+  ?node_limit:int -> ?on_improve:(int -> unit) -> unit ->
   (int * int array) option * stats
 (** Branch & bound on [obj]. Returns the best objective value with the
     snapshot of [vars] at that solution (the incumbent at timeout if the
@@ -69,4 +79,6 @@ val minimize_restarts :
     tails after the first run, incumbent carried across restarts. Note
     the store's objective domain is tightened in place across runs (use
     a dedicated store). Stops early when a run completes (optimality
-    proven). *)
+    proven). [timed_out] in the returned stats is set only when the
+    search was actually cut short: the last run hit its node budget or
+    the deadline expired before optimality was proven. *)

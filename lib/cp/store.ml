@@ -1,28 +1,37 @@
 (* The constraint store: owns variables, the backtracking trail and the
-   propagation queue.
+   propagation queues.
 
    Trailing strategy: every domain update pushes the (variable, previous
    domain) pair; [undo_to] pops entries back to a mark. Domains being
-   immutable values, restoration is a single field write. *)
+   immutable values, restoration is a single field write. Propagators
+   with incremental internal state (e.g. Pack's committed bin loads)
+   trail individual int-array cells through [save_cell]; the same
+   [undo_to] restores them in lockstep with the domains, so propagator
+   state never drifts from the search tree.
+
+   Scheduling: two FIFO queues by [Prop.priority]. [propagate] drains
+   every Cheap propagator before running one Expensive propagator, then
+   returns to the cheap queue — the costly global constraints always see
+   domains at the cheap fixpoint. Watchers are woken only when an update
+   fires an event they subscribed to (instantiate / bounds / domain). *)
 
 exception Inconsistent of string
 
 let fail fmt = Fmt.kstr (fun s -> raise (Inconsistent s)) fmt
 
-type trail_entry = { v : Var.t; old_dom : Dom.t }
+type trail_entry =
+  | Trail_dom of Var.t * Dom.t       (* variable, previous domain *)
+  | Trail_cell of int array * int * int  (* array, index, previous value *)
 
-let dummy_entry =
-  let v =
-    { Var.id = -1; name = "<dummy>"; dom = Dom.empty; watchers = [] }
-  in
-  { v; old_dom = Dom.empty }
+let dummy_entry = Trail_cell ([||], 0, 0)
 
 type t = {
   mutable vars : Var.t list;       (* newest first *)
   mutable nvars : int;
   mutable trail : trail_entry array;
   mutable trail_len : int;
-  queue : Prop.t Queue.t;
+  queue_cheap : Prop.t Queue.t;
+  queue_expensive : Prop.t Queue.t;
   mutable propagations : int;      (* cumulative propagator runs *)
   mutable updates : int;           (* cumulative domain updates *)
 }
@@ -35,7 +44,8 @@ let create () =
     nvars = 0;
     trail = Array.make 256 dummy_entry;
     trail_len = 0;
-    queue = Queue.create ();
+    queue_cheap = Queue.create ();
+    queue_expensive = Queue.create ();
     propagations = 0;
     updates = 0;
   }
@@ -44,11 +54,11 @@ let vars t = List.rev t.vars
 let propagation_count t = t.propagations
 let update_count t = t.updates
 
-let new_var ?name t ~lo ~hi =
-  let name =
-    match name with Some n -> n | None -> Printf.sprintf "v%d" t.nvars
-  in
-  if lo > hi then fail "new_var %s: empty initial domain [%d,%d]" name lo hi;
+let new_var ?(name = "") t ~lo ~hi =
+  if lo > hi then
+    fail "new_var %s: empty initial domain [%d,%d]"
+      (if name = "" then "v" ^ string_of_int t.nvars else name)
+      lo hi;
   let v =
     { Var.id = t.nvars; name; dom = Dom.interval lo hi; watchers = [] }
   in
@@ -76,13 +86,16 @@ let push_trail t entry =
   t.trail.(t.trail_len) <- entry;
   t.trail_len <- t.trail_len + 1
 
+let save_cell t arr i = push_trail t (Trail_cell (arr, i, arr.(i)))
+
 let mark t = t.trail_len
 
 let undo_to t m =
   while t.trail_len > m do
     t.trail_len <- t.trail_len - 1;
-    let { v; old_dom } = t.trail.(t.trail_len) in
-    v.Var.dom <- old_dom
+    match t.trail.(t.trail_len) with
+    | Trail_dom (v, old_dom) -> v.Var.dom <- old_dom
+    | Trail_cell (arr, i, old) -> arr.(i) <- old
   done
 
 (* -- scheduling and updates ---------------------------------------------- *)
@@ -90,21 +103,35 @@ let undo_to t m =
 let schedule t (p : Prop.t) =
   if not p.scheduled then begin
     p.scheduled <- true;
-    Queue.add p t.queue
+    Queue.add p
+      (match p.priority with
+      | Prop.Cheap -> t.queue_cheap
+      | Prop.Expensive -> t.queue_expensive)
   end
 
-let schedule_watchers t (v : Var.t) = List.iter (schedule t) v.watchers
+let schedule_watchers t (v : Var.t) ~fired =
+  List.iter
+    (fun (mask, p) -> if mask land fired <> 0 then schedule t p)
+    v.watchers
 
 let set_dom t (v : Var.t) d =
   if Dom.is_empty d then begin
     (* wake nobody; the search will undo *)
-    fail "%s: domain wiped out" v.name
+    fail "%s: domain wiped out" (Var.name v)
   end;
-  if Dom.size d < Dom.size v.dom then begin
-    push_trail t { v; old_dom = v.dom };
-    v.dom <- d;
+  let old = v.Var.dom in
+  if Dom.size d < Dom.size old then begin
+    push_trail t (Trail_dom (v, old));
+    v.Var.dom <- d;
     t.updates <- t.updates + 1;
-    schedule_watchers t v
+    let fired =
+      Prop.fired_domain
+      lor (if Dom.lo d <> Dom.lo old || Dom.hi d <> Dom.hi old then
+             Prop.fired_bounds
+           else 0)
+      lor (if Dom.is_bound d then Prop.fired_instantiate else 0)
+    in
+    schedule_watchers t v ~fired
   end
 
 let remove t v x = set_dom t v (Dom.remove x (Var.dom v))
@@ -120,21 +147,39 @@ let instantiate t v x =
 (* -- propagation --------------------------------------------------------- *)
 
 let clear_queue t =
-  Queue.iter (fun (p : Prop.t) -> p.scheduled <- false) t.queue;
-  Queue.clear t.queue
+  let clear q =
+    Queue.iter (fun (p : Prop.t) -> p.scheduled <- false) q;
+    Queue.clear q
+  in
+  clear t.queue_cheap;
+  clear t.queue_expensive
+
+let run_one t (p : Prop.t) =
+  p.Prop.scheduled <- false;
+  t.propagations <- t.propagations + 1;
+  p.Prop.run ()
 
 let propagate t =
   try
-    while not (Queue.is_empty t.queue) do
-      let p = Queue.pop t.queue in
-      p.Prop.scheduled <- false;
-      t.propagations <- t.propagations + 1;
-      p.Prop.run ()
-    done
+    let rec loop () =
+      if not (Queue.is_empty t.queue_cheap) then begin
+        run_one t (Queue.pop t.queue_cheap);
+        loop ()
+      end
+      else if not (Queue.is_empty t.queue_expensive) then begin
+        run_one t (Queue.pop t.queue_expensive);
+        loop ()
+      end
+    in
+    loop ()
   with Inconsistent _ as e ->
     clear_queue t;
     raise e
 
-let post t (p : Prop.t) ~on =
-  List.iter (fun v -> Var.watch v p) on;
+let post_on t (p : Prop.t) ~on =
+  List.iter
+    (fun (event, vars) -> List.iter (fun v -> Var.watch v ~event p) vars)
+    on;
   schedule t p
+
+let post t (p : Prop.t) ~on = post_on t p ~on:[ (Prop.On_domain, on) ]

@@ -1,12 +1,13 @@
-(** The constraint store: variables, backtracking trail, propagation queue.
+(** The constraint store: variables, backtracking trail, propagation queues.
 
     Typical use: create a store, create variables, post constraints (which
-    register propagators via {!post}), then call {!propagate} to reach a
-    fixpoint; the {!Search} module drives the mark/instantiate/undo cycle. *)
+    register propagators via {!post} / {!post_on}), then call {!propagate}
+    to reach a fixpoint; the {!Search} module drives the
+    mark/instantiate/undo cycle. *)
 
 exception Inconsistent of string
 (** Raised when a propagator or update proves the current state has no
-    solution. The store's propagation queue is cleared before the
+    solution. The store's propagation queues are cleared before the
     exception escapes {!propagate}. *)
 
 val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
@@ -33,10 +34,16 @@ val update_count : t -> int
 val mark : t -> mark
 val undo_to : t -> mark -> unit
 
+val save_cell : t -> int array -> int -> unit
+(** [save_cell t arr i] trails the current value of [arr.(i)]: a later
+    {!undo_to} past this point writes it back. Lets propagators keep
+    incremental state (committed loads, counters) that backtracks in
+    lockstep with the domains. *)
+
 val set_dom : t -> Var.t -> Dom.t -> unit
 (** Replace a variable's domain (trailing the old one and waking watchers
-    when the domain actually shrank). Raises {!Inconsistent} when the new
-    domain is empty. *)
+    whose subscribed events fired when the domain actually shrank).
+    Raises {!Inconsistent} when the new domain is empty. *)
 
 val remove : t -> Var.t -> int -> unit
 val remove_below : t -> Var.t -> int -> unit
@@ -47,8 +54,15 @@ val schedule : t -> Prop.t -> unit
 (** Enqueue a propagator unless already queued. *)
 
 val post : t -> Prop.t -> on:Var.t list -> unit
-(** Register a propagator as watcher of [on] and schedule its first run. *)
+(** Register a propagator waking on {e any} change of [on] and schedule
+    its first run. *)
+
+val post_on : t -> Prop.t -> on:(Prop.event * Var.t list) list -> unit
+(** Like {!post} but with per-group wake events: the propagator wakes
+    only when a watched variable fires the subscribed event (or a
+    stronger one — see {!Prop.event}). *)
 
 val propagate : t -> unit
-(** Run queued propagators to fixpoint. Raises {!Inconsistent} on failure
-    (queue is cleared first, so the store can be reused after undo). *)
+(** Run queued propagators to fixpoint, all [Cheap] ones before each
+    [Expensive] one. Raises {!Inconsistent} on failure (queues are
+    cleared first, so the store can be reused after undo). *)

@@ -1,16 +1,23 @@
 (* Finite-domain variables. Domain mutation goes through [Store], which
    handles trailing and propagator scheduling; this module only holds the
-   representation and read accessors. *)
+   representation and read accessors.
+
+   Watchers carry the event mask they subscribed with (see [Prop.event]):
+   the store wakes a watcher only when an update fires an event in its
+   mask. *)
 
 type t = {
   id : int;
   name : string;
   mutable dom : Dom.t;
-  mutable watchers : Prop.t list;
+  mutable watchers : (int * Prop.t) list;
 }
 
 let id t = t.id
-let name t = t.name
+
+(* anonymous variables store [""] and render as "v<id>" on demand, so
+   variable creation never formats a string *)
+let name t = if t.name = "" then "v" ^ string_of_int t.id else t.name
 let dom t = t.dom
 
 let lo t = Dom.lo t.dom
@@ -21,11 +28,17 @@ let mem v t = Dom.mem v t.dom
 
 let value_exn t =
   if not (is_bound t) then
-    invalid_arg (Printf.sprintf "Var.value_exn: %s not bound" t.name);
+    invalid_arg (Printf.sprintf "Var.value_exn: %s not bound" (name t));
   Dom.value_exn t.dom
 
-let watch t prop =
-  if not (List.exists (fun (p : Prop.t) -> p.id = prop.Prop.id) t.watchers)
-  then t.watchers <- prop :: t.watchers
+let watch t ?(event = Prop.On_domain) prop =
+  let mask = Prop.mask_of_event event in
+  let rec add = function
+    | [] -> [ (mask, prop) ]
+    | (m, (p : Prop.t)) :: rest when p.id = prop.Prop.id ->
+      (m lor mask, p) :: rest
+    | w :: rest -> w :: add rest
+  in
+  t.watchers <- add t.watchers
 
-let pp ppf t = Fmt.pf ppf "%s=%a" t.name Dom.pp t.dom
+let pp ppf t = Fmt.pf ppf "%s=%a" (name t) Dom.pp t.dom

@@ -6,12 +6,15 @@
 
 type t = {
   id : int;
-  name : string;
+  name : string;  (** [""] for anonymous variables; read via {!name} *)
   mutable dom : Dom.t;
-  mutable watchers : Prop.t list;
+  mutable watchers : (int * Prop.t) list;
+      (** (event mask, propagator); see {!Prop.mask_of_event} *)
 }
 
 val id : t -> int
+
+(** Display name; anonymous variables render as ["v<id>"]. *)
 val name : t -> string
 val dom : t -> Dom.t
 val lo : t -> int
@@ -23,7 +26,9 @@ val mem : int -> t -> bool
 val value_exn : t -> int
 (** Value of a bound variable. Raises [Invalid_argument] otherwise. *)
 
-val watch : t -> Prop.t -> unit
-(** Subscribe a propagator to this variable's domain changes. Idempotent. *)
+val watch : t -> ?event:Prop.event -> Prop.t -> unit
+(** Subscribe a propagator to this variable's changes, waking it on
+    [event] (default {!Prop.On_domain}: any change) or stronger.
+    Subscribing the same propagator twice merges the event masks. *)
 
 val pp : Format.formatter -> t -> unit

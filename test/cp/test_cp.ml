@@ -89,17 +89,42 @@ let test_dom_wide_interval () =
   let d' = Dom.remove 0 d in
   check_int "bound removal exact" 1 (Dom.lo d')
 
+let test_dom_multiword () =
+  (* spans several 62-bit words, with holes punched across word seams *)
+  let d = Dom.interval 0 200 in
+  let d =
+    List.fold_left
+      (fun d v -> Dom.remove v d)
+      d
+      [ 61; 62; 63; 124; 125; 0; 200 ]
+  in
+  check_int "size" 194 (Dom.size d);
+  check_int "lo" 1 (Dom.lo d);
+  check_int "hi" 199 (Dom.hi d);
+  check_bool "62 gone" false (Dom.mem 62 d);
+  check_bool "64 kept" true (Dom.mem 64 d);
+  Alcotest.(check (option int)) "next across seam" (Some 64) (Dom.next_value 61 d);
+  Alcotest.(check (option int)) "prev across seam" (Some 123) (Dom.prev_value 125 d);
+  let d = Dom.remove_below 62 d in
+  check_int "lo snaps past hole" 64 (Dom.lo d);
+  let d = Dom.remove_above 124 d in
+  check_int "hi snaps past hole" 123 (Dom.hi d);
+  check_int "final size" 60 (Dom.size d);
+  check_list "round trip" (List.init 60 (fun i -> i + 64)) (Dom.to_list d)
+
 let test_dom_keep_only () =
   let d = Dom.interval 0 9 in
   check_int "kept" 4 (Dom.value_exn (Dom.keep_only 4 d));
   check_bool "gone" true (Dom.is_empty (Dom.keep_only 12 d))
 
-(* qcheck: model-based domain operations against a sorted-list model *)
+(* qcheck: model-based domain operations against a sorted-list model.
+   Widths up to 300 exercise the multi-word bitset paths (62-bit words);
+   next_value/prev_value are checked at every op value as query point. *)
 let dom_ops_agree =
   QCheck.Test.make ~name:"dom operations agree with set model" ~count:500
     QCheck.(
-      pair (int_range 0 60)
-        (small_list (pair (int_range 0 3) (int_range (-5) 70))))
+      pair (int_range 0 300)
+        (small_list (pair (int_range 0 3) (int_range (-5) 320))))
     (fun (width, ops) ->
       let dom = ref (Dom.interval 0 width) in
       let model = ref (List.init (width + 1) Fun.id) in
@@ -118,7 +143,19 @@ let dom_ops_agree =
           | _ -> ())
         ops;
       let values = if Dom.is_empty !dom then [] else Dom.to_list !dom in
-      values = !model)
+      let next_agree q =
+        Dom.next_value q !dom = List.find_opt (fun x -> x >= q) !model
+      in
+      let prev_agree q =
+        Dom.prev_value q !dom
+        = List.fold_left
+            (fun acc x -> if x <= q then Some x else acc)
+            None !model
+      in
+      let queries = (-5) :: 0 :: width :: List.map snd ops in
+      values = !model
+      && List.for_all next_agree queries
+      && List.for_all prev_agree queries)
 
 (* -------------------------------------------------------------- Store -- *)
 
@@ -759,6 +796,96 @@ let test_minimize_restarts_respects_timeout () =
   check_bool "stopped near the deadline" true (elapsed < 2.);
   check_bool "kept an incumbent" true (best <> None)
 
+let test_restarts_completion_clears_timed_out () =
+  (* a run that completes within budget proves optimality: the stats
+     must not claim a timeout even though a deadline was supplied *)
+  let s = Store.create () in
+  let vars = Array.init 3 (fun _ -> Store.new_var s ~lo:0 ~hi:5) in
+  let obj = Store.new_var s ~lo:0 ~hi:15 in
+  Alldiff.post s (Array.to_list vars);
+  Linear.sum_var s (Array.to_list (Array.map (fun v -> (1, v)) vars)) obj;
+  let best, stats =
+    Search.minimize_restarts s ~vars ~obj ~base_node_limit:2000 ~restarts:6
+      ~timeout:30. ()
+  in
+  check_bool "found" true (best <> None);
+  check_bool "not timed out" false stats.Search.timed_out
+
+let test_restarts_timed_out_on_node_budget () =
+  (* every run exhausts its node budget without completing: the final
+     stats must record a cut-short search *)
+  let s = Store.create () in
+  let vars = Array.init 12 (fun _ -> Store.new_var s ~lo:0 ~hi:9) in
+  let obj = Store.new_var s ~lo:0 ~hi:200 in
+  Linear.sum_var s (Array.to_list (Array.map (fun v -> (1, v)) vars)) obj;
+  let _, stats =
+    Search.minimize_restarts s ~vars ~obj ~val_select:Search.max_value
+      ~base_node_limit:5 ~restarts:3 ()
+  in
+  check_bool "timed out" true stats.Search.timed_out
+
+let test_restarts_timed_out_on_deadline () =
+  (* the deadline expires before optimality is proven: a cut-short
+     search, even when the loop exits through the out-of-time path
+     rather than a run's own budget (an already-expired deadline makes
+     the exit deterministic) *)
+  let s = Store.create () in
+  let vars = Array.init 14 (fun _ -> Store.new_var s ~lo:0 ~hi:9) in
+  let obj = Store.new_var s ~lo:0 ~hi:200 in
+  Linear.sum_var s (Array.to_list (Array.map (fun v -> (1, v)) vars)) obj;
+  let best, stats =
+    Search.minimize_restarts s ~vars ~obj ~val_select:Search.max_value
+      ~base_node_limit:50 ~restarts:10_000 ~timeout:0. ()
+  in
+  check_bool "no proof happened" true (best = None);
+  check_bool "timed out" true stats.Search.timed_out
+
+(* Canary: exact node/fail counts on a fixed instance pin the search
+   trajectory. If this test moves, propagation strength, wake-up events
+   or the branching order changed — intentionally or not. *)
+let test_search_stats_regression () =
+  let s = Store.create () in
+  let vars = Array.init 10 (fun _ -> Store.new_var s ~lo:0 ~hi:4) in
+  let items = Array.mapi (fun i v -> Pack.item v (1 + (i mod 4))) vars in
+  Pack.post s ~items ~capacities:(Array.make 5 5) ();
+  let obj = Store.new_var s ~lo:0 ~hi:40 in
+  Linear.sum_var s
+    (Array.to_list (Array.mapi (fun i v -> ((i mod 3) + 1, v)) vars))
+    obj;
+  let best, stats = Search.minimize s ~vars ~obj () in
+  (match best with
+  | Some (v, _) -> check_int "optimum" 19 v
+  | None -> Alcotest.fail "expected an optimum");
+  check_bool "complete" false stats.Search.timed_out;
+  check_int "nodes" 219 stats.Search.nodes;
+  check_int "fails" 326 stats.Search.fails
+
+let test_val_iter_matches_val_select () =
+  (* the allocation-free iterator must explore the same tree as the
+     equivalent list-based selector *)
+  let run use_iter =
+    let s = Store.create () in
+    let vars = Array.init 6 (fun _ -> Store.new_var s ~lo:0 ~hi:4) in
+    Alldiff.post s (Array.to_list vars |> List.filteri (fun i _ -> i < 5));
+    let obj = Store.new_var s ~lo:0 ~hi:30 in
+    Linear.sum_var s (Array.to_list (Array.map (fun v -> (1, v)) vars)) obj;
+    let desc x f =
+      List.iter f (List.rev (Dom.to_list (Var.dom x)))
+    in
+    let best, stats =
+      if use_iter then Search.minimize s ~vars ~obj ~val_iter:desc ()
+      else
+        Search.minimize s ~vars ~obj
+          ~val_select:(fun x -> List.rev (Dom.to_list (Var.dom x)))
+          ()
+    in
+    (Option.map fst best, stats.Search.nodes, stats.Search.fails)
+  in
+  let b1, n1, f1 = run true and b2, n2, f2 = run false in
+  Alcotest.(check (option int)) "same optimum" b2 b1;
+  check_int "same nodes" n2 n1;
+  check_int "same fails" f2 f1
+
 let restarts_match_plain_minimize =
   QCheck.Test.make ~name:"restart search finds the same optimum" ~count:50
     QCheck.(
@@ -847,6 +974,7 @@ let () =
           Alcotest.test_case "of_list" `Quick test_dom_of_list;
           Alcotest.test_case "next/prev" `Quick test_dom_next_prev;
           Alcotest.test_case "wide interval" `Quick test_dom_wide_interval;
+          Alcotest.test_case "multi-word" `Quick test_dom_multiword;
           Alcotest.test_case "keep_only" `Quick test_dom_keep_only;
         ]
         @ qsuite [ dom_ops_agree ] );
@@ -956,6 +1084,16 @@ let () =
             test_minimize_restarts_optimum;
           Alcotest.test_case "restarts honor timeout" `Quick
             test_minimize_restarts_respects_timeout;
+          Alcotest.test_case "restarts completion clears timed_out" `Quick
+            test_restarts_completion_clears_timed_out;
+          Alcotest.test_case "restarts timed_out on node budget" `Quick
+            test_restarts_timed_out_on_node_budget;
+          Alcotest.test_case "restarts timed_out on deadline" `Quick
+            test_restarts_timed_out_on_deadline;
+          Alcotest.test_case "stats regression" `Quick
+            test_search_stats_regression;
+          Alcotest.test_case "val_iter matches val_select" `Quick
+            test_val_iter_matches_val_select;
         ]
         @ qsuite [ minimize_matches_bruteforce; restarts_match_plain_minimize ]
       );
