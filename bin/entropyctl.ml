@@ -3,7 +3,9 @@
 
      entropyctl check   cluster.ecl        viability + rule report
      entropyctl plan    cluster.ecl        one decision iteration + plan
-     entropyctl actions cur.ecl new.ecl    raw plan between two specs *)
+     entropyctl actions cur.ecl new.ecl    raw plan between two specs
+     entropyctl lint    cluster.ecl        static analysis of the CP
+                                           model and the planned switch *)
 
 open Entropy_core
 module Spec = Entropy_cli.Spec
@@ -127,6 +129,67 @@ let actions current_path target_path =
     Printf.eprintf "impossible transition: %s\n" reason;
     exit 1
 
+(* -- lint ------------------------------------------------------------------ *)
+
+(* Static analysis of the reconfiguration problem behind a description:
+   lint the CP model the optimizer would search, and replay the
+   heuristic (FFD) plan through the independent verifier. *)
+
+let lint path =
+  let spec = load_or_exit path in
+  let { Spec.config; demand; vjobs; rules; _ } = spec in
+  let outcome = Rjsp.solve ~rules ~config ~demand ~queue:vjobs () in
+  let placed = List.concat_map Vjob.vms outcome.Rjsp.running in
+  let lint_findings =
+    if placed = [] then begin
+      (* an empty placement makes every model lint vacuous *)
+      print_endline
+        "model lint: skipped (no vjob admitted, the CP model has no \
+         decision variables)";
+      []
+    end
+    else begin
+      let model =
+        Optimizer.build_model ~rules ~current:config ~demand ~placed
+          ~target_base:outcome.Rjsp.ffd_config ()
+      in
+      let findings =
+        Entropy_analysis.Linter.lint ~obj:model.Optimizer.obj
+          model.Optimizer.store
+      in
+      Fmt.pr "%a@." Entropy_analysis.Linter.pp_report findings;
+      findings
+    end
+  in
+  let target =
+    Rgraph.normalize_sleeping ~current:config outcome.Rjsp.ffd_config
+  in
+  let plan_findings =
+    match Planner.build_plan ~vjobs ~current:config ~target ~demand () with
+    | plan ->
+      let findings =
+        Entropy_analysis.Verifier.verify ~vjobs ~current:config ~target
+          ~demand plan
+      in
+      if Plan.is_empty plan then
+        print_endline "heuristic plan: empty (nothing to verify)"
+      else
+        Fmt.pr "heuristic plan (%d actions): %a@." (Plan.action_count plan)
+          Entropy_analysis.Verifier.pp_report findings;
+      findings
+    | exception Planner.Stuck reason ->
+      Printf.printf "heuristic plan: stuck (%s), nothing to verify\n" reason;
+      []
+  in
+  if
+    plan_findings <> []
+    || List.exists
+         (function
+           | Entropy_analysis.Linter.Inconsistent_model _ -> true
+           | _ -> false)
+         lint_findings
+  then exit 1
+
 (* -- simulate ----------------------------------------------------------------- *)
 
 let simulate path cp_timeout ram =
@@ -189,6 +252,14 @@ let plan_cmd =
     (Cmd.info "plan" ~doc:"Run one decision iteration and print the plan")
     Term.(const plan $ file_arg 0 "CLUSTER" $ timeout_arg $ ram_arg)
 
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Lint the CP model behind a description and verify the heuristic \
+          plan")
+    Term.(const lint $ file_arg 0 "CLUSTER")
+
 let actions_cmd =
   Cmd.v
     (Cmd.info "actions" ~doc:"Plan the switch between two descriptions")
@@ -209,4 +280,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ check_cmd; plan_cmd; actions_cmd; simulate_cmd ]))
+       (Cmd.group info
+          [ check_cmd; plan_cmd; lint_cmd; actions_cmd; simulate_cmd ]))

@@ -1,0 +1,37 @@
+(** Pre-search lint of a posted CP model.
+
+    Findings do not make a model wrong — they make a search slower or
+    betray an encoding mistake upstream. The only store mutation is one
+    propagation to the root fixpoint, undone before returning. *)
+
+open Fdcp
+
+type finding =
+  | Inconsistent_model of { message : string }
+      (** the root propagation already fails: no search should run *)
+  | Constant_var of { var : string; value : int }
+      (** a decision variable posted already fixed (variables named
+          [const*] by [Store.constant] are exempt) *)
+  | Unconstrained_var of { var : string }
+      (** no propagator watches it: a free variable inflating the
+          search space *)
+  | Duplicate_constraint of {
+      name : string;
+      other : string;
+      vars : string list;
+    }
+      (** two propagators with the same name and identical
+          (variable, event-mask) subscriptions *)
+  | Dead_propagator of { prop : string }
+      (** entailed or fixed: all watched variables are bound at the
+          root fixpoint, so it can never wake again *)
+  | Unbounded_objective of { var : string; lo : int; hi : int }
+      (** objective domain too wide to enumerate *)
+
+val lint : ?obj:Var.t -> Store.t -> finding list
+(** Lint the model currently posted on [store]. Findings are reported
+    in a deterministic order (variable creation order, then propagator
+    id order). *)
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp_report : Format.formatter -> finding list -> unit

@@ -1,0 +1,89 @@
+(** Independent plan verifier: symbolic pool-by-pool replay of a
+    {!Entropy_core.Plan.t} against its source configuration, re-checking
+    every paper-level invariant from first principles — strictly
+    stronger than [Plan.validate].
+
+    Checked invariants: per-pool simultaneous feasibility (per
+    resource), Figure 2 life-cycle preconditions, exact applicability,
+    reconfiguration-graph soundness (including bypass migrations and
+    disk cycle breaks), no worsened overload at any pool boundary, vjob
+    suspend/resume grouping, exact termination in the target, and an
+    independent re-derivation of the Table 1 / section 4.2 plan cost
+    cross-checked against [Plan.cost]. *)
+
+open Entropy_core
+
+type resource = Cpu | Mem
+
+type finding =
+  | Claim_overflow of {
+      pool : int;
+      action : Action.t;
+      node : Node.id;
+      resource : resource;
+      needed : int;
+      available : int;
+    }  (** a pool's parallel claims exceed the pool-start free resources *)
+  | Lifecycle_violation of {
+      pool : int;
+      action : Action.t;
+      state : Lifecycle.state;
+    }  (** the action's transition is illegal from the VM's state (Fig. 2) *)
+  | Invalid_application of { pool : int; action : Action.t; reason : string }
+      (** the VM is not in the precise state the action expects *)
+  | Duplicate_vm_action of { pool : int; action : Action.t }
+      (** second action on the same VM within one (parallel) pool *)
+  | Off_graph_action of { pool : int; action : Action.t }
+      (** matches no pending reconfiguration-graph action and is no
+          recognised cycle break (bypass migration / disk break) *)
+  | Unreachable_target of { pool : int; vm : Vm.id; reason : string }
+  | Worsened_overload of {
+      pool : int;
+      node : Node.id;
+      resource : resource;
+      load : int;
+      capacity : int;
+      initial_excess : int;
+    }
+      (** a pool boundary leaves a node further over capacity than the
+          source configuration already had it *)
+  | Vjob_split of {
+      vjob : string;
+      kind : [ `Suspend | `Resume ];
+      pools : int list;
+    }  (** a vjob's suspends or resumes span several pools *)
+  | Wrong_final_state of {
+      vm : Vm.id;
+      expected : Configuration.vm_state;
+      got : Configuration.vm_state;
+    }
+  | Cost_mismatch of { reported : int; derived : int }
+      (** [Plan.cost] disagrees with the independent re-derivation *)
+
+val verify :
+  ?vjobs:Vjob.t list ->
+  current:Configuration.t ->
+  target:Configuration.t ->
+  demand:Demand.t ->
+  Plan.t ->
+  finding list
+(** Replay the plan and return every finding, in replay order. The
+    target's sleeping locations are normalized against [current] first,
+    exactly as the planner does. [vjobs] enables the grouping check. *)
+
+val is_clean :
+  ?vjobs:Vjob.t list ->
+  current:Configuration.t ->
+  target:Configuration.t ->
+  demand:Demand.t ->
+  Plan.t ->
+  bool
+
+val table1_action_cost : Configuration.t -> Action.t -> int
+(** Independent restatement of the Table 1 action cost model. *)
+
+val rederive_cost : Configuration.t -> Action.t list list -> int
+(** Independent restatement of the section 4.2 sequencing cost. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp_report : Format.formatter -> finding list -> unit

@@ -164,6 +164,96 @@ let post_rules store rules ~placed_arr ~hvars ~target_base ~node_count =
           nodes)
     rules
 
+(* The CP model of one optimisation, exposed so analysis passes (the
+   model linter, the propagator sanitizer, [entropyctl lint]) can
+   inspect exactly what the search would run on. *)
+type model = {
+  store : Fdcp.Store.t;
+  hvars : Fdcp.Var.t array;  (* placement variables, one per placed VM *)
+  placed_vms : Vm.id array;  (* placed_vms.(i) is hvars.(i)'s VM *)
+  obj : Fdcp.Var.t;
+  cap_cpu : int array;
+  cap_mem : int array;
+  rules_postable : bool;
+}
+
+let build_model ?(rules = []) ~current ~demand ~placed ~target_base () =
+  let open Fdcp in
+  let n = Configuration.node_count current in
+  let store = Store.create () in
+  (* placement variables, one per re-placed VM *)
+  let hvars =
+    List.map
+      (fun vm_id ->
+        Store.new_var ~name:(Printf.sprintf "h%d" vm_id) store ~lo:0
+          ~hi:(n - 1))
+      placed
+  in
+  let harr = Array.of_list hvars in
+  let placed_arr = Array.of_list placed in
+  (* viability: CPU and memory packing over residual capacities *)
+  let cap_cpu, cap_mem = residual_capacities target_base demand ~placed in
+  let cpu_items =
+    Array.mapi
+      (fun i v -> Pack.item v (Demand.cpu demand placed_arr.(i)))
+      harr
+  in
+  let mem_items =
+    Array.mapi
+      (fun i v ->
+        Pack.item v (Vm.memory_mb (Configuration.vm current placed_arr.(i))))
+      harr
+  in
+  Pack.post store ~name:"cpu" ~items:cpu_items ~capacities:cap_cpu ();
+  Pack.post store ~name:"mem" ~items:mem_items ~capacities:cap_mem ();
+  (* placement rules: maintained *during* the optimisation (the
+     paper's future work) *)
+  let rules_postable = ref true in
+  (try
+     post_rules store rules ~placed_arr ~hvars:harr ~target_base
+       ~node_count:n;
+     (* RAM-suspended VMs can only resume where their image lives *)
+     Array.iteri
+       (fun i h ->
+         match Configuration.state current placed_arr.(i) with
+         | Configuration.Sleeping_ram host -> Store.instantiate store h host
+         | Configuration.Waiting | Configuration.Running _
+         | Configuration.Sleeping _ | Configuration.Terminated -> ())
+       harr
+   with Store.Inconsistent _ -> rules_postable := false);
+  (* objective: sum of local action costs *)
+  let cost_terms = ref [] in
+  Array.iteri
+    (fun i h ->
+      let vm_id = placed_arr.(i) in
+      let table = cost_table current vm_id ~node_count:n in
+      let distinct = List.sort_uniq Int.compare (Array.to_list table) in
+      match distinct with
+      | [ _ ] -> () (* constant cost: no influence on the search *)
+      | _ ->
+        let c =
+          Store.new_var_of_values
+            ~name:(Printf.sprintf "c%d" vm_id)
+            store distinct
+        in
+        Element.post store h table c;
+        cost_terms := (1, c) :: !cost_terms)
+    harr;
+  let ub =
+    List.fold_left (fun acc (_, c) -> acc + Var.hi c) 0 !cost_terms
+  in
+  let obj = Store.new_var ~name:"obj" store ~lo:0 ~hi:(max ub 0) in
+  Linear.sum_var store !cost_terms obj;
+  {
+    store;
+    hvars = harr;
+    placed_vms = placed_arr;
+    obj;
+    cap_cpu;
+    cap_mem;
+    rules_postable = !rules_postable;
+  }
+
 let optimize ?(timeout = default_timeout) ?node_limit ?restarts ?vjobs
     ?(rules = []) ~current ~demand ~placed ~target_base ~fallback () =
   let fallback_plan, fallback_cost = plan_for ?vjobs ~current ~demand fallback in
@@ -181,74 +271,22 @@ let optimize ?(timeout = default_timeout) ?node_limit ?restarts ?vjobs
   else begin
     let open Fdcp in
     let n = Configuration.node_count current in
-    let store = Store.create () in
-    (* placement variables, one per re-placed VM *)
-    let hvars =
-      List.map
-        (fun vm_id ->
-          Store.new_var ~name:(Printf.sprintf "h%d" vm_id) store ~lo:0
-            ~hi:(n - 1))
-        placed
+    let { store; hvars = harr; placed_vms = placed_arr; obj; cap_cpu;
+          cap_mem; rules_postable; } =
+      build_model ~rules ~current ~demand ~placed ~target_base ()
     in
-    let harr = Array.of_list hvars in
-    let placed_arr = Array.of_list placed in
-    (* viability: CPU and memory packing over residual capacities *)
-    let cap_cpu, cap_mem = residual_capacities target_base demand ~placed in
-    let cpu_items =
-      Array.mapi
-        (fun i v -> Pack.item v (Demand.cpu demand placed_arr.(i)))
-        harr
-    in
-    let mem_items =
-      Array.mapi
-        (fun i v ->
-          Pack.item v (Vm.memory_mb (Configuration.vm current placed_arr.(i))))
-        harr
-    in
-    Pack.post store ~name:"cpu" ~items:cpu_items ~capacities:cap_cpu ();
-    Pack.post store ~name:"mem" ~items:mem_items ~capacities:cap_mem ();
-    (* placement rules: maintained *during* the optimisation (the
-       paper's future work) *)
-    let rules_postable = ref true in
-    (try
-       post_rules store rules ~placed_arr ~hvars:harr ~target_base
-         ~node_count:n;
-       (* RAM-suspended VMs can only resume where their image lives *)
-       Array.iteri
-         (fun i h ->
-           match Configuration.state current placed_arr.(i) with
-           | Configuration.Sleeping_ram host -> Store.instantiate store h host
-           | Configuration.Waiting | Configuration.Running _
-           | Configuration.Sleeping _ | Configuration.Terminated -> ())
-         harr
-     with Store.Inconsistent _ -> rules_postable := false);
-    (* objective: sum of local action costs *)
-    let cost_terms = ref [] in
+    let rules_postable = ref rules_postable in
+    (* movement cost of the fallback placement, under the same per-VM
+       cost tables the objective sums *)
     let fallback_obj = ref 0 in
-    Array.iteri
-      (fun i h ->
-        let vm_id = placed_arr.(i) in
-        let table = cost_table current vm_id ~node_count:n in
-        (match Configuration.host fallback vm_id with
-        | Some host -> fallback_obj := !fallback_obj + table.(host)
-        | None -> ());
-        let distinct = List.sort_uniq Int.compare (Array.to_list table) in
-        match distinct with
-        | [ _ ] -> () (* constant cost: no influence on the search *)
-        | _ ->
-          let c =
-            Store.new_var_of_values
-              ~name:(Printf.sprintf "c%d" vm_id)
-              store distinct
-          in
-          Element.post store h table c;
-          cost_terms := (1, c) :: !cost_terms)
-      harr;
-    let ub =
-      List.fold_left (fun acc (_, c) -> acc + Var.hi c) 0 !cost_terms
-    in
-    let obj = Store.new_var ~name:"obj" store ~lo:0 ~hi:(max ub 0) in
-    Linear.sum_var store !cost_terms obj;
+    Array.iter
+      (fun vm_id ->
+        match Configuration.host fallback vm_id with
+        | Some host ->
+          fallback_obj :=
+            !fallback_obj + (cost_table current vm_id ~node_count:n).(host)
+        | None -> ())
+      placed_arr;
     (* branching order: VMs grouped by their current host (an overload
        on a node is then detected as soon as its group is decided, not
        at the bottom of the tree), most demanding VMs first inside a

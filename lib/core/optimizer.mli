@@ -19,6 +19,28 @@ val cost_table : Configuration.t -> Vm.id -> node_count:int -> int array
 (** Local action cost of running the VM on each node next iteration,
     given its current state (0 / Dm / 2Dm, Table 1). *)
 
+type model = {
+  store : Fdcp.Store.t;
+  hvars : Fdcp.Var.t array;
+      (** placement variables, one per placed VM, valued over nodes *)
+  placed_vms : Vm.id array;  (** [placed_vms.(i)] is [hvars.(i)]'s VM *)
+  obj : Fdcp.Var.t;  (** sum of local action costs *)
+  cap_cpu : int array;  (** residual per-node CPU capacities *)
+  cap_mem : int array;  (** residual per-node memory capacities *)
+  rules_postable : bool;
+      (** false when posting the placement rules already failed: the
+          model is inconsistent and no search should run *)
+}
+
+val build_model :
+  ?rules:Placement_rules.t list ->
+  current:Configuration.t -> demand:Demand.t -> placed:Vm.id list ->
+  target_base:Configuration.t -> unit -> model
+(** The CP model {!optimize} searches: packing constraints for CPU and
+    memory viability, placement-rule constraints, and the cost
+    objective. Exposed for the analysis passes (model linter, propagator
+    sanitizer, [entropyctl lint]). *)
+
 val optimize :
   ?timeout:float -> ?node_limit:int -> ?restarts:int ->
   ?vjobs:Vjob.t list -> ?rules:Placement_rules.t list ->

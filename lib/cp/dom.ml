@@ -295,6 +295,21 @@ let iter f t = fold (fun () v -> f v) () t
 
 let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)
 
+(* Set equality, independent of the representation (shared word arrays,
+   stale bits outside the window, interval vs materialized bitset). *)
+let equal a b =
+  a.size = b.size && a.lo = b.lo && a.hi = b.hi
+  && (a.size = 0
+     || a.size = a.hi - a.lo + 1 (* both contiguous *)
+     ||
+     let rec go v =
+       match (next_value v a, next_value v b) with
+       | None, None -> true
+       | Some x, Some y -> x = y && go (x + 1)
+       | Some _, None | None, Some _ -> false
+     in
+     go a.lo)
+
 let pp ppf t =
   if is_empty t then Fmt.string ppf "{}"
   else if t.size = 1 then Fmt.pf ppf "{%d}" t.lo

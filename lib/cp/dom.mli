@@ -56,4 +56,7 @@ val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
 val iter : (int -> unit) -> t -> unit
 val to_list : t -> int list
 
+val equal : t -> t -> bool
+(** Set equality, independent of the internal representation. *)
+
 val pp : Format.formatter -> t -> unit

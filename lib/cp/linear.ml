@@ -25,14 +25,18 @@ let propagate_le store terms c () =
   in
   List.iter prune terms
 
-let sum_le store terms c =
-  let p = Prop.make ~name:"linear_le" (fun () -> ()) in
+let post_le store ~name terms c =
+  let p = Prop.make ~name (fun () -> ()) in
   p.Prop.run <- propagate_le store terms c;
   (* bounds consistency: only lo/hi moves can change the propagation *)
   Store.post_on store p ~on:[ (Prop.On_bounds, List.map snd terms) ]
 
+let sum_le store terms c = post_le store ~name:"linear_le" terms c
+
 let sum_ge store terms c =
-  sum_le store (List.map (fun (a, x) -> (-a, x)) terms) (-c)
+  (* distinct name: both directions watch the same variables with the
+     same masks, the coefficients alone differ *)
+  post_le store ~name:"linear_ge" (List.map (fun (a, x) -> (-a, x)) terms) (-c)
 
 let sum_eq store terms c =
   sum_le store terms c;

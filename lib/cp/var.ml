@@ -15,16 +15,28 @@ type t = {
 
 let id t = t.id
 
+(* Read instrumentation for the analysis sanitizer: when set, every read
+   accessor reports the variable it touched (used to check that a
+   propagator only reads variables it subscribed to). The production
+   cost is one load and one predictable branch per read. *)
+let read_hook : (t -> unit) option ref = ref None
+
+let[@inline] note_read t =
+  match !read_hook with None -> () | Some f -> f t
+
 (* anonymous variables store [""] and render as "v<id>" on demand, so
    variable creation never formats a string *)
 let name t = if t.name = "" then "v" ^ string_of_int t.id else t.name
-let dom t = t.dom
 
-let lo t = Dom.lo t.dom
-let hi t = Dom.hi t.dom
-let size t = Dom.size t.dom
-let is_bound t = Dom.is_bound t.dom
-let mem v t = Dom.mem v t.dom
+let dom t =
+  note_read t;
+  t.dom
+
+let lo t = note_read t; Dom.lo t.dom
+let hi t = note_read t; Dom.hi t.dom
+let size t = note_read t; Dom.size t.dom
+let is_bound t = note_read t; Dom.is_bound t.dom
+let mem v t = note_read t; Dom.mem v t.dom
 
 let value_exn t =
   if not (is_bound t) then

@@ -31,4 +31,11 @@ val watch : t -> ?event:Prop.event -> Prop.t -> unit
     [event] (default {!Prop.On_domain}: any change) or stronger.
     Subscribing the same propagator twice merges the event masks. *)
 
+val read_hook : (t -> unit) option ref
+(** Instrumentation point used by the analysis sanitizer: when set, every
+    read accessor ({!dom}, {!lo}, {!hi}, {!size}, {!is_bound}, {!mem},
+    {!value_exn}) calls the hook with the variable being read. Leave
+    [None] in production (the default); the overhead is then a single
+    predictable branch per read. *)
+
 val pp : Format.formatter -> t -> unit

@@ -5,8 +5,14 @@ open Entropy_core
 type t
 
 val make : time:float -> cpu:int array -> t
+(** [cpu] is copied: later caller mutation does not alter the sample. *)
+
 val time : t -> float
+
 val cpu : t -> Vm.id -> int
+(** Per-VM CPU consumption in hundredths of a core. Raises
+    [Invalid_argument] on an unknown VM id. *)
+
 val vm_count : t -> int
 val to_demand : t -> Demand.t
 val pp : Format.formatter -> t -> unit

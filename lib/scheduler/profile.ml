@@ -63,7 +63,12 @@ let earliest t ~after ~nodes ~duration =
   in
   let fits start = min_free t ~start ~finish:(start +. duration) >= nodes in
   let rec go = function
-    | [] -> assert false (* the profile is eventually all-free *)
+    | [] ->
+      (* no candidate fits: fall back to the trailing all-free segment.
+         Past the last breakpoint every allocation has finished, so
+         [capacity] nodes are free there and the checked
+         [nodes <= capacity] precondition makes it always admissible. *)
+      List.fold_left (fun acc (bt, _) -> Float.max acc bt) after t.breakpoints
     | c :: rest -> if fits c then c else go rest
   in
   go (List.sort Float.compare candidates)

@@ -909,7 +909,8 @@ let test_loop_runs_to_completion () =
 (* -- plan validation diagnostics ------------------------------------------- *)
 
 let test_plan_validate_reports_infeasible_pool () =
-  (* both runs target the same full node in one pool *)
+  (* both runs target the same full node in one pool: the second run's
+     claim must be pinned with its pool index and the exact action *)
   let nodes = mk_nodes ~cpu:100 ~mem:1024 1 in
   let vms = mk_vms [ 768; 768 ] in
   let config = Configuration.make ~nodes ~vms in
@@ -922,10 +923,29 @@ let test_plan_validate_reports_infeasible_pool () =
     Plan.make [ [ Action.Run { vm = 0; dst = 0 }; Action.Run { vm = 1; dst = 0 } ] ]
   in
   let violations = Plan.validate ~current:config ~target ~demand plan in
-  check_bool "pool infeasible reported" true
+  check_bool "exactly the overflowing run, in pool 0" true
     (List.exists
-       (function Plan.Pool_infeasible _ -> true | _ -> false)
-       violations)
+       (function
+         | Plan.Pool_infeasible { pool = 0; action } ->
+           Action.equal action (Action.Run { vm = 1; dst = 0 })
+         | _ -> false)
+       violations);
+  (* sequenced, the same claim still overflows (the node simply cannot
+     hold both VMs) but the diagnostic must move to pool 1 *)
+  let sequential =
+    Plan.make
+      [
+        [ Action.Run { vm = 0; dst = 0 } ];
+        [ Action.Run { vm = 1; dst = 0 } ];
+      ]
+  in
+  check_bool "sequenced violation pinned to pool 1" true
+    (List.exists
+       (function
+         | Plan.Pool_infeasible { pool = 1; action } ->
+           Action.equal action (Action.Run { vm = 1; dst = 0 })
+         | _ -> false)
+       (Plan.validate ~current:config ~target ~demand sequential))
 
 let test_plan_validate_reports_wrong_final_state () =
   let nodes = mk_nodes 1 in
@@ -934,9 +954,13 @@ let test_plan_validate_reports_wrong_final_state () =
   let demand = demand_all config 10 in
   let target = Configuration.with_states config [| Configuration.Running 0 |] in
   let violations = Plan.validate ~current:config ~target ~demand Plan.empty in
-  check_bool "missing action reported" true
+  check_bool "missing action pinned with both states" true
     (List.exists
-       (function Plan.Wrong_final_state _ -> true | _ -> false)
+       (function
+         | Plan.Wrong_final_state
+             { vm = 0; expected = Configuration.Running 0; got } ->
+           got = Configuration.state config 0
+         | _ -> false)
        violations)
 
 let test_plan_validate_reports_invalid_application () =
@@ -945,12 +969,55 @@ let test_plan_validate_reports_invalid_application () =
   let config = Configuration.make ~nodes ~vms in
   let demand = demand_all config 10 in
   (* resuming a waiting VM is invalid *)
-  let plan = Plan.make [ [ Action.Resume { vm = 0; src = 0; dst = 0 } ] ] in
+  let bad = Action.Resume { vm = 0; src = 0; dst = 0 } in
+  let plan = Plan.make [ [ bad ] ] in
   let target = Configuration.with_states config [| Configuration.Running 0 |] in
   let violations = Plan.validate ~current:config ~target ~demand plan in
-  check_bool "invalid application reported" true
+  check_bool "invalid application pinned to pool 0" true
     (List.exists
-       (function Plan.Invalid_application _ -> true | _ -> false)
+       (function
+         | Plan.Invalid_application { pool = 0; action; reason } ->
+           Action.equal action bad && reason <> ""
+         | _ -> false)
+       violations)
+
+let test_plan_validate_accumulates_all_violations () =
+  (* one plan, all three diagnostics at once: an over-committed pool, a
+     misapplied action, and a final state short of the target *)
+  let nodes = mk_nodes ~cpu:100 ~mem:1024 2 in
+  let vms = mk_vms [ 768; 768; 512 ] in
+  let config = Configuration.make ~nodes ~vms in
+  let demand = demand_all config 10 in
+  let target =
+    Configuration.with_states config
+      [|
+        Configuration.Running 0; Configuration.Running 0;
+        Configuration.Running 1;
+      |]
+  in
+  let plan =
+    Plan.make
+      [
+        [
+          Action.Run { vm = 0; dst = 0 };
+          Action.Run { vm = 1; dst = 0 };
+          (* over-commits node 0 *)
+          Action.Resume { vm = 2; src = 1; dst = 1 };
+          (* vm2 is waiting, not sleeping *)
+        ];
+      ]
+  in
+  let violations = Plan.validate ~current:config ~target ~demand plan in
+  let count pred = List.length (List.filter pred violations) in
+  check_int "one infeasible pool claim" 1
+    (count (function Plan.Pool_infeasible _ -> true | _ -> false));
+  check_int "one invalid application" 1
+    (count (function Plan.Invalid_application _ -> true | _ -> false));
+  check_bool "vm2 never reaches its target" true
+    (List.exists
+       (function
+         | Plan.Wrong_final_state { vm = 2; _ } -> true
+         | _ -> false)
        violations)
 
 let test_rgraph_mismatched_vm_sets () =
@@ -1187,6 +1254,8 @@ let () =
             test_plan_validate_reports_wrong_final_state;
           Alcotest.test_case "invalid application" `Quick
             test_plan_validate_reports_invalid_application;
+          Alcotest.test_case "all violations accumulate" `Quick
+            test_plan_validate_accumulates_all_violations;
           Alcotest.test_case "mismatched vm sets" `Quick
             test_rgraph_mismatched_vm_sets;
           Alcotest.test_case "with_states arity" `Quick

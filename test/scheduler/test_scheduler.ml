@@ -59,6 +59,20 @@ let test_profile_earliest () =
   check_float 1e-9 "hole too short" 20.
     (Profile.earliest p ~after:0. ~nodes:5 ~duration:5.)
 
+(* regression: the full-capacity request on a packed profile must fall
+   through every busy candidate to the trailing all-free segment,
+   never hit an assertion *)
+let test_profile_earliest_total () =
+  let p = Profile.create ~capacity:10 in
+  Profile.allocate p ~start:0. ~finish:10. ~nodes:1;
+  Profile.allocate p ~start:10. ~finish:30. ~nodes:1;
+  (* only the trailing segment ever has all 10 nodes *)
+  check_float 1e-9 "full capacity waits for the end" 30.
+    (Profile.earliest p ~after:0. ~nodes:10 ~duration:5.);
+  (* asking from beyond every breakpoint stays total too *)
+  check_float 1e-9 "beyond all breakpoints" 100.
+    (Profile.earliest p ~after:100. ~nodes:10 ~duration:5.)
+
 (* -- rms -------------------------------------------------------------------- *)
 
 let test_fcfs_strict_order () =
@@ -305,6 +319,8 @@ let () =
           Alcotest.test_case "allocate" `Quick test_profile_allocate;
           Alcotest.test_case "stacked" `Quick test_profile_stacked_allocations;
           Alcotest.test_case "earliest" `Quick test_profile_earliest;
+          Alcotest.test_case "earliest is total" `Quick
+            test_profile_earliest_total;
           Alcotest.test_case "min free" `Quick test_profile_min_free;
         ] );
       ( "rms",
