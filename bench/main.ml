@@ -298,6 +298,7 @@ let () =
   let quota = ref 0.8 in
   let cp_stats = ref false in
   let cp_timeout = ref 10. in
+  let trace = ref "" in
   Arg.parse
     [
       ("--json", Arg.Set_string json, "FILE append a run entry to FILE");
@@ -308,9 +309,17 @@ let () =
       ( "--cp-timeout",
         Arg.Set_float cp_timeout,
         "SECONDS CP probe timeout (default 10)" );
+      ( "--trace",
+        Arg.Set_string trace,
+        "FILE record a Chrome trace of the benchmarked code (adds \
+         instrumentation overhead: do not trust timings of a traced run)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "dune exec bench/main.exe -- [flags]";
+  if !trace <> "" then begin
+    Entropy_obs.Obs.enabled := true;
+    Entropy_obs.Obs.reset ()
+  end;
   let contains hay needle =
     let lh = String.length hay and ln = String.length needle in
     ln = 0
@@ -373,4 +382,10 @@ let () =
     end
     else None
   in
-  if !json <> "" then append_json !json (json_entry ~label:!label results probe)
+  if !json <> "" then append_json !json (json_entry ~label:!label results probe);
+  if !trace <> "" then begin
+    Entropy_obs.Obs.write_trace !trace;
+    Printf.printf "trace written to %s (%d events, %d dropped)\n" !trace
+      (Entropy_obs.Trace.recorded ())
+      (Entropy_obs.Trace.dropped ())
+  end

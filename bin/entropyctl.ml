@@ -5,10 +5,53 @@
      entropyctl plan    cluster.ecl        one decision iteration + plan
      entropyctl actions cur.ecl new.ecl    raw plan between two specs
      entropyctl lint    cluster.ecl        static analysis of the CP
-                                           model and the planned switch *)
+                                           model and the planned switch
+     entropyctl profile                    one optimisation on a Fig. 10
+                                           instance, per-phase timings *)
 
 open Entropy_core
 module Spec = Entropy_cli.Spec
+module Obs = Entropy_obs.Obs
+
+(* -- logging ---------------------------------------------------------------- *)
+
+(* [-v] raises the global level (info, then debug); [--debug SRC] turns
+   debug on for specific sources only ("cp" matches "entropy.cp"). *)
+let setup_logs verbosity debug =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level
+    (if verbosity >= 2 then Some Logs.Debug
+     else if verbosity = 1 then Some Logs.Info
+     else Some Logs.Warning);
+  List.iter
+    (fun name ->
+      let matched =
+        List.filter
+          (fun src ->
+            let n = Logs.Src.name src in
+            n = name || n = "entropy." ^ name)
+          (Logs.Src.list ())
+      in
+      if matched = [] then
+        Printf.eprintf "entropyctl: unknown log source %S (known: %s)\n" name
+          (String.concat ", "
+             (List.sort String.compare
+                (List.map Logs.Src.name (Logs.Src.list ()))))
+      else
+        List.iter (fun src -> Logs.Src.set_level src (Some Logs.Debug)) matched)
+    debug
+
+(* -- observability ----------------------------------------------------------- *)
+
+let obs_setup trace metrics =
+  if trace <> None || metrics <> None then begin
+    Obs.enabled := true;
+    Obs.reset ()
+  end
+
+let obs_write trace metrics =
+  Option.iter Obs.write_trace trace;
+  Option.iter Obs.write_metrics metrics
 
 let load_or_exit path =
   try Spec.load path with
@@ -54,14 +97,21 @@ let check path =
 
 (* -- plan ----------------------------------------------------------------- *)
 
-let plan path cp_timeout ram =
-  let spec = load_or_exit path in
+let plan path cp_timeout ram trace metrics =
+  obs_setup trace metrics;
+  let spec =
+    Obs.span ~cat:"loop" ~name:"loop.observe" (fun () -> load_or_exit path)
+  in
   let { Spec.config; demand; vjobs; rules; _ } = spec in
   let decision =
     Decision.consolidation ~cp_timeout ~rules ~suspend_to_ram:ram ()
   in
-  let obs = { Decision.config; demand; queue = vjobs; finished = [] } in
-  let result = decision.Decision.decide obs in
+  let observation = { Decision.config; demand; queue = vjobs; finished = [] } in
+  let result =
+    Obs.span ~cat:"loop" ~name:"loop.decide" (fun () ->
+        decision.Decision.decide observation)
+  in
+  obs_write trace metrics;
   List.iter
     (fun vj ->
       let before = Configuration.vjob_state config vj in
@@ -192,7 +242,8 @@ let lint path =
 
 (* -- simulate ----------------------------------------------------------------- *)
 
-let simulate path cp_timeout ram =
+let simulate path cp_timeout ram trace metrics =
+  obs_setup trace metrics;
   let spec = load_or_exit path in
   let with_programs =
     Array.exists (fun p -> p <> []) spec.Spec.programs
@@ -223,7 +274,59 @@ let simulate path cp_timeout ram =
   Printf.printf "\ncluster-wide context switches:\n";
   List.iter
     (fun s -> Fmt.pr "  %a@." Vsim.Executor.pp_record s)
-    result.Vsim.Runner.switches
+    result.Vsim.Runner.switches;
+  obs_write trace metrics
+
+(* -- profile ------------------------------------------------------------------ *)
+
+(* One optimisation over a generated Figure 10-style instance, with the
+   observability layer forced on: prints the plan summary, the per-phase
+   wall-time table (from the trace spans) and the counter registry. *)
+
+let profile vms cp_timeout restarts seed trace metrics =
+  Obs.enabled := true;
+  Obs.reset ();
+  let instance =
+    Obs.span ~cat:"profile" ~name:"profile.generate" (fun () ->
+        Vworkload.Generator.generate
+          { Vworkload.Generator.default_spec with vm_target = vms; seed })
+  in
+  let { Vworkload.Generator.config; demand; vjobs } = instance in
+  let outcome =
+    Obs.span ~cat:"profile" ~name:"profile.rjsp" (fun () ->
+        Rjsp.solve ~config ~demand ~queue:vjobs ())
+  in
+  let restarts = if restarts = 0 then None else Some restarts in
+  let result =
+    Obs.span ~cat:"loop" ~name:"loop.decide" (fun () ->
+        Optimizer.optimize ~timeout:cp_timeout ?restarts ~vjobs
+          ~current:config ~demand
+          ~placed:(List.concat_map Vjob.vms outcome.Rjsp.running)
+          ~target_base:outcome.Rjsp.ffd_config
+          ~fallback:outcome.Rjsp.ffd_config ())
+  in
+  Printf.printf "instance: %d VMs over %d nodes (seed %d), %d vjobs\n" vms
+    (Configuration.node_count config)
+    seed (List.length vjobs);
+  Printf.printf "plan: %d actions, cost %d%s\n"
+    (Plan.action_count result.Optimizer.plan)
+    result.Optimizer.cost
+    (if result.Optimizer.improved then " (CP beat the heuristic)" else "");
+  (match result.Optimizer.stats with
+  | Some st -> Fmt.pr "search: %a@." Fdcp.Search.pp_stats st
+  | None -> ());
+  Printf.printf "\n%-28s%8s%14s%12s\n" "phase" "count" "total ms" "mean us";
+  List.iter
+    (fun (name, count, total_us) ->
+      Printf.printf "%-28s%8d%14.2f%12.1f\n" name count (total_us /. 1000.)
+        (total_us /. float_of_int (max 1 count)))
+    (Entropy_obs.Trace.aggregate ());
+  (match Entropy_obs.Metrics.counters () with
+  | [] -> ()
+  | counters ->
+    Printf.printf "\n%-36s%12s\n" "counter" "value";
+    List.iter (fun (n, v) -> Printf.printf "%-36s%12d\n" n v) counters);
+  obs_write trace metrics
 
 (* -- cmdliner ---------------------------------------------------------------- *)
 
@@ -242,15 +345,55 @@ let ram_arg =
     value & flag
     & info [ "ram" ] ~doc:"Prefer suspend-to-RAM when memory allows.")
 
+let logs_term =
+  let verbose =
+    Arg.(
+      value & flag_all
+      & info [ "v"; "verbose" ]
+          ~doc:"Increase log verbosity (info; twice for debug).")
+  in
+  let debug =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "debug" ] ~docv:"SRC"
+          ~doc:
+            "Comma-separated log sources to set to debug level (e.g. \
+             $(b,cp,sim) for entropy.cp and entropy.sim), independently of \
+             $(b,-v).")
+  in
+  Term.(const (fun v d -> setup_logs (List.length v) d) $ verbose $ debug)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON (load it in Perfetto or \
+           chrome://tracing) covering the run.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the metrics registry: Prometheus text format when FILE \
+           ends in $(b,.prom), JSON otherwise.")
+
 let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Report loads, viability and rule violations")
-    Term.(const check $ file_arg 0 "CLUSTER")
+    Term.(const (fun () p -> check p) $ logs_term $ file_arg 0 "CLUSTER")
 
 let plan_cmd =
   Cmd.v
     (Cmd.info "plan" ~doc:"Run one decision iteration and print the plan")
-    Term.(const plan $ file_arg 0 "CLUSTER" $ timeout_arg $ ram_arg)
+    Term.(
+      const (fun () p t r tr m -> plan p t r tr m)
+      $ logs_term $ file_arg 0 "CLUSTER" $ timeout_arg $ ram_arg $ trace_arg
+      $ metrics_arg)
 
 let lint_cmd =
   Cmd.v
@@ -258,12 +401,14 @@ let lint_cmd =
        ~doc:
          "Lint the CP model behind a description and verify the heuristic \
           plan")
-    Term.(const lint $ file_arg 0 "CLUSTER")
+    Term.(const (fun () p -> lint p) $ logs_term $ file_arg 0 "CLUSTER")
 
 let actions_cmd =
   Cmd.v
     (Cmd.info "actions" ~doc:"Plan the switch between two descriptions")
-    Term.(const actions $ file_arg 0 "CURRENT" $ file_arg 1 "TARGET")
+    Term.(
+      const (fun () c t -> actions c t)
+      $ logs_term $ file_arg 0 "CURRENT" $ file_arg 1 "TARGET")
 
 let simulate_cmd =
   Cmd.v
@@ -271,7 +416,38 @@ let simulate_cmd =
        ~doc:
          "Run the control loop on the simulated cluster until every vjob \
           (with a program= field) completes")
-    Term.(const simulate $ file_arg 0 "CLUSTER" $ timeout_arg $ ram_arg)
+    Term.(
+      const (fun () p t r tr m -> simulate p t r tr m)
+      $ logs_term $ file_arg 0 "CLUSTER" $ timeout_arg $ ram_arg $ trace_arg
+      $ metrics_arg)
+
+let profile_cmd =
+  let vms_arg =
+    Arg.(
+      value & opt int 54
+      & info [ "vms" ] ~docv:"N"
+          ~doc:"Number of VMs in the generated instance.")
+  in
+  let restarts_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "restarts" ] ~docv:"N"
+          ~doc:"Luby restarts for the CP search (0 = plain search).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Instance generator seed.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Time one optimisation over a generated Figure 10-style instance \
+          and print the per-phase table")
+    Term.(
+      const (fun () vms t r s tr m -> profile vms t r s tr m)
+      $ logs_term $ vms_arg $ timeout_arg $ restarts_arg $ seed_arg
+      $ trace_arg $ metrics_arg)
 
 let () =
   let info =
@@ -281,4 +457,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; plan_cmd; lint_cmd; actions_cmd; simulate_cmd ]))
+          [
+            check_cmd; plan_cmd; lint_cmd; actions_cmd; simulate_cmd;
+            profile_cmd;
+          ]))

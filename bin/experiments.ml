@@ -186,7 +186,7 @@ let fig12 cls () =
   Printf.printf "\nFCFS makespan: %.1f min\n"
     (Exp_common.minutes (Batch.Static_alloc.makespan run))
 
-let fig13 cls cp_timeout () =
+let fig13 cls cp_timeout series_out () =
   Exp_common.header
     "Figure 13: resource utilization of the VMs (Entropy vs FCFS)";
   let entropy = Exp_common.run_entropy ~cls ~cp_timeout () in
@@ -233,7 +233,17 @@ let fig13 cls cp_timeout () =
       loop (t +. 120.)
     end
   in
-  loop 0.
+  loop 0.;
+  match series_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc
+      (Entropy_obs.Json.to_string
+         (Vsim.Metrics.points_to_json entropy.Vsim.Runner.series));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nEntropy utilization series written to %s\n" path
 
 let headline cls cp_timeout () =
   Exp_common.header
@@ -399,7 +409,7 @@ let all samples timeout cls () =
   fig10 samples timeout 0 ();
   fig11 cls timeout ();
   fig12 cls ();
-  fig13 cls timeout ();
+  fig13 cls timeout None ();
   headline cls timeout ();
   ablation cls timeout ();
   staggered cls timeout 120. ();
@@ -454,9 +464,16 @@ let fig12_cmd =
   cmd "fig12" "Figure 12: FCFS allocation diagram"
     Term.(const fig12 $ cls_arg $ const ())
 
+let fig13_series_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "series" ] ~docv:"FILE"
+        ~doc:"Also write the Entropy utilization series as JSON to FILE.")
+
 let fig13_cmd =
   cmd "fig13" "Figure 13: utilization over time"
-    Term.(const fig13 $ cls_arg $ timeout_arg $ const ())
+    Term.(const fig13 $ cls_arg $ timeout_arg $ fig13_series_arg $ const ())
 
 let headline_cmd =
   cmd "headline" "Makespan comparison (the 40% claim)"

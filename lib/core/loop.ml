@@ -7,6 +7,12 @@
    The loop is driver-agnostic: the simulator (lib/sim) provides one
    driver, examples can provide in-memory ones. *)
 
+module Obs = Entropy_obs.Obs
+module Metrics = Entropy_obs.Metrics
+
+let m_iterations = lazy (Metrics.counter "loop.iterations")
+let m_switches = lazy (Metrics.counter "loop.switches")
+
 type driver = {
   observe : unit -> Decision.observation;
   execute : Plan.t -> unit;  (* blocks until the switch completes *)
@@ -27,9 +33,19 @@ let default_period = 30.
    (an empty plan means the current configuration already matches the
    decision). *)
 let step decision driver index =
-  let observation = driver.observe () in
-  let result = decision.Decision.decide observation in
+  let observation =
+    Obs.span ~cat:"loop" ~name:"loop.observe" driver.observe
+  in
+  let result =
+    Obs.span ~cat:"loop" ~name:"loop.decide"
+      ~args:[ ("iteration", Entropy_obs.Trace.I index) ]
+      (fun () -> decision.Decision.decide observation)
+  in
   let executed = not (Plan.is_empty result.Optimizer.plan) in
+  if !Obs.enabled then begin
+    Metrics.incr (Lazy.force m_iterations);
+    if executed then Metrics.incr (Lazy.force m_switches)
+  end;
   Log.debug (fun m ->
       m "iteration %d (%s): %d vjobs queued, %d finished -> plan %d \
          actions, cost %d%s"
@@ -39,7 +55,14 @@ let step decision driver index =
         (Plan.action_count result.Optimizer.plan)
         result.Optimizer.cost
         (if executed then "" else " (no switch needed)"));
-  if executed then driver.execute result.Optimizer.plan;
+  if executed then
+    Obs.span ~cat:"loop" ~name:"loop.execute"
+      ~args:
+        [
+          ("actions", Entropy_obs.Trace.I (Plan.action_count result.Optimizer.plan));
+          ("cost", Entropy_obs.Trace.I result.Optimizer.cost);
+        ]
+      (fun () -> driver.execute result.Optimizer.plan);
   { index; observation; result; executed }
 
 let run ?(period = default_period) ?(max_iterations = max_int) decision

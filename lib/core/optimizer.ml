@@ -22,6 +22,14 @@
    final comparison against the fallback configuration uses the real
    plan cost. *)
 
+module Obs = Entropy_obs.Obs
+module Trace = Entropy_obs.Trace
+module Metrics = Entropy_obs.Metrics
+
+(* [Fdcp] now exports its own [Log] (source "entropy.cp"); capture the
+   core's before the [let open Fdcp] scopes below shadow it. *)
+module Core_log = Log
+
 type result = {
   target : Configuration.t;
   plan : Plan.t;
@@ -88,8 +96,25 @@ let config_of_placement target_base placed snapshot =
   |> fst
 
 let plan_for ?vjobs ~current ~demand target =
-  let plan = Planner.build_plan ?vjobs ~current ~target ~demand () in
-  (plan, Plan.cost current plan)
+  Obs.span ~cat:"optimizer" ~name:"optimizer.plan" (fun () ->
+      let plan = Planner.build_plan ?vjobs ~current ~target ~demand () in
+      (plan, Plan.cost current plan))
+
+(* Flush the per-store CP observability counters into the global metrics
+   registry. Name lookups happen once per optimisation, not per event. *)
+let flush_cp_stats store =
+  let open Fdcp in
+  List.iter
+    (fun (name, wakes, runs, time_us) ->
+      Metrics.add (Metrics.counter ("cp.prop.wake." ^ name)) wakes;
+      Metrics.add (Metrics.counter ("cp.prop.run." ^ name)) runs;
+      Metrics.add
+        (Metrics.counter ("cp.prop.time_us." ^ name))
+        (int_of_float time_us))
+    (Store.prop_stats store);
+  Metrics.add (Metrics.counter "cp.store.propagations")
+    (Store.propagation_count store);
+  Metrics.add (Metrics.counter "cp.store.updates") (Store.update_count store)
 
 (* Post the placement rules on the search variables: Ban/Fence restrict
    domains, Spread posts an all-different (extended with the hosts of
@@ -177,7 +202,7 @@ type model = {
   rules_postable : bool;
 }
 
-let build_model ?(rules = []) ~current ~demand ~placed ~target_base () =
+let build_model_impl ~rules ~current ~demand ~placed ~target_base () =
   let open Fdcp in
   let n = Configuration.node_count current in
   let store = Store.create () in
@@ -253,6 +278,12 @@ let build_model ?(rules = []) ~current ~demand ~placed ~target_base () =
     cap_mem;
     rules_postable = !rules_postable;
   }
+
+let build_model ?(rules = []) ~current ~demand ~placed ~target_base () =
+  Obs.span ~cat:"optimizer" ~name:"optimizer.build_model"
+    ~args:[ ("placed", Trace.I (List.length placed)) ]
+    (fun () ->
+      build_model_impl ~rules ~current ~demand ~placed ~target_base ())
 
 let optimize ?(timeout = default_timeout) ?node_limit ?restarts ?vjobs
     ?(rules = []) ~current ~demand ~placed ~target_base ~fallback () =
@@ -360,15 +391,20 @@ let optimize ?(timeout = default_timeout) ?node_limit ?restarts ?vjobs
       if !seed_failed || not !rules_postable then
         (None, Search.fresh_stats ())
       else
-        match restarts with
-        | Some restarts ->
-          Search.minimize_restarts store ~vars:harr ~obj ~var_select
-            ~val_select ~restarts ~timeout ()
-        | None ->
-          Search.minimize store ~vars:harr ~obj ~var_select ~val_iter
-            ~timeout ?node_limit ()
+        Obs.span ~cat:"optimizer" ~name:"optimizer.search"
+          ~args:
+            [ ("vms", Trace.I (Array.length harr)); ("nodes", Trace.I n) ]
+          (fun () ->
+            match restarts with
+            | Some restarts ->
+              Search.minimize_restarts store ~vars:harr ~obj ~var_select
+                ~val_select ~restarts ~timeout ()
+            | None ->
+              Search.minimize store ~vars:harr ~obj ~var_select ~val_iter
+                ~timeout ?node_limit ())
     in
-    Log.debug (fun m ->
+    if !Obs.enabled then flush_cp_stats store;
+    Core_log.debug (fun m ->
         m "optimizer: %d VMs over %d nodes, %a" (Array.length harr) n
           Search.pp_stats stats);
     match best with

@@ -14,6 +14,15 @@
       move (pivot -> final destination) back into the graph;
    4. repeat until the intermediate configuration equals the target. *)
 
+module Obs = Entropy_obs.Obs
+module Trace = Entropy_obs.Trace
+module Metrics = Entropy_obs.Metrics
+
+let m_pools = lazy (Metrics.counter "planner.pools")
+let m_actions = lazy (Metrics.counter "planner.actions")
+let m_bypass = lazy (Metrics.counter "planner.bypass")
+let m_cycle_breaks = lazy (Metrics.counter "planner.cycle_breaks")
+
 exception Stuck of string
 
 let stuck fmt = Fmt.kstr (fun s -> raise (Stuck s)) fmt
@@ -117,6 +126,7 @@ let bypass_migration config demand cycle =
 let max_iterations = 10_000
 
 let build ~current ~target ~demand () =
+  Obs.span ~cat:"planner" ~name:"planner.build" @@ fun () ->
   let target = Rgraph.normalize_sleeping ~current target in
   let rec loop config pools iter =
     if iter > max_iterations then stuck "planner did not converge";
@@ -124,9 +134,14 @@ let build ~current ~target ~demand () =
     if remaining = [] then List.rev pools
     else
       let selected, _postponed = select_pool config demand remaining in
-      if selected <> [] then
+      if selected <> [] then begin
+        if !Obs.enabled then begin
+          Metrics.incr (Lazy.force m_pools);
+          Metrics.add (Lazy.force m_actions) (List.length selected)
+        end;
         let config' = List.fold_left Action.apply config selected in
         loop config' (selected :: pools) (iter + 1)
+      end
       else
         match find_migration_cycle remaining with
         | None ->
@@ -135,6 +150,24 @@ let build ~current ~target ~demand () =
         | Some cycle -> (
           match bypass_migration config demand cycle with
           | Some bypass ->
+            if !Obs.enabled then begin
+              (match bypass with
+              | Action.Migrate { vm; src; dst } ->
+                Obs.instant ~cat:"planner"
+                  ~args:
+                    [
+                      ("vm", Trace.I vm); ("src", Trace.I src);
+                      ("dst", Trace.I dst);
+                      ("cycle_len", Trace.I (List.length cycle));
+                    ]
+                  "planner.bypass"
+              | Action.Run _ | Action.Stop _ | Action.Suspend _
+              | Action.Resume _ | Action.Suspend_ram _
+              | Action.Resume_ram _ -> ());
+              Metrics.incr (Lazy.force m_bypass);
+              Metrics.incr (Lazy.force m_pools);
+              Metrics.incr (Lazy.force m_actions)
+            end;
             let config' = Action.apply config bypass in
             loop config' ([ bypass ] :: pools) (iter + 1)
           | None -> (
@@ -157,6 +190,18 @@ let build ~current ~target ~demand () =
               Log.debug (fun m ->
                   m "planner: migration cycle with no pivot, breaking \
                      through the disk (suspend VM %d on node %d)" vm src);
+              if !Obs.enabled then begin
+                Obs.instant ~cat:"planner"
+                  ~args:
+                    [
+                      ("vm", Trace.I vm); ("src", Trace.I src);
+                      ("cycle_len", Trace.I (List.length cycle));
+                    ]
+                  "planner.cycle_break";
+                Metrics.incr (Lazy.force m_cycle_breaks);
+                Metrics.incr (Lazy.force m_pools);
+                Metrics.incr (Lazy.force m_actions)
+              end;
               let break = Action.Suspend { vm; host = src } in
               let config' = Action.apply config break in
               loop config' ([ break ] :: pools) (iter + 1)))

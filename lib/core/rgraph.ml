@@ -54,6 +54,11 @@ let actions ~current ~target =
     | Some a -> acc := a :: !acc
     | None -> ()
   done;
+  if !Entropy_obs.Obs.enabled then begin
+    let module Metrics = Entropy_obs.Metrics in
+    Metrics.incr (Metrics.counter "rgraph.derivations");
+    Metrics.add (Metrics.counter "rgraph.actions") (List.length !acc)
+  end;
   !acc
 
 (* Expected suspend location of every sleeping VM in [target], given

@@ -1,0 +1,7 @@
+(* Log source for the CP kernel. Enable with e.g.
+   [Logs.Src.set_level Log.src (Some Logs.Debug)], or
+   [entropyctl --debug cp]. *)
+
+let src = Logs.Src.create "entropy.cp" ~doc:"Constraint-programming kernel"
+
+include (val Logs.src_log src : Logs.LOG)

@@ -1,0 +1,7 @@
+(** Log source for the CP kernel ([entropy.cp]). Enable with e.g.
+    [Logs.Src.set_level Log.src (Some Logs.Debug)], or
+    [entropyctl --debug cp]. *)
+
+val src : Logs.Src.t
+
+include Logs.LOG

@@ -7,21 +7,43 @@
    branch & bound on the reconfiguration-cost variable with a timeout
    after which the best solution so far is kept. *)
 
+module Obs = Entropy_obs.Obs
+module Trace = Entropy_obs.Trace
+module Metrics = Entropy_obs.Metrics
+
 type stats = {
   mutable nodes : int;
   mutable fails : int;
+  mutable backtracks : int;
   mutable solutions : int;
   mutable elapsed : float;
   mutable timed_out : bool;
 }
 
 let fresh_stats () =
-  { nodes = 0; fails = 0; solutions = 0; elapsed = 0.; timed_out = false }
+  {
+    nodes = 0;
+    fails = 0;
+    backtracks = 0;
+    solutions = 0;
+    elapsed = 0.;
+    timed_out = false;
+  }
 
 let pp_stats ppf s =
-  Fmt.pf ppf "nodes=%d fails=%d solutions=%d elapsed=%.3fs%s" s.nodes
-    s.fails s.solutions s.elapsed
+  Fmt.pf ppf "nodes=%d fails=%d backtracks=%d solutions=%d elapsed=%.3fs%s"
+    s.nodes s.fails s.backtracks s.solutions s.elapsed
     (if s.timed_out then " (timed out)" else "")
+
+(* Metric handles, created on first traced search; [Metrics.reset] zeroes
+   them in place so the lazies stay valid across runs. *)
+let m_nodes = lazy (Metrics.counter "cp.search.nodes")
+let m_fails = lazy (Metrics.counter "cp.search.fails")
+let m_backtracks = lazy (Metrics.counter "cp.search.backtracks")
+let m_solutions = lazy (Metrics.counter "cp.search.solutions")
+let m_timeouts = lazy (Metrics.counter "cp.search.timeouts")
+let m_restarts = lazy (Metrics.counter "cp.search.restarts")
+let m_improvements = lazy (Metrics.counter "cp.search.improvements")
 
 type var_select = Var.t array -> Var.t option
 type val_select = Var.t -> int list
@@ -110,6 +132,9 @@ let solve_internal store ~vars ~var_select ~val_iter ~timeout ~node_limit
     match var_select vars with
     | None ->
       stats.solutions <- stats.solutions + 1;
+      if !Obs.enabled then
+        Obs.instant ~cat:"cp" ~args:[ ("nodes", Trace.I stats.nodes) ]
+          "cp.solution";
       on_solution ()
     | Some x ->
       let try_value v =
@@ -118,9 +143,11 @@ let solve_internal store ~vars ~var_select ~val_iter ~timeout ~node_limit
            Store.instantiate store x v;
            Store.propagate store;
            descend ();
+           stats.backtracks <- stats.backtracks + 1;
            Store.undo_to store m
          with Store.Inconsistent _ ->
            stats.fails <- stats.fails + 1;
+           stats.backtracks <- stats.backtracks + 1;
            Store.undo_to store m;
            (* fail-heavy regions advance few nodes: keep the deadline
               honest from the failure path as well *)
@@ -133,6 +160,7 @@ let solve_internal store ~vars ~var_select ~val_iter ~timeout ~node_limit
       val_iter x try_value
   in
   let start = now () in
+  let span_start = if !Obs.enabled then Trace.now_us () else 0. in
   let root = Store.mark store in
   (try
      Store.propagate store;
@@ -142,7 +170,25 @@ let solve_internal store ~vars ~var_select ~val_iter ~timeout ~node_limit
   | Timed_out -> stats.timed_out <- true
   | Stop -> ());
   Store.undo_to store root;
-  stats.elapsed <- now () -. start
+  stats.elapsed <- now () -. start;
+  if !Obs.enabled then begin
+    Trace.complete ~cat:"cp" ~name:"cp.search"
+      ~args:
+        [
+          ("nodes", Trace.I stats.nodes);
+          ("fails", Trace.I stats.fails);
+          ("solutions", Trace.I stats.solutions);
+          ("timed_out", Trace.B stats.timed_out);
+        ]
+      ~ts_us:span_start
+      ~dur_us:(Trace.now_us () -. span_start)
+      ();
+    Metrics.add (Lazy.force m_nodes) stats.nodes;
+    Metrics.add (Lazy.force m_fails) stats.fails;
+    Metrics.add (Lazy.force m_backtracks) stats.backtracks;
+    Metrics.add (Lazy.force m_solutions) stats.solutions;
+    if stats.timed_out then Metrics.incr (Lazy.force m_timeouts)
+  end
 
 let resolve_val_iter val_select val_iter =
   match val_iter with Some it -> it | None -> iter_of_select val_select
@@ -207,6 +253,13 @@ let minimize store ~vars ~obj ?(var_select = first_fail)
     if value < !best then begin
       best := value;
       best_snapshot := Some (value, Array.map Var.value_exn vars);
+      if !Obs.enabled then begin
+        (* cost-vs-time pair: the instant's timestamp is the time axis *)
+        Obs.instant ~cat:"cp"
+          ~args:[ ("cost", Trace.I value); ("nodes", Trace.I stats.nodes) ]
+          "cp.improvement";
+        Metrics.incr (Lazy.force m_improvements)
+      end;
       on_improve value
     end
   in
@@ -265,12 +318,27 @@ let minimize_restarts store ~vars ~obj ?(var_select = first_fail)
            | [] -> []
        in
        let node_limit = base_node_limit * luby (i + 1) in
+       if i > 0 then begin
+         Log.debug (fun m ->
+             m "restart %d: node_limit=%d incumbent=%s" i node_limit
+               (match !best with
+               | Some (v, _) -> string_of_int v
+               | None -> "none"));
+         if !Obs.enabled then begin
+           Obs.instant ~cat:"cp"
+             ~args:
+               [ ("restart", Trace.I i); ("node_limit", Trace.I node_limit) ]
+             "cp.restart";
+           Metrics.incr (Lazy.force m_restarts)
+         end
+       end;
        let result, stats =
          minimize store ~vars ~obj ~var_select ~val_select:val_select_i
            ?timeout:(time_left ()) ~node_limit ()
        in
        total.nodes <- total.nodes + stats.nodes;
        total.fails <- total.fails + stats.fails;
+       total.backtracks <- total.backtracks + stats.backtracks;
        total.solutions <- total.solutions + stats.solutions;
        total.elapsed <- total.elapsed +. stats.elapsed;
        last_timed_out := stats.timed_out;

@@ -3,6 +3,9 @@
 type stats = {
   mutable nodes : int;
   mutable fails : int;
+  mutable backtracks : int;
+      (** undone value attempts (both after exhausting a subtree and on
+          a propagation failure) *)
   mutable solutions : int;
   mutable elapsed : float;        (** seconds *)
   mutable timed_out : bool;

@@ -15,9 +15,23 @@
    domains at the cheap fixpoint. Watchers are woken only when an update
    fires an event they subscribed to (instantiate / bounds / domain). *)
 
+module Obs = Entropy_obs.Obs
+module Trace = Entropy_obs.Trace
+
 exception Inconsistent of string
 
 let fail fmt = Fmt.kstr (fun s -> raise (Inconsistent s)) fmt
+
+(* Per-propagator observability counters, populated only while
+   [Obs.enabled]: wake events (a watched variable fired a subscribed
+   event), runs, and cumulative run time. Keyed by [Prop.id]; aggregated
+   by name on export. *)
+type prop_stat = {
+  ps_name : string;
+  mutable wakes : int;
+  mutable runs : int;
+  mutable time_us : float;
+}
 
 type trail_entry =
   | Trail_dom of Var.t * Dom.t       (* variable, previous domain *)
@@ -34,6 +48,7 @@ type t = {
   queue_expensive : Prop.t Queue.t;
   mutable propagations : int;      (* cumulative propagator runs *)
   mutable updates : int;           (* cumulative domain updates *)
+  obs_stats : (int, prop_stat) Hashtbl.t;
 }
 
 type mark = int
@@ -48,11 +63,33 @@ let create () =
     queue_expensive = Queue.create ();
     propagations = 0;
     updates = 0;
+    obs_stats = Hashtbl.create 16;
   }
 
 let vars t = List.rev t.vars
 let propagation_count t = t.propagations
 let update_count t = t.updates
+
+let prop_stat t (p : Prop.t) =
+  match Hashtbl.find_opt t.obs_stats p.Prop.id with
+  | Some s -> s
+  | None ->
+    let s = { ps_name = p.Prop.name; wakes = 0; runs = 0; time_us = 0. } in
+    Hashtbl.add t.obs_stats p.Prop.id s;
+    s
+
+let prop_stats t =
+  let by_name = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ s ->
+      let w, r, us =
+        Option.value ~default:(0, 0, 0.) (Hashtbl.find_opt by_name s.ps_name)
+      in
+      Hashtbl.replace by_name s.ps_name
+        (w + s.wakes, r + s.runs, us +. s.time_us))
+    t.obs_stats;
+  Hashtbl.fold (fun name (w, r, us) acc -> (name, w, r, us) :: acc) by_name []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)
 
 let new_var ?(name = "") t ~lo ~hi =
   if lo > hi then
@@ -101,6 +138,10 @@ let undo_to t m =
 (* -- scheduling and updates ---------------------------------------------- *)
 
 let schedule t (p : Prop.t) =
+  if !Obs.enabled then begin
+    let s = prop_stat t p in
+    s.wakes <- s.wakes + 1
+  end;
   if not p.scheduled then begin
     p.scheduled <- true;
     Queue.add p
@@ -157,9 +198,19 @@ let clear_queue t =
 let run_one t (p : Prop.t) =
   p.Prop.scheduled <- false;
   t.propagations <- t.propagations + 1;
-  p.Prop.run ()
+  if !Obs.enabled then begin
+    let s = prop_stat t p in
+    s.runs <- s.runs + 1;
+    let t0 = Unix.gettimeofday () in
+    match p.Prop.run () with
+    | () -> s.time_us <- s.time_us +. ((Unix.gettimeofday () -. t0) *. 1e6)
+    | exception e ->
+      s.time_us <- s.time_us +. ((Unix.gettimeofday () -. t0) *. 1e6);
+      raise e
+  end
+  else p.Prop.run ()
 
-let propagate t =
+let propagate_plain t =
   try
     let rec loop () =
       if not (Queue.is_empty t.queue_cheap) then begin
@@ -175,6 +226,33 @@ let propagate t =
   with Inconsistent _ as e ->
     clear_queue t;
     raise e
+
+(* Traced fixpoint: a [cp.propagate] span carrying the number of
+   propagator runs and effective domain updates it triggered. Spans with
+   zero runs are skipped (empty-queue calls at every search node would
+   drown the ring buffer). *)
+let propagate_traced t =
+  let t0 = Trace.now_us () in
+  let p0 = t.propagations and u0 = t.updates in
+  let record raised =
+    if t.propagations > p0 || raised then
+      Trace.complete ~cat:"cp" ~name:"cp.propagate"
+        ~args:
+          [
+            ("runs", Trace.I (t.propagations - p0));
+            ("updates", Trace.I (t.updates - u0));
+            ("failed", Trace.B raised);
+          ]
+        ~ts_us:t0 ~dur_us:(Trace.now_us () -. t0) ()
+  in
+  match propagate_plain t with
+  | () -> record false
+  | exception e ->
+    record true;
+    raise e
+
+let propagate t =
+  if !Obs.enabled then propagate_traced t else propagate_plain t
 
 let post_on t (p : Prop.t) ~on =
   List.iter

@@ -31,6 +31,13 @@ val propagation_count : t -> int
 val update_count : t -> int
 (** Cumulative number of effective domain updates (statistics). *)
 
+val prop_stats : t -> (string * int * int * float) list
+(** Per-propagator observability counters aggregated by propagator name:
+    [(name, wakes, runs, time_us)], sorted by name. Populated only while
+    [Obs.enabled] was set (wake = a watched variable fired a subscribed
+    event, including wakes of an already-queued propagator); empty
+    otherwise. *)
+
 val mark : t -> mark
 val undo_to : t -> mark -> unit
 

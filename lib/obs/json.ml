@@ -1,0 +1,260 @@
+(* A minimal JSON value type with a printer and a recursive-descent
+   parser. The observability exports (Chrome trace events, the metrics
+   dump, the Figure 13 series) are built as [t] values and printed from
+   here, and the test suite re-parses the emitted files to check that
+   every export round-trips. No third-party JSON dependency: the
+   subset implemented (no surrogate-pair \u escapes beyond the BMP) is
+   exactly what the exports produce. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* -- printing ------------------------------------------------------------- *)
+
+let escape_to b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Floats must stay valid JSON: no "nan"/"inf" tokens, and a bare
+   integer-looking literal is fine (the parser reads it back as Int,
+   numeric comparisons in the tests go through [number]). *)
+let float_to_string f =
+  if Float.is_nan f then "0"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else if Float.abs f = Float.infinity then
+    if f > 0. then "1e308" else "-1e308"
+  else Printf.sprintf "%.9g" f
+
+let rec to_buffer b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_to_string f)
+  | String s -> escape_to b s
+  | List items ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char b ',';
+        to_buffer b item)
+      items;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        escape_to b k;
+        Buffer.add_char b ':';
+        to_buffer b v)
+      fields;
+    Buffer.add_char b '}'
+
+let to_string t =
+  let b = Buffer.create 1024 in
+  to_buffer b t;
+  Buffer.contents b
+
+(* -- parsing -------------------------------------------------------------- *)
+
+type cursor = { src : string; mutable pos : int }
+
+let error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> error "offset %d: expected %c, found %c" c.pos ch x
+  | None -> error "offset %d: expected %c, found end of input" c.pos ch
+
+let parse_literal c lit value =
+  let n = String.length lit in
+  if
+    c.pos + n <= String.length c.src
+    && String.sub c.src c.pos n = lit
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else error "offset %d: invalid literal" c.pos
+
+let parse_string_raw c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> error "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | Some 'n' -> advance c; Buffer.add_char b '\n'; go ()
+      | Some 't' -> advance c; Buffer.add_char b '\t'; go ()
+      | Some 'r' -> advance c; Buffer.add_char b '\r'; go ()
+      | Some 'b' -> advance c; Buffer.add_char b '\b'; go ()
+      | Some 'f' -> advance c; Buffer.add_char b '\012'; go ()
+      | Some ('"' | '\\' | '/') ->
+        Buffer.add_char b (Option.get (peek c));
+        advance c;
+        go ()
+      | Some 'u' ->
+        advance c;
+        if c.pos + 4 > String.length c.src then error "truncated \\u escape";
+        let hex = String.sub c.src c.pos 4 in
+        c.pos <- c.pos + 4;
+        let code =
+          try int_of_string ("0x" ^ hex)
+          with Failure _ -> error "invalid \\u escape %S" hex
+        in
+        (* encode the code point as UTF-8 (BMP only, which covers
+           everything our own printer emits) *)
+        if code < 0x80 then Buffer.add_char b (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+        end;
+        go ()
+      | _ -> error "offset %d: invalid escape" c.pos)
+    | Some ch ->
+      advance c;
+      Buffer.add_char b ch;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    match peek c with Some ch when is_num_char ch -> true | _ -> false
+  do
+    advance c
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> error "offset %d: invalid number %S" start s)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> error "unexpected end of input"
+  | Some 'n' -> parse_literal c "null" Null
+  | Some 't' -> parse_literal c "true" (Bool true)
+  | Some 'f' -> parse_literal c "false" (Bool false)
+  | Some '"' -> String (parse_string_raw c)
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          items (v :: acc)
+        | Some ']' ->
+          advance c;
+          List.rev (v :: acc)
+        | _ -> error "offset %d: expected , or ] in array" c.pos
+      in
+      List (items [])
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else
+      let rec fields acc =
+        skip_ws c;
+        let k = parse_string_raw c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          advance c;
+          List.rev ((k, v) :: acc)
+        | _ -> error "offset %d: expected , or } in object" c.pos
+      in
+      Obj (fields [])
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> error "offset %d: unexpected character %c" c.pos ch
+
+let parse s =
+  let c = { src = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then
+    error "offset %d: trailing characters after JSON value" c.pos;
+  v
+
+(* -- accessors (for the tests and the experiment drivers) ----------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function List l -> Some l | _ -> None
+
+let number = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None
+
+let string_value = function String s -> Some s | _ -> None

@@ -1,0 +1,247 @@
+(* Process-wide metrics registry: counters, gauges and log-scaled
+   histograms, exportable as JSON and as Prometheus text format.
+
+   Metrics are registered by name on first use and the same object is
+   returned on every later lookup, so instrumentation sites can cache
+   the handle (one record-field update per event afterwards).
+   [reset] zeroes every registered metric but keeps the objects alive:
+   cached handles stay valid across resets.
+
+   Histograms are log-scaled: fixed buckets at [buckets_per_doubling]
+   per factor of two, so an observation costs one [log2] and one array
+   increment, and quantile estimates carry a bounded relative error of
+   [2^(1/buckets_per_doubling) - 1] (~9% at 8 buckets per doubling).
+   Count, sum, min and max are tracked exactly. *)
+
+type counter = { c_name : string; mutable count : int }
+
+type gauge = { g_name : string; mutable value : float }
+
+let buckets_per_doubling = 8
+
+(* indices cover 2^-16 .. 2^48 (bucket 0 also absorbs <= 0) *)
+let bucket_count = 512
+let zero_bucket = 128
+
+type histogram = {
+  h_name : string;
+  mutable n : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+  buckets : int array;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let mismatch name = invalid_arg ("Metrics: " ^ name ^ " already registered with another type")
+
+let find_or_add name mk =
+  match Hashtbl.find_opt registry name with
+  | Some m -> m
+  | None ->
+    let m = mk () in
+    Hashtbl.add registry name m;
+    m
+
+(* -- counters ------------------------------------------------------------- *)
+
+let counter name =
+  match find_or_add name (fun () -> Counter { c_name = name; count = 0 }) with
+  | Counter c -> c
+  | Gauge _ | Histogram _ -> mismatch name
+
+let incr c = c.count <- c.count + 1
+
+let add c n =
+  if n < 0 then invalid_arg ("Metrics.add: counter " ^ c.c_name ^ " cannot decrease");
+  c.count <- c.count + n
+
+let counter_value c = c.count
+
+(* -- gauges --------------------------------------------------------------- *)
+
+let gauge name =
+  match find_or_add name (fun () -> Gauge { g_name = name; value = 0. }) with
+  | Gauge g -> g
+  | Counter _ | Histogram _ -> mismatch name
+
+let set g v = g.value <- v
+
+let gauge_value g = g.value
+
+(* -- histograms ----------------------------------------------------------- *)
+
+let histogram name =
+  match
+    find_or_add name (fun () ->
+        Histogram
+          {
+            h_name = name;
+            n = 0;
+            sum = 0.;
+            vmin = infinity;
+            vmax = neg_infinity;
+            buckets = Array.make bucket_count 0;
+          })
+  with
+  | Histogram h -> h
+  | Counter _ | Gauge _ -> mismatch name
+
+let bucket_of v =
+  if v <= 0. then 0
+  else begin
+    let idx =
+      zero_bucket
+      + int_of_float
+          (Float.floor (Float.log2 v *. float_of_int buckets_per_doubling))
+    in
+    if idx < 0 then 0 else if idx >= bucket_count then bucket_count - 1 else idx
+  end
+
+let observe h v =
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  if v < h.vmin then h.vmin <- v;
+  if v > h.vmax then h.vmax <- v;
+  let i = bucket_of v in
+  h.buckets.(i) <- h.buckets.(i) + 1
+
+let observed h = h.n
+let sum h = h.sum
+
+(* Geometric midpoint of the bucket holding the rank, clamped to the
+   exact [vmin, vmax] envelope. *)
+let quantile h q =
+  if h.n = 0 then 0.
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.n))) in
+    let rec go i cum =
+      if i >= bucket_count then h.vmax
+      else begin
+        let cum = cum + h.buckets.(i) in
+        if cum >= rank then begin
+          let lo =
+            Float.exp2
+              (float_of_int (i - zero_bucket)
+              /. float_of_int buckets_per_doubling)
+          in
+          let mid = lo *. Float.exp2 (0.5 /. float_of_int buckets_per_doubling) in
+          Float.min (Float.max mid h.vmin) h.vmax
+        end
+        else go (i + 1) cum
+      end
+    in
+    go 0 0
+  end
+
+(* -- registry-wide operations --------------------------------------------- *)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.value <- 0.
+      | Histogram h ->
+        h.n <- 0;
+        h.sum <- 0.;
+        h.vmin <- infinity;
+        h.vmax <- neg_infinity;
+        Array.fill h.buckets 0 bucket_count 0)
+    registry
+
+let sorted_metrics () =
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters () =
+  List.filter_map
+    (function name, Counter c -> Some (name, c.count) | _ -> None)
+    (sorted_metrics ())
+
+(* -- JSON export ----------------------------------------------------------- *)
+
+let histogram_json h =
+  let q p = Json.Float (quantile h p) in
+  Json.Obj
+    [
+      ("count", Json.Int h.n);
+      ("sum", Json.Float h.sum);
+      ("min", Json.Float (if h.n = 0 then 0. else h.vmin));
+      ("max", Json.Float (if h.n = 0 then 0. else h.vmax));
+      ("p50", q 0.50);
+      ("p95", q 0.95);
+      ("p99", q 0.99);
+    ]
+
+let to_json () =
+  let metrics = sorted_metrics () in
+  let pick f = List.filter_map f metrics in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (pick (function
+            | name, Counter c -> Some (name, Json.Int c.count)
+            | _ -> None)) );
+      ( "gauges",
+        Json.Obj
+          (pick (function
+            | name, Gauge g -> Some (name, Json.Float g.value)
+            | _ -> None)) );
+      ( "histograms",
+        Json.Obj
+          (pick (function
+            | name, Histogram h -> Some (name, histogram_json h)
+            | _ -> None)) );
+    ]
+
+(* -- Prometheus text export ------------------------------------------------ *)
+
+let sanitize name =
+  String.map
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ch
+      | _ -> '_')
+    name
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let to_prometheus () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, m) ->
+      let pname = sanitize name in
+      match m with
+      | Counter c ->
+        Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" pname);
+        Buffer.add_string b (Printf.sprintf "%s %d\n" pname c.count)
+      | Gauge g ->
+        Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" pname);
+        Buffer.add_string b (Printf.sprintf "%s %s\n" pname (prom_float g.value))
+      | Histogram h ->
+        Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" pname);
+        List.iter
+          (fun q ->
+            Buffer.add_string b
+              (Printf.sprintf "%s{quantile=\"%g\"} %s\n" pname q
+                 (prom_float (quantile h q))))
+          [ 0.5; 0.95; 0.99 ];
+        Buffer.add_string b (Printf.sprintf "%s_sum %s\n" pname (prom_float h.sum));
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" pname h.n))
+    (sorted_metrics ());
+  Buffer.contents b
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let write_json path = write_file path (Json.to_string (to_json ()) ^ "\n")
+let write_prometheus path = write_file path (to_prometheus ())

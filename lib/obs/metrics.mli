@@ -1,0 +1,61 @@
+(** Metrics registry: counters, gauges, log-scaled histograms.
+
+    Metrics are registered by name on first use; later lookups return
+    the same object, so instrumentation sites can cache the handle.
+    {!reset} zeroes every registered metric but keeps the handles valid.
+
+    Like {!Trace}, this is the raw layer: it records whenever called.
+    Production instrumentation guards every update on [Obs.enabled]. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Find-or-register. Raises [Invalid_argument] if [name] is already
+    registered as a different metric type. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+(** Raises [Invalid_argument] on a negative increment: counters are
+    monotone. *)
+
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : string -> histogram
+
+val observe : histogram -> float -> unit
+(** One [log2] plus one array increment: the value lands in a log-scaled
+    bucket (8 buckets per doubling). Count/sum/min/max stay exact. *)
+
+val observed : histogram -> int
+val sum : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h 0.99] estimates the p99 from the log-scaled buckets;
+    relative error is bounded by the bucket width (~9%), and the result
+    is clamped to the exact [min, max] envelope. 0 on an empty
+    histogram. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations are kept). *)
+
+val counters : unit -> (string * int) list
+(** All registered counters with their values, sorted by name. *)
+
+val to_json : unit -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {name:
+    {count, sum, min, max, p50, p95, p99}}}], names sorted. *)
+
+val to_prometheus : unit -> string
+(** Prometheus text exposition format: counters and gauges as-is,
+    histograms as summaries with p50/p95/p99 quantiles. Metric names are
+    sanitized ([.] becomes [_]). *)
+
+val write_json : string -> unit
+val write_prometheus : string -> unit

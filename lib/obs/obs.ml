@@ -1,0 +1,50 @@
+(* The observability gate. Every instrumentation site in the hot paths
+   (CP store and search, planner, simulator) compiles to a single
+   predictable branch on [!enabled] when tracing is off — the same
+   discipline as [Var.read_hook]. When on, spans go to the [Trace] ring
+   buffer and counters/histograms to the [Metrics] registry. *)
+
+let enabled = ref false
+
+let reset () =
+  Trace.reset ();
+  Metrics.reset ()
+
+(* Spans: recorded as one Chrome [ph:"X"] complete event at exit, so a
+   span costs two clock reads and one ring-buffer store. A raising [f]
+   still gets its span (tagged ["raised"]) — exceptions are control flow
+   in the CP search (Inconsistent), not anomalies. *)
+let span ?cat ?args ~name f =
+  if not !enabled then f ()
+  else begin
+    let t0 = Trace.now_us () in
+    match f () with
+    | r ->
+      Trace.complete ?cat ?args ~name ~ts_us:t0 ~dur_us:(Trace.now_us () -. t0) ();
+      r
+    | exception e ->
+      let args = ("raised", Trace.B true) :: Option.value ~default:[] args in
+      Trace.complete ?cat ~args ~name ~ts_us:t0
+        ~dur_us:(Trace.now_us () -. t0) ();
+      raise e
+  end
+
+let instant ?cat ?args name = if !enabled then Trace.instant ?cat ?args name
+
+(* Simulated-time events: stamped with the discrete-event clock (seconds
+   since simulation start) on the [tid_sim] track. *)
+
+let sim_span ?(args = []) ~name ~at_s ~dur_s () =
+  if !enabled then
+    Trace.complete ~cat:"sim" ~tid:Trace.tid_sim ~args ~name
+      ~ts_us:(at_s *. 1e6) ~dur_us:(dur_s *. 1e6) ()
+
+let sim_instant ?args ~at_s name =
+  if !enabled then
+    Trace.instant ~cat:"sim" ~tid:Trace.tid_sim ?args ~ts_us:(at_s *. 1e6) name
+
+let write_trace path = Trace.write path
+
+let write_metrics path =
+  if Filename.check_suffix path ".prom" then Metrics.write_prometheus path
+  else Metrics.write_json path

@@ -1,0 +1,40 @@
+(** The observability gate: tracing spans + metrics, behind one flag.
+
+    Instrumented code checks [!enabled] before touching {!Trace} or
+    {!Metrics}; with the flag off (the default) every site costs one
+    load and one predictable branch, and nothing is recorded. *)
+
+val enabled : bool ref
+(** The single gate. Set it before the run to instrument, [reset] to
+    drop whatever a previous run recorded. *)
+
+val reset : unit -> unit
+(** Clear the trace ring buffer (restarting its clock origin) and zero
+    every registered metric. *)
+
+val span :
+  ?cat:string -> ?args:(string * Trace.arg) list -> name:string ->
+  (unit -> 'a) -> 'a
+(** [span ~name f] runs [f] and, when enabled, records a wall-clock
+    complete event around it ([f]'s exceptions propagate; the span is
+    still recorded, tagged [raised]). When disabled, [span] is [f ()]. *)
+
+val instant :
+  ?cat:string -> ?args:(string * Trace.arg) list -> string -> unit
+(** Zero-duration event on the wall-clock track. *)
+
+val sim_span :
+  ?args:(string * Trace.arg) list -> name:string -> at_s:float ->
+  dur_s:float -> unit -> unit
+(** Complete event on the simulated-time track: [at_s]/[dur_s] are in
+    simulated seconds (the discrete-event clock). *)
+
+val sim_instant :
+  ?args:(string * Trace.arg) list -> at_s:float -> string -> unit
+
+val write_trace : string -> unit
+(** Write the Chrome trace-event JSON ({!Trace.write}). *)
+
+val write_metrics : string -> unit
+(** Write the metrics registry: Prometheus text format when the path
+    ends in [.prom], JSON otherwise. *)

@@ -1,0 +1,184 @@
+(* Trace-event recording: a fixed-capacity ring buffer of timed events,
+   exported in the Chrome trace-event JSON format (loadable in Perfetto
+   or chrome://tracing).
+
+   Recording is append-only into a preallocated array with a single
+   write index — "lock-free enough" for our single-domain runtime: one
+   array store and one increment per event, no allocation beyond the
+   event record itself, and when the buffer wraps the oldest events are
+   silently overwritten ([dropped] reports how many).
+
+   Two tracks are exported: [tid_main] carries wall-clock spans of the
+   decision loop (observe / decide / plan, CP model build and search),
+   [tid_sim] carries events stamped in *simulated* time by the
+   discrete-event executor, so a trace shows the planned switch next to
+   the CP effort that produced it. *)
+
+type arg = I of int | F of float | S of string | B of bool
+
+type kind = Complete | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  kind : kind;
+  ts_us : float;  (* event (or span start) time, microseconds *)
+  dur_us : float; (* span duration; 0 for instants *)
+  tid : int;
+  args : (string * arg) list;
+}
+
+let tid_main = 1
+let tid_sim = 2
+
+let dummy =
+  { name = ""; cat = ""; kind = Instant; ts_us = 0.; dur_us = 0.; tid = 0;
+    args = [] }
+
+let default_capacity = 65_536
+
+type buffer = {
+  mutable ring : event array;
+  mutable next : int;     (* next write position *)
+  mutable count : int;    (* total events ever recorded *)
+  mutable epoch : float;  (* wall-clock origin of ts_us *)
+}
+
+let buf =
+  { ring = [||]; next = 0; count = 0; epoch = Unix.gettimeofday () }
+
+let ensure_ring () =
+  if Array.length buf.ring = 0 then buf.ring <- Array.make default_capacity dummy
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  buf.ring <- Array.make n dummy;
+  buf.next <- 0;
+  buf.count <- 0
+
+let reset () =
+  if Array.length buf.ring > 0 then Array.fill buf.ring 0 (Array.length buf.ring) dummy;
+  buf.next <- 0;
+  buf.count <- 0;
+  buf.epoch <- Unix.gettimeofday ()
+
+let now_us () = (Unix.gettimeofday () -. buf.epoch) *. 1e6
+
+let record ev =
+  ensure_ring ();
+  buf.ring.(buf.next) <- ev;
+  buf.next <- (buf.next + 1) mod Array.length buf.ring;
+  buf.count <- buf.count + 1
+
+let complete ?(cat = "obs") ?(tid = tid_main) ?(args = []) ~name ~ts_us
+    ~dur_us () =
+  record { name; cat; kind = Complete; ts_us; dur_us; tid; args }
+
+let instant ?(cat = "obs") ?(tid = tid_main) ?(args = []) ?ts_us name =
+  let ts_us = match ts_us with Some t -> t | None -> now_us () in
+  record { name; cat; kind = Instant; ts_us; dur_us = 0.; tid; args }
+
+let recorded () = buf.count
+
+let dropped () =
+  if Array.length buf.ring = 0 then 0
+  else max 0 (buf.count - Array.length buf.ring)
+
+(* Events in recording order (oldest surviving first). *)
+let events () =
+  let cap = Array.length buf.ring in
+  if cap = 0 || buf.count = 0 then []
+  else begin
+    let n = min buf.count cap in
+    let first = if buf.count <= cap then 0 else buf.next in
+    List.init n (fun i -> buf.ring.((first + i) mod cap))
+  end
+
+(* -- export --------------------------------------------------------------- *)
+
+let arg_to_json = function
+  | I i -> Json.Int i
+  | F f -> Json.Float f
+  | S s -> Json.String s
+  | B b -> Json.Bool b
+
+let event_to_json ev =
+  let base =
+    [
+      ("name", Json.String ev.name);
+      ("cat", Json.String ev.cat);
+      ( "ph",
+        Json.String (match ev.kind with Complete -> "X" | Instant -> "i") );
+      ("ts", Json.Float ev.ts_us);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int ev.tid);
+    ]
+  in
+  let dur =
+    match ev.kind with
+    | Complete -> [ ("dur", Json.Float ev.dur_us) ]
+    | Instant -> [ ("s", Json.String "t") ]
+  in
+  let args =
+    match ev.args with
+    | [] -> []
+    | l -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) l)) ]
+  in
+  Json.Obj (base @ dur @ args)
+
+let thread_meta tid name =
+  Json.Obj
+    [
+      ("name", Json.String "thread_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String name) ]);
+    ]
+
+let to_json () =
+  (* chronological order: trace viewers require parents (recorded at
+     span end, so later in the ring) to sort before their children; at
+     equal timestamps the longer span is the parent and goes first *)
+  let evs =
+    List.stable_sort
+      (fun a b ->
+        match Float.compare a.ts_us b.ts_us with
+        | 0 -> Float.compare b.dur_us a.dur_us
+        | c -> c)
+      (events ())
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List
+          (thread_meta tid_main "control loop (wall clock)"
+          :: thread_meta tid_sim "cluster (simulated time)"
+          :: List.map event_to_json evs) );
+      ("displayTimeUnit", Json.String "ms");
+      ("droppedEvents", Json.Int (dropped ()));
+    ]
+
+let write path =
+  let oc = open_out path in
+  output_string oc (Json.to_string (to_json ()));
+  output_char oc '\n';
+  close_out oc
+
+(* Per-name aggregation of complete events: count and total duration —
+   the data behind [entropyctl profile]'s per-phase table. *)
+let aggregate () =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun ev ->
+      match ev.kind with
+      | Instant -> ()
+      | Complete ->
+        let count, total =
+          Option.value ~default:(0, 0.) (Hashtbl.find_opt tbl ev.name)
+        in
+        Hashtbl.replace tbl ev.name (count + 1, total +. ev.dur_us))
+    (events ());
+  Hashtbl.fold (fun name (count, total) acc -> (name, count, total) :: acc)
+    tbl []
+  |> List.sort (fun (_, _, t1) (_, _, t2) -> Float.compare t2 t1)

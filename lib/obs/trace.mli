@@ -1,0 +1,65 @@
+(** Timed-event recording into a ring buffer, exported as Chrome
+    trace-event JSON (Perfetto / chrome://tracing).
+
+    This is the raw recording layer: it always records when called.
+    Production code goes through {!Obs}, which gates every call on
+    [Obs.enabled]. *)
+
+type arg = I of int | F of float | S of string | B of bool
+
+type kind = Complete | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  kind : kind;
+  ts_us : float;  (** event (or span start) time, microseconds *)
+  dur_us : float; (** span duration; 0 for instants *)
+  tid : int;
+  args : (string * arg) list;
+}
+
+val tid_main : int
+(** Wall-clock track: decision loop, CP search, planner. *)
+
+val tid_sim : int
+(** Simulated-time track: executor actions stamped with the
+    discrete-event clock. *)
+
+val set_capacity : int -> unit
+(** Resize (and clear) the ring buffer. Default capacity 65536. *)
+
+val reset : unit -> unit
+(** Drop all recorded events and restart the clock origin. *)
+
+val now_us : unit -> float
+(** Microseconds since the last [reset] (wall clock). *)
+
+val record : event -> unit
+
+val complete :
+  ?cat:string -> ?tid:int -> ?args:(string * arg) list -> name:string ->
+  ts_us:float -> dur_us:float -> unit -> unit
+
+val instant :
+  ?cat:string -> ?tid:int -> ?args:(string * arg) list -> ?ts_us:float ->
+  string -> unit
+
+val events : unit -> event list
+(** Surviving events in recording order. *)
+
+val recorded : unit -> int
+(** Total events ever recorded since the last reset. *)
+
+val dropped : unit -> int
+(** Events overwritten by ring-buffer wrap-around. *)
+
+val to_json : unit -> Json.t
+(** [{"traceEvents": [...]}] — spans as ["ph":"X"] complete events,
+    instants as ["ph":"i"], plus thread-name metadata for both tracks. *)
+
+val write : string -> unit
+
+val aggregate : unit -> (string * int * float) list
+(** Per-span-name [(name, count, total_us)], sorted by decreasing total
+    time — the per-phase table behind [entropyctl profile]. *)

@@ -1,0 +1,7 @@
+(** Log source for the batch-scheduling baselines. Enable with e.g.
+    [Logs.set_reporter (Logs_fmt.reporter ());
+     Logs.Src.set_level Log.src (Some Logs.Debug)]. *)
+
+val src : Logs.Src.t
+
+include Logs.LOG

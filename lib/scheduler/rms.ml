@@ -122,6 +122,9 @@ let simulate ?(backfill = true) ~capacity jobs =
   let start_job (job : Job.t) =
     let occupancy = Float.min job.Job.actual job.Job.walltime in
     let finish = !now +. occupancy in
+    Log.debug (fun m ->
+        m "start job %d (%s): %d nodes at t=%.0f until t=%.0f" job.Job.id
+          job.Job.name job.Job.nodes_required !now finish);
     free := !free - job.Job.nodes_required;
     running := (finish, { Job.job; start = !now }) :: !running;
     placements := { Job.job; start = !now } :: !placements;

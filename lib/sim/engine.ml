@@ -2,6 +2,11 @@
    callbacks may schedule further events. Cancellation uses generation
    tokens: a cancelled event stays queued but its callback is skipped. *)
 
+module Obs = Entropy_obs.Obs
+module Metrics = Entropy_obs.Metrics
+
+let m_events = lazy (Metrics.counter "sim.events")
+
 type event = { mutable cancelled : bool; run : unit -> unit }
 
 type t = {
@@ -38,6 +43,7 @@ let step t =
     t.now <- max t.now time;
     if not ev.cancelled then begin
       t.executed <- t.executed + 1;
+      if !Obs.enabled then Metrics.incr (Lazy.force m_events);
       ev.run ()
     end;
     true

@@ -15,7 +15,14 @@
    sharing (Perf_model, Storage), and the configuration changes when the
    action completes. An injected failure leaves the VM state unchanged. *)
 
+(* capture the simulator's own log source before [open Entropy_core]
+   shadows it with the core's *)
+module Sim_log = Log
+
 open Entropy_core
+module Obs = Entropy_obs.Obs
+module Otrace = Entropy_obs.Trace
+module Ometrics = Entropy_obs.Metrics
 
 type record = {
   started_at : float;
@@ -53,20 +60,46 @@ let is_pipelined = function
   | Action.Resume_ram _ -> true
   | Action.Run _ | Action.Stop _ | Action.Migrate _ -> false
 
+let kind_name = function
+  | Action.Run _ -> "run"
+  | Action.Stop _ -> "stop"
+  | Action.Migrate _ -> "migrate"
+  | Action.Suspend _ -> "suspend"
+  | Action.Resume _ -> "resume"
+  | Action.Suspend_ram _ -> "suspend_ram"
+  | Action.Resume_ram _ -> "resume_ram"
+
 let mk_record cluster plan ~started_at ~cost ~pools ~failed =
-  {
-    started_at;
-    finished_at = Engine.now (Cluster.engine cluster);
-    cost;
-    migrations = Plan.migration_count plan;
-    suspends = Plan.suspend_count plan;
-    resumes = Plan.resume_count plan;
-    local_resumes = Plan.local_resume_count plan;
-    runs = Plan.run_count plan;
-    stops = Plan.stop_count plan;
-    pools;
-    failed;
-  }
+  let r =
+    {
+      started_at;
+      finished_at = Engine.now (Cluster.engine cluster);
+      cost;
+      migrations = Plan.migration_count plan;
+      suspends = Plan.suspend_count plan;
+      resumes = Plan.resume_count plan;
+      local_resumes = Plan.local_resume_count plan;
+      runs = Plan.run_count plan;
+      stops = Plan.stop_count plan;
+      pools;
+      failed;
+    }
+  in
+  Sim_log.debug (fun m -> m "%a" pp_record r);
+  if !Obs.enabled then begin
+    Obs.sim_span ~name:"sim.switch"
+      ~args:
+        [
+          ("cost", Otrace.I cost); ("pools", Otrace.I pools);
+          ("failed", Otrace.I failed);
+        ]
+      ~at_s:started_at ~dur_s:(duration r) ();
+    Ometrics.incr (Ometrics.counter "sim.switches");
+    Ometrics.observe
+      (Ometrics.histogram "sim.switch_duration_s")
+      (duration r)
+  end;
+  r
 
 (* Run one action: contention registration, duration, completion. Calls
    [on_complete applied] when done ([applied] is false on an injected
@@ -93,6 +126,16 @@ let run_action cluster ~should_fail action ~on_complete =
       dur *. factor
     | None -> dur
   in
+  if !Obs.enabled then begin
+    let kind = kind_name action in
+    (* simulated-time span of the hypervisor operation, plus its
+       duration distribution (the Perf_model + storage-sharing output) *)
+    Obs.sim_span
+      ~name:("sim." ^ kind)
+      ~args:[ ("vm", Otrace.I vm); ("dur_s", Otrace.F dur) ]
+      ~at_s:(Engine.now engine) ~dur_s:dur ();
+    Ometrics.observe (Ometrics.histogram ("sim.action_s." ^ kind)) dur
+  end;
   let nodes = touched_nodes action in
   let local = Action.is_local action in
   Cluster.register_op cluster ~nodes ~local;

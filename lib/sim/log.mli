@@ -1,0 +1,7 @@
+(** Log source for the simulator. Enable with e.g.
+    [Logs.set_reporter (Logs_fmt.reporter ());
+     Logs.Src.set_level Log.src (Some Logs.Debug)]. *)
+
+val src : Logs.Src.t
+
+include Logs.LOG

@@ -18,6 +18,7 @@ type t = {
   mutable points : point list; (* newest first *)
   period : float;
   mutable stopped : bool;
+  mutable pending : Engine.handle option; (* next scheduled sample *)
 }
 
 let capacity_cpu config =
@@ -57,18 +58,28 @@ let snapshot cluster =
   }
 
 let start ?(period = 30.) cluster =
-  let t = { points = []; period; stopped = false } in
+  if period <= 0. then
+    invalid_arg
+      (Printf.sprintf "Metrics.start: period must be positive (got %g)"
+         period);
+  let t = { points = []; period; stopped = false; pending = None } in
   let engine = Cluster.engine cluster in
   let rec sample () =
+    t.pending <- None;
     if not t.stopped then begin
       t.points <- snapshot cluster :: t.points;
-      ignore (Engine.schedule_after engine ~delay:t.period sample)
+      t.pending <- Some (Engine.schedule_after engine ~delay:t.period sample)
     end
   in
   sample ();
   t
 
-let stop t = t.stopped <- true
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Option.iter Engine.cancel t.pending;
+    t.pending <- None
+  end
 
 let points t = List.rev t.points
 
@@ -86,6 +97,24 @@ let mean_mem_used t = mean (fun p -> float_of_int p.mem_used_mb) t
 (* Energy proxy: integral of active nodes over time (node-seconds), the
    quantity power-aware placement (Verma et al., cited in the paper's
    introduction) minimises. *)
+let point_to_json p =
+  let open Entropy_obs.Json in
+  Obj
+    [
+      ("time", Float p.time);
+      ("mem_used_mb", Int p.mem_used_mb);
+      ("cpu_demand_pct", Float p.cpu_demand_pct);
+      ("cpu_used_pct", Float p.cpu_used_pct);
+      ("running_vms", Int p.running_vms);
+      ("active_nodes", Int p.active_nodes);
+    ]
+
+let points_to_json points = Entropy_obs.Json.List (List.map point_to_json points)
+
+let to_json t =
+  let open Entropy_obs.Json in
+  Obj [ ("period", Float t.period); ("points", points_to_json (points t)) ]
+
 let node_seconds t =
   match points t with
   | [] | [ _ ] -> 0.

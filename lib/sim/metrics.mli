@@ -14,11 +14,22 @@ type t
 val snapshot : Cluster.t -> point
 
 val start : ?period:float -> Cluster.t -> t
-(** Begin periodic sampling on the cluster's engine (default 30 s). *)
+(** Begin periodic sampling on the cluster's engine (default 30 s).
+    Raises [Invalid_argument] when [period] is not positive (a zero
+    delay would re-enqueue the sampler at the same simulated instant,
+    flooding the event queue). *)
 
 val stop : t -> unit
+(** Stop sampling and cancel the pending sample event. Idempotent. *)
+
 val points : t -> point list
 (** In chronological order. *)
+
+val point_to_json : point -> Entropy_obs.Json.t
+val points_to_json : point list -> Entropy_obs.Json.t
+
+val to_json : t -> Entropy_obs.Json.t
+(** [{"period": ..., "points": [...]}] — the Figure 13 series as JSON. *)
 
 val peak_cpu_demand : t -> float
 val mean_cpu_used : t -> float

@@ -6,6 +6,7 @@
 
 open Entropy_core
 module Trace = Vworkload.Trace
+module Obs = Entropy_obs.Obs
 
 type result = {
   makespan : float;  (* completion time of the last vjob *)
@@ -116,7 +117,10 @@ let run_custom ?(params = Perf_model.defaults) ?(period = 30.)
           queue
       in
       let obs = { Decision.config; demand; queue; finished } in
-      let result = decision.Decision.decide obs in
+      let result =
+        Obs.span ~cat:"loop" ~name:"loop.decide" (fun () ->
+            decision.Decision.decide obs)
+      in
       if Plan.is_empty result.Optimizer.plan then
         ignore (Engine.schedule_after engine ~delay:period iterate)
       else begin

@@ -1,0 +1,373 @@
+(* Tests for the observability layer (lib/obs): JSON round-trips, span
+   nesting in the exported trace, histogram percentiles, counter
+   monotonicity, the [Obs.enabled] guard, and the integration with the
+   CP kernel's per-propagator statistics. *)
+
+module Json = Entropy_obs.Json
+module Trace = Entropy_obs.Trace
+module Metrics = Entropy_obs.Metrics
+module Obs = Entropy_obs.Obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let field name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %S" name
+
+let number j =
+  match Json.number j with
+  | Some f -> f
+  | None -> Alcotest.fail "not a number"
+
+let string_value j =
+  match Json.string_value j with
+  | Some s -> s
+  | None -> Alcotest.fail "not a string"
+
+let to_list j =
+  match Json.to_list j with
+  | Some l -> l
+  | None -> Alcotest.fail "not a list"
+
+(* with-enabled bracket: every test leaves the global obs state clean *)
+let with_obs f =
+  Obs.enabled := true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.enabled := false;
+      Obs.reset ())
+    f
+
+(* burn a little wall time so nested spans get distinct timestamps *)
+let spin_us us =
+  let t0 = Unix.gettimeofday () in
+  while (Unix.gettimeofday () -. t0) *. 1e6 < us do
+    ()
+  done
+
+(* -- json -------------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("s", Json.String "a \"quoted\"\nstring");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Int 2 ]);
+      ]
+  in
+  let j' = Json.parse (Json.to_string j) in
+  check_string "string" "a \"quoted\"\nstring" (string_value (field "s" j'));
+  check_int "int" (-42) (int_of_float (number (field "i" j')));
+  Alcotest.(check (float 1e-9)) "float" 1.5 (number (field "f" j'));
+  check_bool "bool" true (field "b" j' = Json.Bool true);
+  check_bool "null" true (field "n" j' = Json.Null);
+  check_int "list" 2 (List.length (to_list (field "l" j')))
+
+let test_json_parse_error () =
+  check_bool "garbage rejected" true
+    (match Json.parse "{ \"a\": }" with
+    | exception Json.Parse_error _ -> true
+    | _ -> false)
+
+(* -- trace spans -------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  with_obs (fun () ->
+      let r =
+        Obs.span ~cat:"t" ~name:"outer" (fun () ->
+            spin_us 40.;
+            let a = Obs.span ~cat:"t" ~name:"inner1" (fun () -> spin_us 40.; 1) in
+            let b = Obs.span ~cat:"t" ~name:"inner2" (fun () -> spin_us 40.; 2) in
+            a + b)
+      in
+      check_int "result threaded through" 3 r;
+      let json = Json.parse (Json.to_string (Trace.to_json ())) in
+      let events = to_list (field "traceEvents" json) in
+      let complete =
+        List.filter (fun e -> string_value (field "ph" e) = "X") events
+      in
+      check_int "three spans" 3 (List.length complete);
+      let by_name n =
+        List.find (fun e -> string_value (field "name" e) = n) complete
+      in
+      let outer = by_name "outer" in
+      let inner1 = by_name "inner1" in
+      let inner2 = by_name "inner2" in
+      let ts e = number (field "ts" e) in
+      let dur e = number (field "dur" e) in
+      (* containment: both inners inside the outer, in order *)
+      check_bool "inner1 starts after outer" true (ts inner1 >= ts outer);
+      check_bool "inner2 after inner1" true
+        (ts inner2 >= ts inner1 +. dur inner1);
+      check_bool "inner2 ends within outer" true
+        (ts inner2 +. dur inner2 <= ts outer +. dur outer +. 1.);
+      (* sort order in the export: parents before children on ties *)
+      let names =
+        List.map (fun e -> string_value (field "name" e)) complete
+      in
+      Alcotest.(check (list string))
+        "export order" [ "outer"; "inner1"; "inner2" ] names)
+
+let test_span_exception () =
+  with_obs (fun () ->
+      check_bool "exception propagates" true
+        (match
+           Obs.span ~name:"boom" (fun () -> failwith "expected")
+         with
+        | exception Failure _ -> true
+        | _ -> false);
+      match Trace.events () with
+      | [ e ] ->
+        check_string "span recorded" "boom" e.Trace.name;
+        check_bool "tagged raised" true
+          (List.mem_assoc "raised" e.Trace.args)
+      | l -> Alcotest.failf "expected 1 event, got %d" (List.length l))
+
+let test_instant_and_sim_track () =
+  with_obs (fun () ->
+      Obs.instant ~cat:"c" "tick";
+      Obs.sim_span ~name:"sim.migrate" ~at_s:10. ~dur_s:5. ();
+      Obs.sim_instant ~at_s:12. "sim.mark";
+      let json = Json.parse (Json.to_string (Trace.to_json ())) in
+      let events = to_list (field "traceEvents" json) in
+      let find n =
+        List.find (fun e -> string_value (field "name" e) = n) events
+      in
+      check_string "instant phase" "i" (string_value (field "ph" (find "tick")));
+      (* simulated seconds are exported as microsecond timestamps *)
+      Alcotest.(check (float 1e-6))
+        "sim ts scaled" 10e6
+        (number (field "ts" (find "sim.migrate")));
+      Alcotest.(check (float 1e-6))
+        "sim dur scaled" 5e6
+        (number (field "dur" (find "sim.migrate")));
+      let tid e = int_of_float (number (field "tid" e)) in
+      check_int "sim track" Trace.tid_sim (tid (find "sim.mark"));
+      check_int "wall track" Trace.tid_main (tid (find "tick")))
+
+let test_ring_buffer_drops_oldest () =
+  with_obs (fun () ->
+      Trace.set_capacity 8;
+      Fun.protect
+        ~finally:(fun () -> Trace.set_capacity 65536)
+        (fun () ->
+          for i = 0 to 19 do
+            Obs.instant (Printf.sprintf "e%d" i)
+          done;
+          check_int "recorded all" 20 (Trace.recorded ());
+          check_int "dropped overflow" 12 (Trace.dropped ());
+          match Trace.events () with
+          | { Trace.name = "e12"; _ } :: _ as l ->
+            check_int "kept the last 8" 8 (List.length l)
+          | { Trace.name; _ } :: _ ->
+            Alcotest.failf "oldest survivor is %s, expected e12" name
+          | [] -> Alcotest.fail "no events"))
+
+(* -- the enabled guard --------------------------------------------------------- *)
+
+let test_disabled_records_nothing () =
+  Obs.enabled := false;
+  Obs.reset ();
+  let r = Obs.span ~name:"ghost" (fun () -> 7) in
+  check_int "span still runs f" 7 r;
+  Obs.instant "ghost2";
+  Obs.sim_span ~name:"ghost3" ~at_s:0. ~dur_s:1. ();
+  check_int "nothing recorded" 0 (Trace.recorded ());
+  check_bool "no events" true (Trace.events () = [])
+
+(* -- metrics ------------------------------------------------------------------- *)
+
+let test_counter_monotone () =
+  with_obs (fun () ->
+      let c = Metrics.counter "test.count" in
+      Metrics.incr c;
+      Metrics.add c 41;
+      check_int "accumulated" 42 (Metrics.counter_value c);
+      check_bool "negative add rejected" true
+        (match Metrics.add c (-1) with
+        | exception Invalid_argument _ -> true
+        | () -> false);
+      check_int "value unchanged after bad add" 42 (Metrics.counter_value c);
+      (* find-or-register returns the same underlying counter *)
+      Metrics.incr (Metrics.counter "test.count");
+      check_int "same handle" 43 (Metrics.counter_value c);
+      (* a name registered as a counter cannot come back as a gauge *)
+      check_bool "type clash rejected" true
+        (match Metrics.gauge "test.count" with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+
+let test_histogram_percentiles () =
+  with_obs (fun () ->
+      let h = Metrics.histogram "test.hist" in
+      for v = 1 to 10_000 do
+        Metrics.observe h (float_of_int v)
+      done;
+      check_int "count" 10_000 (Metrics.observed h);
+      Alcotest.(check (float 1.)) "sum" 50_005_000. (Metrics.sum h);
+      let within q expected =
+        let got = Metrics.quantile h q in
+        let err = Float.abs (got -. expected) /. expected in
+        if err > 0.10 then
+          Alcotest.failf "p%.0f = %.1f, expected %.1f +-10%%" (q *. 100.)
+            got expected
+      in
+      within 0.50 5000.;
+      within 0.95 9500.;
+      within 0.99 9900.;
+      (* quantiles are clamped to the exact envelope *)
+      check_bool "p100 <= max" true (Metrics.quantile h 1.0 <= 10_000.);
+      check_bool "p0 >= min" true (Metrics.quantile h 0.0 >= 1.))
+
+let test_metrics_reset_keeps_handles () =
+  with_obs (fun () ->
+      let c = Metrics.counter "test.reset" in
+      Metrics.add c 5;
+      Metrics.reset ();
+      check_int "zeroed" 0 (Metrics.counter_value c);
+      (* the old handle still feeds the registry after a reset *)
+      Metrics.incr c;
+      check_int "handle still live" 1
+        (List.assoc "test.reset" (Metrics.counters ())))
+
+let test_metrics_json_and_prometheus () =
+  with_obs (fun () ->
+      Metrics.add (Metrics.counter "a.count") 3;
+      Metrics.set (Metrics.gauge "b.gauge") 2.5;
+      Metrics.observe (Metrics.histogram "c.hist") 10.;
+      let json = Json.parse (Json.to_string (Metrics.to_json ())) in
+      check_int "counter exported" 3
+        (int_of_float (number (field "a.count" (field "counters" json))));
+      Alcotest.(check (float 1e-9))
+        "gauge exported" 2.5
+        (number (field "b.gauge" (field "gauges" json)));
+      let hist = field "c.hist" (field "histograms" json) in
+      check_int "hist count" 1 (int_of_float (number (field "count" hist)));
+      Alcotest.(check (float 1e-9)) "hist sum" 10. (number (field "sum" hist));
+      let prom = Metrics.to_prometheus () in
+      let has needle =
+        let lh = String.length prom and ln = String.length needle in
+        let rec go i =
+          i + ln <= lh && (String.sub prom i ln = needle || go (i + 1))
+        in
+        go 0
+      in
+      check_bool "prom counter line" true (has "a_count 3");
+      check_bool "prom counter type" true (has "# TYPE a_count counter");
+      check_bool "prom gauge line" true (has "b_gauge 2.5");
+      check_bool "prom summary count" true (has "c_hist_count 1"))
+
+(* -- integration with the CP kernel -------------------------------------------- *)
+
+let test_cp_search_instrumented () =
+  with_obs (fun () ->
+      let open Fdcp in
+      let s = Store.create () in
+      let vars = Array.init 8 (fun _ -> Store.new_var s ~lo:0 ~hi:3) in
+      let items = Array.map (fun v -> Pack.item v 2) vars in
+      Pack.post s ~items ~capacities:(Array.make 4 4) ();
+      let sol, stats = Search.find_first s ~vars () in
+      check_bool "solved" true (sol <> None);
+      (* counters flushed by the search *)
+      let counters = Metrics.counters () in
+      check_bool "nodes counted" true
+        (List.assoc "cp.search.nodes" counters > 0);
+      check_bool "solutions counted" true
+        (List.assoc "cp.search.solutions" counters >= 1);
+      check_int "nodes match stats" stats.Search.nodes
+        (List.assoc "cp.search.nodes" counters);
+      (* the search span and the solution instant are in the trace *)
+      let names = List.map (fun e -> e.Trace.name) (Trace.events ()) in
+      check_bool "cp.search span" true (List.mem "cp.search" names);
+      check_bool "cp.solution instant" true (List.mem "cp.solution" names);
+      check_bool "cp.propagate spans" true (List.mem "cp.propagate" names);
+      (* per-propagator stats accumulated on the store *)
+      match Store.prop_stats s with
+      | [] -> Alcotest.fail "no propagator stats"
+      | stats ->
+        List.iter
+          (fun (name, wakes, runs, time_us) ->
+            check_bool (name ^ " ran") true (runs > 0);
+            check_bool (name ^ " woke") true (wakes >= runs);
+            check_bool (name ^ " timed") true (time_us >= 0.))
+          stats)
+
+let test_cp_disabled_no_stats () =
+  Obs.enabled := false;
+  Obs.reset ();
+  let open Fdcp in
+  let s = Store.create () in
+  let vars = Array.init 8 (fun _ -> Store.new_var s ~lo:0 ~hi:3) in
+  let items = Array.map (fun v -> Pack.item v 2) vars in
+  Pack.post s ~items ~capacities:(Array.make 4 4) ();
+  let sol, _ = Search.find_first s ~vars () in
+  check_bool "solved" true (sol <> None);
+  check_bool "no per-propagator stats" true (Store.prop_stats s = []);
+  check_int "no trace events" 0 (Trace.recorded ());
+  (* registrations survive resets, but nothing was counted *)
+  check_int "no search counts" 0
+    (Option.value ~default:0
+       (List.assoc_opt "cp.search.nodes" (Metrics.counters ())))
+
+(* -- aggregate ----------------------------------------------------------------- *)
+
+let test_aggregate () =
+  with_obs (fun () ->
+      Trace.complete ~name:"a" ~ts_us:0. ~dur_us:100. ();
+      Trace.complete ~name:"b" ~ts_us:0. ~dur_us:10. ();
+      Trace.complete ~name:"a" ~ts_us:200. ~dur_us:50. ();
+      match Trace.aggregate () with
+      | [ ("a", 2, total_a); ("b", 1, total_b) ] ->
+        Alcotest.(check (float 1e-9)) "a total" 150. total_a;
+        Alcotest.(check (float 1e-9)) "b total" 10. total_b
+      | l -> Alcotest.failf "unexpected aggregate of length %d" (List.length l))
+
+let () =
+  Alcotest.run "entropy_obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse error" `Quick test_json_parse_error;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "span exception" `Quick test_span_exception;
+          Alcotest.test_case "instants + sim track" `Quick
+            test_instant_and_sim_track;
+          Alcotest.test_case "ring buffer" `Quick
+            test_ring_buffer_drops_oldest;
+          Alcotest.test_case "aggregate" `Quick test_aggregate;
+        ] );
+      ( "guard",
+        [
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_records_nothing;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter monotone" `Quick test_counter_monotone;
+          Alcotest.test_case "histogram percentiles" `Quick
+            test_histogram_percentiles;
+          Alcotest.test_case "reset keeps handles" `Quick
+            test_metrics_reset_keeps_handles;
+          Alcotest.test_case "json + prometheus" `Quick
+            test_metrics_json_and_prometheus;
+        ] );
+      ( "cp-integration",
+        [
+          Alcotest.test_case "search instrumented" `Quick
+            test_cp_search_instrumented;
+          Alcotest.test_case "disabled leaves no stats" `Quick
+            test_cp_disabled_no_stats;
+        ] );
+    ]

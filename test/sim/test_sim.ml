@@ -423,6 +423,57 @@ let test_metrics_overload_visible () =
   check_bool "node-seconds accumulated" true
     (Vsim.Metrics.node_seconds metrics > 0.)
 
+let test_metrics_rejects_nonpositive_period () =
+  let _, cluster, _ =
+    mk_cluster ~programs:[ [ Program.Compute 50. ] ] ~memories:[ 512 ] ()
+  in
+  (* a zero period would re-enqueue the sampler at the same simulated
+     instant forever: an event storm *)
+  Alcotest.check_raises "zero period"
+    (Invalid_argument "Metrics.start: period must be positive (got 0)")
+    (fun () -> ignore (Vsim.Metrics.start ~period:0. cluster));
+  Alcotest.check_raises "negative period"
+    (Invalid_argument "Metrics.start: period must be positive (got -5)")
+    (fun () -> ignore (Vsim.Metrics.start ~period:(-5.) cluster))
+
+let test_metrics_stop_idempotent () =
+  let engine, cluster, _ =
+    mk_cluster ~programs:[ [ Program.Compute 50. ] ] ~memories:[ 512 ] ()
+  in
+  let metrics = Vsim.Metrics.start ~period:10. cluster in
+  Vsim.Engine.run ~until:35. engine;
+  let before = List.length (Vsim.Metrics.points metrics) in
+  check_int "sampled while running" 4 before;
+  Vsim.Metrics.stop metrics;
+  Vsim.Metrics.stop metrics; (* second stop is a no-op *)
+  (* the pending sample was cancelled: draining the queue adds nothing *)
+  Vsim.Engine.run ~until:200. engine;
+  check_int "no points after stop" before
+    (List.length (Vsim.Metrics.points metrics));
+  Vsim.Metrics.stop metrics
+
+let test_metrics_to_json () =
+  let engine, cluster, _ =
+    mk_cluster ~programs:[ [ Program.Compute 50. ] ] ~memories:[ 512 ] ()
+  in
+  let metrics = Vsim.Metrics.start ~period:10. cluster in
+  Vsim.Engine.run ~until:25. engine;
+  Vsim.Metrics.stop metrics;
+  let module Json = Entropy_obs.Json in
+  let json = Vsim.Metrics.to_json metrics in
+  (* round-trip through the parser and check the shape *)
+  let json = Json.parse (Json.to_string json) in
+  let field name j = Option.get (Json.member name j) in
+  let number j = Option.get (Json.number j) in
+  let points = Option.get (Json.to_list (field "points" json)) in
+  check_int "three samples" 3 (List.length points);
+  List.iter
+    (fun p ->
+      check_bool "time >= 0" true (number (field "time" p) >= 0.);
+      check_bool "mem_used_mb present" true
+        (number (field "mem_used_mb" p) >= 0.))
+    points
+
 (* -- runner (end to end) ------------------------------------------------------ *)
 
 let testbed_nodes n =
@@ -896,8 +947,15 @@ let () =
             test_executor_pipelines_suspends;
         ] );
       ( "metrics",
-        [ Alcotest.test_case "overload visible" `Quick test_metrics_overload_visible ]
-      );
+        [
+          Alcotest.test_case "overload visible" `Quick
+            test_metrics_overload_visible;
+          Alcotest.test_case "rejects bad period" `Quick
+            test_metrics_rejects_nonpositive_period;
+          Alcotest.test_case "stop idempotent" `Quick
+            test_metrics_stop_idempotent;
+          Alcotest.test_case "to_json" `Quick test_metrics_to_json;
+        ] );
       ( "runner",
         [
           Alcotest.test_case "single vjob" `Quick test_runner_single_vjob;
