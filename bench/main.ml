@@ -93,6 +93,20 @@ let bench_fig11_sim () =
     (Staged.stage (fun () ->
          ignore (Vsim.Runner.run_entropy ~cp_timeout:0.05 ~nodes ~traces ())))
 
+(* Same instance as fig11/entropy_sim_2vjobs but wired through the fault
+   pipeline with an empty injector: the delta between the two benches is
+   the cost of supervised execution when no fault model is loaded, which
+   must stay within measurement noise. *)
+let bench_fault_nofault () =
+  let traces = Lazy.force small_traces in
+  let nodes =
+    Array.init 3 (fun i -> Node.testbed ~id:i ~name:(Printf.sprintf "N%d" i))
+  in
+  let injector = Entropy_fault.Injector.none in
+  Test.make ~name:"fault/sim_nofault_2vjobs"
+    (Staged.stage (fun () ->
+         ignore (Vsim.Runner.run_entropy ~cp_timeout:0.05 ~injector ~nodes ~traces ())))
+
 let bench_fig12_static () =
   let traces = Lazy.force section52_traces in
   Test.make ~name:"fig12/static_fcfs_8vjobs"
@@ -153,6 +167,7 @@ let all_tests : (string * (unit -> Test.t)) list =
     ("fig10/plan_build_216vm", bench_fig10_plan);
     ("fig10/cp_optimize_54vm", bench_fig10_optimize);
     ("fig11/entropy_sim_2vjobs", bench_fig11_sim);
+    ("fault/sim_nofault_2vjobs", bench_fault_nofault);
     ("fig12/static_fcfs_8vjobs", bench_fig12_static);
     ("fig13/utilization_series", bench_fig13_series);
     ( "ablation/rjsp_first_fit",

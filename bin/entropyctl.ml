@@ -328,6 +328,122 @@ let profile vms cp_timeout restarts seed trace metrics =
     List.iter (fun (n, v) -> Printf.printf "%-36s%12d\n" n v) counters);
   obs_write trace metrics
 
+(* -- chaos -------------------------------------------------------------------- *)
+
+(* Fault-injection experiment on a generated Figure 10-style instance:
+   run the simulated control loop fault-free, then again with a seeded
+   injector (probabilistic action failures, optional scripted node
+   crashes), and report retries, timeouts, repairs and the makespan
+   inflation. Every repair plan the run executed is re-checked with the
+   independent verifier; exit 0 only when all vjobs complete, the final
+   configuration is viable and every repair plan is clean. *)
+
+let chaos vms nodes seed fail_rate crashes timeout_factor retries cp_timeout
+    max_time trace metrics =
+  obs_setup trace metrics;
+  let instance =
+    Vworkload.Generator.generate
+      {
+        Vworkload.Generator.default_spec with
+        node_count = nodes;
+        vm_target = vms;
+        seed;
+      }
+  in
+  let { Vworkload.Generator.config; demand = _; vjobs } = instance in
+  let vm_count = Configuration.vm_count config in
+  (* deterministic per-VM compute programs: 240..719 s of work *)
+  let programs vm =
+    [ Vworkload.Program.Compute (240. +. float_of_int (((37 * vm) + seed) mod 480)) ]
+  in
+  let run ?injector ?policy () =
+    Vsim.Runner.run_custom ~cp_timeout ~max_time ?injector ?policy ~config
+      ~vjobs ~programs ()
+  in
+  Printf.printf
+    "chaos: %d VMs / %d nodes (seed %d), %d vjobs, fail rate %.0f%%, %d \
+     scripted crashes\n"
+    vm_count
+    (Configuration.node_count config)
+    seed (List.length vjobs) (fail_rate *. 100.) (List.length crashes);
+  let baseline = run () in
+  let models =
+    Entropy_fault.Injector.Fail_rate { kind = None; rate = fail_rate }
+    :: List.map
+         (fun (node, at_s) ->
+           Entropy_fault.Injector.Crash_node { node; at_s })
+         crashes
+  in
+  let injector = Entropy_fault.Injector.create ~seed models in
+  let policy =
+    Entropy_fault.Supervisor.make_policy ~timeout_factor ~max_retries:retries
+      ()
+  in
+  let faulty = run ~injector ~policy () in
+  obs_write trace metrics;
+  let module R = Vsim.Runner in
+  let module E = Vsim.Executor in
+  let total f = List.fold_left (fun acc r -> acc + f r) 0 faulty.R.switches in
+  let failures = total (fun r -> r.E.failed) in
+  let retried = total (fun r -> r.E.retries) in
+  let timeouts = total (fun r -> r.E.timeouts) in
+  let node_losses = total (fun r -> r.E.node_losses) in
+  let salvaged =
+    List.length (List.filter (fun rr -> rr.R.source = `Salvaged) faulty.R.repairs)
+  in
+  let replanned = List.length faulty.R.repairs - salvaged in
+  let dirty =
+    List.filter
+      (fun rr ->
+        Entropy_analysis.Verifier.verify ~vjobs:rr.R.queue
+          ~current:rr.R.before ~target:rr.R.target ~demand:rr.R.demand
+          rr.R.plan
+        <> [])
+      faulty.R.repairs
+  in
+  let completed = List.length faulty.R.completions = List.length vjobs in
+  let final_viable =
+    Configuration.is_viable faulty.R.final_config
+      (Demand.uniform ~vm_count Vworkload.Program.compute_demand)
+  in
+  Printf.printf "fault-free makespan: %7.0f s (%d switches)\n"
+    baseline.R.makespan
+    (List.length baseline.R.switches);
+  Printf.printf "faulty     makespan: %7.0f s (%d switches)  inflation %+.1f%%\n"
+    faulty.R.makespan
+    (List.length faulty.R.switches)
+    (if baseline.R.makespan > 0. then
+       (faulty.R.makespan -. baseline.R.makespan) /. baseline.R.makespan
+       *. 100.
+     else 0.);
+  Printf.printf
+    "faults: %d action failures, %d retries, %d timeouts, %d node losses\n"
+    failures retried timeouts node_losses;
+  List.iter
+    (fun (node, at, affected) ->
+      Printf.printf "  node N%d crashed at %.0f s: %d vjobs resubmitted\n"
+        node at (List.length affected))
+    faulty.R.crashes;
+  Printf.printf "repairs: %d salvaged, %d replanned  (verifier: %d/%d clean)\n"
+    salvaged replanned
+    (List.length faulty.R.repairs - List.length dirty)
+    (List.length faulty.R.repairs);
+  List.iter
+    (fun rr ->
+      Fmt.pr "  dirty %a plan at %.0f s:@." Entropy_fault.Repair.pp_source
+        rr.R.source rr.R.at;
+      List.iter
+        (fun f -> Fmt.pr "    %a@." Entropy_analysis.Verifier.pp_finding f)
+        (Entropy_analysis.Verifier.verify ~vjobs:rr.R.queue
+           ~current:rr.R.before ~target:rr.R.target ~demand:rr.R.demand
+           rr.R.plan))
+    dirty;
+  Printf.printf "recovery: %d/%d vjobs completed, final configuration %s\n"
+    (List.length faulty.R.completions)
+    (List.length vjobs)
+    (if final_viable then "viable" else "NOT viable");
+  if not (completed && final_viable && dirty = []) then exit 1
+
 (* -- cmdliner ---------------------------------------------------------------- *)
 
 open Cmdliner
@@ -449,6 +565,74 @@ let profile_cmd =
       $ logs_term $ vms_arg $ timeout_arg $ restarts_arg $ seed_arg
       $ trace_arg $ metrics_arg)
 
+let chaos_cmd =
+  let vms_arg =
+    Arg.(
+      value & opt int 54
+      & info [ "vms" ] ~docv:"N"
+          ~doc:"Number of VMs in the generated instance.")
+  in
+  let nodes_arg =
+    Arg.(
+      value & opt int 15
+      & info [ "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Seed for both the instance generator and the injector.")
+  in
+  let fail_rate_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "fail-rate" ] ~docv:"P"
+          ~doc:"Per-attempt action failure probability, in [0,1].")
+  in
+  let crash_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'@' int float) []
+      & info [ "crash" ] ~docv:"NODE@TIME"
+          ~doc:
+            "Crash node $(i,NODE) permanently at simulated time $(i,TIME) \
+             seconds (repeatable).")
+  in
+  let timeout_factor_arg =
+    Arg.(
+      value & opt float 3.0
+      & info [ "timeout-factor" ] ~docv:"F"
+          ~doc:"Supervisor timeout = F x expected action duration.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Supervised retries per action (exponential backoff).")
+  in
+  let chaos_timeout_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "cp-timeout" ] ~doc:"CP solving timeout in seconds.")
+  in
+  let max_time_arg =
+    Arg.(
+      value & opt float 1_000_000.
+      & info [ "max-time" ] ~docv:"S"
+          ~doc:"Give up after this much simulated time.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the simulated control loop under fault injection and report \
+          retries, repairs and makespan inflation vs the fault-free run")
+    Term.(
+      const (fun () v n s fr cr tf re t mt tr m ->
+          chaos v n s fr cr tf re t mt tr m)
+      $ logs_term $ vms_arg $ nodes_arg $ seed_arg $ fail_rate_arg
+      $ crash_arg $ timeout_factor_arg $ retries_arg $ chaos_timeout_arg
+      $ max_time_arg $ trace_arg $ metrics_arg)
+
 let () =
   let info =
     Cmd.info "entropyctl"
@@ -459,5 +643,5 @@ let () =
        (Cmd.group info
           [
             check_cmd; plan_cmd; lint_cmd; actions_cmd; simulate_cmd;
-            profile_cmd;
+            profile_cmd; chaos_cmd;
           ]))

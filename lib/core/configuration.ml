@@ -53,6 +53,16 @@ let with_states t states =
     invalid_arg "Configuration.with_states: arity mismatch";
   { t with states }
 
+let with_nodes t nodes =
+  if Array.length nodes <> Array.length t.nodes then
+    invalid_arg "Configuration.with_nodes: node count mismatch";
+  Array.iteri
+    (fun i n ->
+      if Node.id n <> i then
+        invalid_arg "Configuration.with_nodes: node ids must equal their index")
+    nodes;
+  { t with nodes }
+
 let node_count t = Array.length t.nodes
 let vm_count t = Array.length t.vms
 let nodes t = t.nodes

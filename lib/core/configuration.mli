@@ -26,6 +26,11 @@ val make : nodes:Node.t array -> vms:Vm.t array -> t
 val with_states : t -> vm_state array -> t
 (** Same cluster, explicit state vector (shared, not copied). *)
 
+val with_nodes : t -> Node.t array -> t
+(** Same VMs and states over a replaced node set — e.g. a crashed node
+    swapped for its zero-capacity stand-in ({!Node.crashed}). Raises
+    [Invalid_argument] when the count changes or ids are not dense. *)
+
 val node_count : t -> int
 val vm_count : t -> int
 val nodes : t -> Node.t array

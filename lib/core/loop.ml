@@ -5,19 +5,34 @@
    monitoring data before iterating.
 
    The loop is driver-agnostic: the simulator (lib/sim) provides one
-   driver, examples can provide in-memory ones. *)
+   driver, examples can provide in-memory ones.
+
+   Execution reports back which VMs lost their action and which nodes
+   disappeared mid-switch. A degraded switch triggers an immediate
+   bounded recovery: re-observe, re-decide against the post-failure
+   state, re-execute — instead of leaving the cluster inconsistent until
+   the next 30 s iteration. *)
 
 module Obs = Entropy_obs.Obs
 module Metrics = Entropy_obs.Metrics
 
 let m_iterations = lazy (Metrics.counter "loop.iterations")
 let m_switches = lazy (Metrics.counter "loop.switches")
+let m_recoveries = lazy (Metrics.counter "loop.recoveries")
+
+type exec_report = {
+  failed_vms : Vm.id list;  (* actions terminally failed; state unchanged *)
+  lost_nodes : Node.id list;  (* nodes that crashed during the switch *)
+}
+
+let clean = { failed_vms = []; lost_nodes = [] }
+let report_ok r = r.failed_vms = [] && r.lost_nodes = []
 
 type driver = {
   observe : unit -> Decision.observation;
-  execute : Plan.t -> unit;  (* blocks until the switch completes *)
-  wait : float -> unit;      (* sleep between iterations *)
-  finished : unit -> bool;   (* all work done, stop looping *)
+  execute : Plan.t -> exec_report;  (* blocks until the switch completes *)
+  wait : float -> unit;             (* sleep between iterations *)
+  finished : unit -> bool;          (* all work done, stop looping *)
 }
 
 type iteration = {
@@ -25,52 +40,77 @@ type iteration = {
   observation : Decision.observation;
   result : Optimizer.result;
   executed : bool;
+  recoveries : int;
 }
 
 let default_period = 30.
+let default_max_recoveries = 3
 
-(* One iteration: decide, and execute only when the plan is non-empty
-   (an empty plan means the current configuration already matches the
-   decision). *)
-let step decision driver index =
-  let observation =
-    Obs.span ~cat:"loop" ~name:"loop.observe" driver.observe
+(* One iteration: decide, execute only when the plan is non-empty (an
+   empty plan means the current configuration already matches the
+   decision), and re-plan immediately — at most [max_recoveries] times —
+   when the driver reports a degraded switch. *)
+let step ?(max_recoveries = default_max_recoveries) decision driver index =
+  let rec go round =
+    let observation =
+      Obs.span ~cat:"loop" ~name:"loop.observe" driver.observe
+    in
+    let result =
+      Obs.span ~cat:"loop" ~name:"loop.decide"
+        ~args:[ ("iteration", Entropy_obs.Trace.I index) ]
+        (fun () -> decision.Decision.decide observation)
+    in
+    let executed = not (Plan.is_empty result.Optimizer.plan) in
+    if !Obs.enabled then begin
+      Metrics.incr (Lazy.force m_iterations);
+      if executed then Metrics.incr (Lazy.force m_switches)
+    end;
+    Log.debug (fun m ->
+        m "iteration %d (%s): %d vjobs queued, %d finished -> plan %d \
+           actions, cost %d%s"
+          index decision.Decision.name
+          (List.length observation.Decision.queue)
+          (List.length observation.Decision.finished)
+          (Plan.action_count result.Optimizer.plan)
+          result.Optimizer.cost
+          (if executed then "" else " (no switch needed)"));
+    let report =
+      if executed then
+        Obs.span ~cat:"loop" ~name:"loop.execute"
+          ~args:
+            [
+              ( "actions",
+                Entropy_obs.Trace.I (Plan.action_count result.Optimizer.plan) );
+              ("cost", Entropy_obs.Trace.I result.Optimizer.cost);
+            ]
+          (fun () -> driver.execute result.Optimizer.plan)
+      else clean
+    in
+    if report_ok report || round >= max_recoveries then
+      { index; observation; result; executed; recoveries = round }
+    else begin
+      if !Obs.enabled then begin
+        Metrics.incr (Lazy.force m_recoveries);
+        Obs.instant ~cat:"loop" "loop.recover"
+      end;
+      Log.info (fun m ->
+          m "iteration %d: degraded switch (%d failed VMs, %d lost nodes), \
+             recovery replan %d/%d"
+            index
+            (List.length report.failed_vms)
+            (List.length report.lost_nodes)
+            (round + 1) max_recoveries);
+      go (round + 1)
+    end
   in
-  let result =
-    Obs.span ~cat:"loop" ~name:"loop.decide"
-      ~args:[ ("iteration", Entropy_obs.Trace.I index) ]
-      (fun () -> decision.Decision.decide observation)
-  in
-  let executed = not (Plan.is_empty result.Optimizer.plan) in
-  if !Obs.enabled then begin
-    Metrics.incr (Lazy.force m_iterations);
-    if executed then Metrics.incr (Lazy.force m_switches)
-  end;
-  Log.debug (fun m ->
-      m "iteration %d (%s): %d vjobs queued, %d finished -> plan %d \
-         actions, cost %d%s"
-        index decision.Decision.name
-        (List.length observation.Decision.queue)
-        (List.length observation.Decision.finished)
-        (Plan.action_count result.Optimizer.plan)
-        result.Optimizer.cost
-        (if executed then "" else " (no switch needed)"));
-  if executed then
-    Obs.span ~cat:"loop" ~name:"loop.execute"
-      ~args:
-        [
-          ("actions", Entropy_obs.Trace.I (Plan.action_count result.Optimizer.plan));
-          ("cost", Entropy_obs.Trace.I result.Optimizer.cost);
-        ]
-      (fun () -> driver.execute result.Optimizer.plan);
-  { index; observation; result; executed }
+  go 0
 
-let run ?(period = default_period) ?(max_iterations = max_int) decision
-    driver =
+let run ?(period = default_period) ?(max_iterations = max_int)
+    ?max_recoveries decision driver =
   let rec go index history =
     if index >= max_iterations || driver.finished () then List.rev history
     else begin
-      let it = step decision driver index in
+      let it = step ?max_recoveries decision driver index in
       driver.wait period;
       go (index + 1) (it :: history)
     end

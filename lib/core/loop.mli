@@ -1,9 +1,22 @@
 (** The Entropy control loop (paper, Figure 4):
     observe -> decide -> plan -> execute, every [period] seconds. *)
 
+type exec_report = {
+  failed_vms : Vm.id list;
+      (** VMs whose action terminally failed (their state is unchanged) *)
+  lost_nodes : Node.id list;
+      (** nodes that crashed during the switch *)
+}
+
+val clean : exec_report
+(** The all-went-well report. *)
+
+val report_ok : exec_report -> bool
+
 type driver = {
   observe : unit -> Decision.observation;
-  execute : Plan.t -> unit;  (** blocks until the switch completes *)
+  execute : Plan.t -> exec_report;
+      (** blocks until the switch completes, reports the damage *)
   wait : float -> unit;
   finished : unit -> bool;
 }
@@ -13,13 +26,25 @@ type iteration = {
   observation : Decision.observation;
   result : Optimizer.result;
   executed : bool;  (** false when the plan was empty *)
+  recoveries : int;
+      (** immediate replans performed after degraded switches *)
 }
 
 val default_period : float
 (** 30 s, as in the paper's sample policy. *)
 
-val step : Decision.t -> driver -> int -> iteration
+val default_max_recoveries : int
+(** 3: a degraded switch triggers at most three immediate
+    observe/decide/execute rounds before deferring to the next
+    iteration. *)
+
+val step : ?max_recoveries:int -> Decision.t -> driver -> int -> iteration
+(** One iteration. When the driver reports a degraded switch (failed VMs
+    or lost nodes), the loop immediately re-observes the post-failure
+    state, re-decides, and re-executes — at most [max_recoveries] times —
+    instead of waiting for the next period. The returned [iteration]
+    carries the last round's observation and result. *)
 
 val run :
-  ?period:float -> ?max_iterations:int -> Decision.t -> driver ->
-  iteration list
+  ?period:float -> ?max_iterations:int -> ?max_recoveries:int ->
+  Decision.t -> driver -> iteration list

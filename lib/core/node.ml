@@ -17,6 +17,11 @@ let make ~id ~name ~cpu_capacity ~memory_mb =
   if memory_mb <= 0 then invalid_arg "Node.make: memory_mb <= 0";
   { id; name; cpu_capacity; memory_mb }
 
+(* A crashed node keeps its identity (ids stay dense) but can host
+   nothing; built directly because [make] rejects zero capacities. *)
+let crashed t = { t with cpu_capacity = 0; memory_mb = 0 }
+let is_crashed t = t.cpu_capacity = 0 && t.memory_mb = 0
+
 let id t = t.id
 let name t = t.name
 let cpu_capacity t = t.cpu_capacity

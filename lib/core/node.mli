@@ -5,6 +5,14 @@ type id = int
 type t = { id : id; name : string; cpu_capacity : int; memory_mb : int }
 
 val make : id:id -> name:string -> cpu_capacity:int -> memory_mb:int -> t
+(** Raises [Invalid_argument] on non-positive capacities; a node that
+    lost its capacity to a crash is built with {!crashed} instead. *)
+
+val crashed : t -> t
+(** The node with both capacities zeroed: a crashed node keeps its
+    identity (ids stay dense) but can host nothing. *)
+
+val is_crashed : t -> bool
 val id : t -> id
 val name : t -> string
 val cpu_capacity : t -> int

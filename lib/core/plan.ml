@@ -13,6 +13,11 @@ let is_empty t = t.pools = []
 let pools t = t.pools
 let pool_count t = List.length t.pools
 
+(* Keep only the actions satisfying [keep]; pools emptied by the filter
+   disappear, later pools move up. The salvage primitive: dependencies
+   are re-checked by whoever validates the restricted plan. *)
+let restrict t ~keep = make (List.map (List.filter keep) t.pools)
+
 let actions t = List.concat t.pools
 
 let action_count t = List.length (actions t)

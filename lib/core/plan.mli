@@ -7,6 +7,12 @@ val make : Action.t list list -> t
 
 val empty : t
 val is_empty : t -> bool
+
+val restrict : t -> keep:(Action.t -> bool) -> t
+(** Keep only the actions satisfying [keep]; pools emptied by the filter
+    are dropped. Restriction does not re-check dependencies — run
+    {!validate} (or rebuild through the planner) on the result. *)
+
 val pools : t -> Action.t list list
 val pool_count : t -> int
 val actions : t -> Action.t list

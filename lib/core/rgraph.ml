@@ -61,6 +61,29 @@ let actions ~current ~target =
   end;
   !acc
 
+(* Salvage after a failed action: every frozen VM (typically the VMs
+   whose actions terminally failed) keeps its current state in the
+   target, so re-deriving the graph against the patched target yields
+   exactly the surviving actions — the dependency closure minus
+   everything invalidated by the freeze. *)
+let salvage_target ~current ~target ~frozen =
+  if Configuration.vm_count current <> Configuration.vm_count target then
+    invalid_arg "Rgraph.salvage_target: configurations with different VM sets";
+  let result = ref target in
+  for vm_id = 0 to Configuration.vm_count target - 1 do
+    if
+      frozen vm_id
+      && not
+           (Configuration.equal_vm_state
+              (Configuration.state current vm_id)
+              (Configuration.state target vm_id))
+    then
+      result :=
+        Configuration.set_state !result vm_id
+          (Configuration.state current vm_id)
+  done;
+  !result
+
 (* Expected suspend location of every sleeping VM in [target], given
    where they run in [current]: suspends are local. Used to normalize a
    decision module's output before planning. *)

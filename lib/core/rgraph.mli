@@ -14,6 +14,14 @@ val actions : current:Configuration.t -> target:Configuration.t -> Action.t list
     impossible per-VM transition, [Invalid_argument] on mismatched VM
     sets. *)
 
+val salvage_target :
+  current:Configuration.t -> target:Configuration.t ->
+  frozen:(Vm.id -> bool) -> Configuration.t
+(** The target with every frozen VM pinned to its current state. After a
+    failed action, re-deriving the graph against the salvaged target
+    yields the surviving actions: the dependency closure minus
+    everything invalidated by the freeze. *)
+
 val normalize_sleeping :
   current:Configuration.t -> Configuration.t -> Configuration.t
 (** Rewrite the target's sleeping locations to where the images will

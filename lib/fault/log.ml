@@ -1,0 +1,8 @@
+(* Log source for the fault layer. Enable with e.g.
+   [Logs.set_reporter (Logs_fmt.reporter ()); Logs.Src.set_level
+   Log.src (Some Logs.Debug)]. *)
+
+let src =
+  Logs.Src.create "entropy.fault" ~doc:"Fault injection and plan repair"
+
+include (val Logs.src_log src : Logs.LOG)

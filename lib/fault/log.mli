@@ -1,0 +1,5 @@
+(** Log source for the fault layer ([entropy.fault]). *)
+
+val src : Logs.Src.t
+
+include Logs.LOG

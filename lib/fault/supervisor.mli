@@ -1,0 +1,53 @@
+(** Supervised-execution policy: per-attempt timeouts scaled from the
+    Table 1 expected duration, bounded retries with exponential backoff
+    in simulated time, and outcome classification.
+
+    The supervisor is pure policy; the executor owns the clock. After
+    each attempt it calls {!next}, which either schedules a retry after
+    a backoff delay or classifies the action's terminal {!outcome}. *)
+
+open Entropy_core
+
+type policy = {
+  timeout_factor : float;
+      (** an attempt times out after [factor x expected duration];
+          [infinity] disables timeouts *)
+  max_retries : int;    (** retries after the first attempt *)
+  backoff_base_s : float;
+  backoff_max_s : float;
+}
+
+val default_policy : policy
+(** factor 3, 2 retries, 5 s base backoff capped at 60 s. *)
+
+val no_retry : policy
+(** Legacy semantics: no timeout, no retries — one failed attempt is
+    terminal. *)
+
+val make_policy :
+  ?timeout_factor:float -> ?max_retries:int -> ?backoff_base_s:float ->
+  ?backoff_max_s:float -> unit -> policy
+(** Defaults from {!default_policy}; raises [Invalid_argument] on
+    non-positive factor or negative retries/backoff. *)
+
+val timeout_s : policy -> expected_s:float -> float
+val backoff_s : policy -> attempt:int -> float
+(** Delay before the retry that follows the [attempt]-th failed attempt:
+    [base * 2^(attempt-1)], capped at [backoff_max_s]. *)
+
+type attempt = Succeeded | Fault_injected | Attempt_timed_out
+
+type outcome =
+  | Completed of { retries : int }
+  | Failed of { attempts : int }     (** injected failure, retries spent *)
+  | Timed_out of { attempts : int }  (** last attempt exceeded its timeout *)
+  | Node_lost of { node : Node.id }
+      (** a node involved in the action crashed; never retried *)
+
+val next : policy -> attempts:int -> attempt -> [ `Done of outcome | `Retry of float ]
+(** Classify the [attempts]-th attempt (1-based): either the action is
+    done with a terminal outcome, or it should be retried after the
+    returned backoff delay. *)
+
+val succeeded : outcome -> bool
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -19,6 +19,10 @@
    completions at each such event. Stale completion events are detected
    with per-VM epochs. *)
 
+(* capture the simulator's own log source before [open Entropy_core]
+   shadows it with the core's *)
+module Sim_log = Log
+
 open Entropy_core
 module Program = Vworkload.Program
 
@@ -38,8 +42,10 @@ type t = {
   mutable config : Configuration.t;
   rts : vm_rt array;
   vjobs : Vjob.t array;
+  programs : Vm.id -> Program.t;  (* original programs, for resubmission *)
   local_ops : int array;        (* per-node running local operations *)
   remote_ops : int array;
+  alive : bool array;           (* per-node; false after a crash *)
   storage : Storage.t option;   (* NFS bandwidth sharing, when modelled *)
   completions : (Vjob.id, float) Hashtbl.t;
   mutable on_change : unit -> unit;
@@ -260,6 +266,73 @@ let set_config t config =
   check_launches t;
   recompute t
 
+(* -- node crashes ----------------------------------------------------------- *)
+
+let node_alive t node_id = t.alive.(node_id)
+
+(* A permanent node crash: the node keeps its identity but loses all
+   capacity. Every incomplete vjob with a VM running on the node — or an
+   image stored there — loses its work: all of its VMs go back to
+   Waiting with their original program, so the next RJSP round
+   resubmits the vjob from scratch. VMs of completed vjobs still parked
+   on the node just die (Terminated). Returns the resubmitted vjobs. *)
+let crash_node t node_id =
+  if not t.alive.(node_id) then []
+  else begin
+    t.alive.(node_id) <- false;
+    let old_config = t.config in
+    let on_node vm_id =
+      match Configuration.state old_config vm_id with
+      | Configuration.Running n
+      | Configuration.Sleeping n
+      | Configuration.Sleeping_ram n -> n = node_id
+      | Configuration.Waiting | Configuration.Terminated -> false
+    in
+    let affected =
+      Array.to_list t.vjobs
+      |> List.filter (fun vj ->
+             (not (Hashtbl.mem t.completions (Vjob.id vj)))
+             && List.exists on_node (Vjob.vms vj))
+    in
+    let nodes = Array.copy (Configuration.nodes old_config) in
+    nodes.(node_id) <- Node.crashed nodes.(node_id);
+    let config = ref (Configuration.with_nodes old_config nodes) in
+    List.iter
+      (fun vj ->
+        List.iter
+          (fun vm_id ->
+            match Configuration.state !config vm_id with
+            | Configuration.Terminated -> ()
+            | _ ->
+              config := Configuration.set_state !config vm_id Configuration.Waiting;
+              let rt = t.rts.(vm_id) in
+              rt.phases <- Program.normalize (t.programs vm_id);
+              rt.launched <- false;
+              rt.finished <- false;
+              rt.rate <- 0.;
+              rt.epoch <- rt.epoch + 1;
+              rt.last_sync <- now t)
+          (Vjob.vms vj))
+      affected;
+    (* whatever else was on the node (completed vjobs' idle VMs) is gone *)
+    for vm_id = 0 to Array.length t.rts - 1 do
+      if on_node vm_id then
+        match Configuration.state !config vm_id with
+        | Configuration.Waiting | Configuration.Terminated -> ()
+        | _ ->
+          config := Configuration.set_state !config vm_id Configuration.Terminated
+    done;
+    Sim_log.info (fun m ->
+        m "node N%d crashed at %.0fs: %d vjobs reset for resubmission"
+          node_id (now t) (List.length affected));
+    if !Entropy_obs.Obs.enabled then
+      Entropy_obs.Obs.sim_instant ~at_s:(now t)
+        ~args:[ ("node", Entropy_obs.Trace.I node_id) ]
+        "fault.node_crash";
+    set_config t !config;
+    List.map Vjob.id affected
+  end
+
 (* -- construction ----------------------------------------------------------- *)
 
 let create ?(params = Perf_model.defaults) ?storage ~engine ~config ~vjobs
@@ -286,8 +359,10 @@ let create ?(params = Perf_model.defaults) ?storage ~engine ~config ~vjobs
       config;
       rts;
       vjobs = Array.of_list vjobs;
+      programs;
       local_ops = Array.make n 0;
       remote_ops = Array.make n 0;
+      alive = Array.make n true;
       storage;
       completions = Hashtbl.create 16;
       on_change = (fun () -> ());

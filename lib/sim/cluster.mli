@@ -41,6 +41,17 @@ val unregister_op : t -> nodes:Node.id list -> local:bool -> unit
 
 val recompute : t -> unit
 
+val node_alive : t -> Node.id -> bool
+
+val crash_node : t -> Node.id -> Vjob.id list
+(** Permanently crash a node: it keeps its identity but loses all
+    capacity ({!Node.crashed}). Every incomplete vjob with a VM running
+    on — or an image stored on — the node loses its work: all of its
+    VMs return to Waiting with their original program, so the next RJSP
+    round resubmits the vjob from scratch. VMs of completed vjobs still
+    parked on the node become Terminated. Returns the resubmitted vjob
+    ids; idempotent (a second crash of the same node returns []). *)
+
 val completions : t -> (Vjob.id * float) list
 val completed : t -> Vjob.t -> bool
 val all_complete : t -> bool

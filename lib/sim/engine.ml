@@ -1,24 +1,34 @@
 (* Discrete-event simulation core: a clock and an event heap. Event
-   callbacks may schedule further events. Cancellation uses generation
-   tokens: a cancelled event stays queued but its callback is skipped. *)
+   callbacks may schedule further events. Cancellation is lazy: a
+   cancelled event stays queued until popped, but a shared counter keeps
+   [pending] reporting live events only. *)
 
 module Obs = Entropy_obs.Obs
 module Metrics = Entropy_obs.Metrics
 
 let m_events = lazy (Metrics.counter "sim.events")
 
-type event = { mutable cancelled : bool; run : unit -> unit }
+type state = Queued | Cancelled | Done
+
+type event = {
+  mutable state : state;
+  run : unit -> unit;
+  queued_cancelled : int ref;  (* the engine's count of cancelled-but-queued *)
+}
 
 type t = {
   mutable now : float;
   queue : event Heap.t;
   mutable executed : int;
+  queued_cancelled : int ref;
 }
 
-let create () = { now = 0.; queue = Heap.create (); executed = 0 }
+let create () =
+  { now = 0.; queue = Heap.create (); executed = 0; queued_cancelled = ref 0 }
 
 let now t = t.now
-let pending t = Heap.length t.queue
+let pending t = Heap.length t.queue - !(t.queued_cancelled)
+let cancelled t = !(t.queued_cancelled)
 let executed t = t.executed
 
 type handle = event
@@ -28,24 +38,34 @@ let schedule t ~at run =
     invalid_arg
       (Printf.sprintf "Engine.schedule: at=%.3f is in the past (now=%.3f)" at
          t.now);
-  let ev = { cancelled = false; run } in
+  let ev = { state = Queued; run; queued_cancelled = t.queued_cancelled } in
   Heap.push t.queue at ev;
   ev
 
 let schedule_after t ~delay run = schedule t ~at:(t.now +. delay) run
 
-let cancel (ev : handle) = ev.cancelled <- true
+(* Cancelling an already-run (or already-cancelled) event is a no-op, so
+   late cancels cannot corrupt the pending count. *)
+let cancel (ev : handle) =
+  match ev.state with
+  | Queued ->
+    ev.state <- Cancelled;
+    incr ev.queued_cancelled
+  | Cancelled | Done -> ()
 
 let step t =
   match Heap.pop t.queue with
   | None -> false
   | Some (time, ev) ->
     t.now <- max t.now time;
-    if not ev.cancelled then begin
+    (match ev.state with
+    | Cancelled -> decr t.queued_cancelled  (* drained *)
+    | Done -> ()
+    | Queued ->
+      ev.state <- Done;
       t.executed <- t.executed + 1;
       if !Obs.enabled then Metrics.incr (Lazy.force m_events);
-      ev.run ()
-    end;
+      ev.run ());
     true
 
 let run ?(until = infinity) ?(max_events = max_int) t =

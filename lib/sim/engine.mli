@@ -4,8 +4,13 @@ type t
 
 val create : unit -> t
 val now : t -> float
+
 val pending : t -> int
-(** Queued events (including cancelled ones not yet drained). *)
+(** Live (not cancelled) queued events. Cancelled events stay in the
+    heap until drained but are not counted. *)
+
+val cancelled : t -> int
+(** Cancelled events still sitting in the heap. *)
 
 val executed : t -> int
 
@@ -15,7 +20,9 @@ val schedule : t -> at:float -> (unit -> unit) -> handle
 (** Raises [Invalid_argument] when [at] is in the past. *)
 
 val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+
 val cancel : handle -> unit
+(** Idempotent; cancelling an event that already ran is a no-op. *)
 
 val step : t -> bool
 (** Execute the next event; [false] when the queue is empty. *)

@@ -13,7 +13,17 @@
    In both, an in-flight operation registers contention on the nodes it
    touches, durations account for co-resident busy VMs and NFS bandwidth
    sharing (Perf_model, Storage), and the configuration changes when the
-   action completes. An injected failure leaves the VM state unchanged. *)
+   action completes.
+
+   Every action runs supervised: a fault injector decides per attempt
+   whether the hypervisor operation fails or is slowed down, the
+   supervisor policy bounds each attempt to [timeout_factor x expected
+   duration] (expected = the Table 1 duration with live contention, i.e.
+   what the executor would predict — injected slowdowns beyond the
+   factor trip the timeout), and failed or timed-out attempts retry with
+   exponential backoff in simulated time until the retry budget is
+   spent. A terminal failure leaves the VM state unchanged. An action
+   touching a crashed node is terminal immediately (node-lost). *)
 
 (* capture the simulator's own log source before [open Entropy_core]
    shadows it with the core's *)
@@ -23,6 +33,8 @@ open Entropy_core
 module Obs = Entropy_obs.Obs
 module Otrace = Entropy_obs.Trace
 module Ometrics = Entropy_obs.Metrics
+module Injector = Entropy_fault.Injector
+module Supervisor = Entropy_fault.Supervisor
 
 type record = {
   started_at : float;
@@ -35,7 +47,13 @@ type record = {
   runs : int;
   stops : int;
   pools : int;
-  failed : int;         (* injected action failures (state unchanged) *)
+  failed : int;         (* terminally failed actions (state unchanged) *)
+  retries : int;        (* extra attempts across all actions *)
+  timeouts : int;       (* attempts aborted by the supervisor timeout *)
+  node_losses : int;    (* actions lost to a crashed node *)
+  failed_vms : Vm.id list;    (* VMs whose action terminally failed *)
+  lost_nodes : Node.id list;  (* crashed nodes seen during the switch *)
+  aborted : bool;       (* execution stopped early for repair *)
 }
 
 let duration t = t.finished_at -. t.started_at
@@ -44,7 +62,11 @@ let pp_record ppf r =
   Fmt.pf ppf
     "switch cost=%d duration=%.0fs (%d pools, %dM %dS %dR %drun %dstop)"
     r.cost (duration r) r.pools r.migrations r.suspends r.resumes r.runs
-    r.stops
+    r.stops;
+  if r.failed > 0 || r.retries > 0 || r.timeouts > 0 || r.node_losses > 0 then
+    Fmt.pf ppf " [%d failed, %d retries, %d timeouts, %d node-losses%s]"
+      r.failed r.retries r.timeouts r.node_losses
+      (if r.aborted then ", aborted" else "")
 
 let touched_nodes = function
   | Action.Run { dst; _ } -> [ dst ]
@@ -54,6 +76,12 @@ let touched_nodes = function
   | Action.Resume { src; dst; _ } -> if src = dst then [ dst ] else [ src; dst ]
   (* RAM pause/unpause: too short to create measurable contention *)
   | Action.Suspend_ram _ | Action.Resume_ram _ -> []
+
+(* RAM operations register no contention, but they still live or die
+   with their host. *)
+let involved_nodes = function
+  | Action.Suspend_ram { host; _ } | Action.Resume_ram { host; _ } -> [ host ]
+  | a -> touched_nodes a
 
 let is_pipelined = function
   | Action.Suspend _ | Action.Resume _ | Action.Suspend_ram _
@@ -69,7 +97,193 @@ let kind_name = function
   | Action.Suspend_ram _ -> "suspend_ram"
   | Action.Resume_ram _ -> "resume_ram"
 
-let mk_record cluster plan ~started_at ~cost ~pools ~failed =
+(* -- supervision ------------------------------------------------------------- *)
+
+(* Per-execution failure bookkeeping, shared by both execution models. *)
+type tally = {
+  mutable t_failed : int;
+  mutable t_retries : int;
+  mutable t_timeouts : int;
+  mutable t_node_losses : int;
+  mutable t_failed_vms : Vm.id list;
+  mutable t_lost_nodes : Node.id list;
+}
+
+let mk_tally () =
+  {
+    t_failed = 0;
+    t_retries = 0;
+    t_timeouts = 0;
+    t_node_losses = 0;
+    t_failed_vms = [];
+    t_lost_nodes = [];
+  }
+
+let m_injected = lazy (Ometrics.counter "fault.injected")
+let m_retries = lazy (Ometrics.counter "fault.retries")
+let m_timeouts = lazy (Ometrics.counter "fault.timeouts")
+let m_node_losses = lazy (Ometrics.counter "fault.node_losses")
+
+let note_failed tally vm =
+  tally.t_failed <- tally.t_failed + 1;
+  if not (List.mem vm tally.t_failed_vms) then
+    tally.t_failed_vms <- vm :: tally.t_failed_vms
+
+let note_node_lost tally node =
+  tally.t_node_losses <- tally.t_node_losses + 1;
+  if not (List.mem node tally.t_lost_nodes) then
+    tally.t_lost_nodes <- node :: tally.t_lost_nodes;
+  if !Obs.enabled then Ometrics.incr (Lazy.force m_node_losses)
+
+(* Resolve the supervision inputs: an explicit injector composes with
+   the legacy [?should_fail] predicate; with neither, nothing is
+   injected. Without an explicit policy, a caller that set up an
+   injector gets the default supervised policy, the legacy predicate
+   path keeps its historical fail-once/no-retry semantics. *)
+let resolve ?should_fail ?injector ?policy () =
+  let resolved =
+    match (injector, should_fail) with
+    | Some i, Some p -> Injector.with_predicate i p
+    | Some i, None -> i
+    | None, Some p -> Injector.of_predicate p
+    | None, None -> Injector.none
+  in
+  let policy =
+    match (policy, injector) with
+    | Some p, _ -> p
+    | None, Some _ -> Supervisor.default_policy
+    | None, None -> Supervisor.no_retry
+  in
+  (resolved, policy)
+
+(* Run one action under supervision: contention registration, duration
+   (with injected slowdown), timeout, bounded backoff retries, node-loss
+   detection. Calls [on_complete applied] once, when the action reaches
+   a terminal outcome ([applied] is false unless the action applied). *)
+let run_action cluster ~injector ~policy ~tally action ~on_complete =
+  let engine = Cluster.engine cluster in
+  let params = Cluster.params cluster in
+  let vm = Action.vm action in
+  let nodes = touched_nodes action in
+  let all_nodes = involved_nodes action in
+  let local = Action.is_local action in
+  let kind = kind_name action in
+  let terminal_node_loss node =
+    note_node_lost tally node;
+    note_failed tally vm;
+    Sim_log.debug (fun m ->
+        m "%s VM%d: node N%d lost, action abandoned" kind vm node);
+    on_complete false
+  in
+  let rec attempt n =
+    match
+      List.find_opt (fun nd -> not (Cluster.node_alive cluster nd)) all_nodes
+    with
+    | Some node -> terminal_node_loss node
+    | None ->
+      let config = Cluster.config cluster in
+      let busy node = Cluster.busy ~except:vm cluster node in
+      let decision = Injector.decide injector action in
+      let dur = Perf_model.action_duration ~params ~busy action config in
+      (* NFS bandwidth sharing: concurrent image transfers on the same
+         storage server stretch each other *)
+      let storage_transfer =
+        match Cluster.storage cluster with
+        | Some st when Storage.uses_storage action -> Some st
+        | Some _ | None -> None
+      in
+      let dur =
+        match storage_transfer with
+        | Some st ->
+          let factor = Storage.slowdown st vm in
+          Storage.begin_transfer st vm;
+          dur *. factor
+        | None -> dur
+      in
+      (* the supervisor's expectation is what the executor itself would
+         predict (contention and storage sharing included): only
+         injected slowdowns beyond the factor trip the timeout *)
+      let deadline = Supervisor.timeout_s policy ~expected_s:dur in
+      let dur = dur *. decision.Injector.slowdown in
+      let timed_out = dur > deadline in
+      let run_for = if timed_out then deadline else dur in
+      if !Obs.enabled then begin
+        Obs.sim_span
+          ~name:("sim." ^ kind)
+          ~args:
+            [
+              ("vm", Otrace.I vm); ("dur_s", Otrace.F run_for);
+              ("attempt", Otrace.I n);
+            ]
+          ~at_s:(Engine.now engine) ~dur_s:run_for ();
+        Ometrics.observe (Ometrics.histogram ("sim.action_s." ^ kind)) run_for
+      end;
+      Cluster.register_op cluster ~nodes ~local;
+      Cluster.recompute cluster;
+      ignore
+        (Engine.schedule_after engine ~delay:run_for (fun () ->
+             (match storage_transfer with
+             | Some st -> Storage.end_transfer st vm
+             | None -> ());
+             Cluster.unregister_op cluster ~nodes ~local;
+             match
+               List.find_opt
+                 (fun nd -> not (Cluster.node_alive cluster nd))
+                 all_nodes
+             with
+             | Some node ->
+               Cluster.recompute cluster;
+               terminal_node_loss node
+             | None ->
+               if timed_out then begin
+                 tally.t_timeouts <- tally.t_timeouts + 1;
+                 if !Obs.enabled then Ometrics.incr (Lazy.force m_timeouts);
+                 Cluster.recompute cluster;
+                 settle n Supervisor.Attempt_timed_out
+               end
+               else if decision.Injector.fail then begin
+                 if !Obs.enabled then Ometrics.incr (Lazy.force m_injected);
+                 Cluster.recompute cluster;
+                 settle n Supervisor.Fault_injected
+               end
+               else begin
+                 match Action.apply (Cluster.config cluster) action with
+                 | config ->
+                   Cluster.set_config cluster config;
+                   on_complete true
+                 | exception Action.Invalid reason ->
+                   (* the VM's state changed under the plan (e.g. a node
+                      crash reset its vjob): the action is moot *)
+                   Sim_log.debug (fun m ->
+                       m "%s VM%d: no longer applicable (%s)" kind vm reason);
+                   note_failed tally vm;
+                   Cluster.recompute cluster;
+                   on_complete false
+               end))
+  and settle n reason =
+    match Supervisor.next policy ~attempts:n reason with
+    | `Retry delay ->
+      tally.t_retries <- tally.t_retries + 1;
+      if !Obs.enabled then Ometrics.incr (Lazy.force m_retries);
+      Sim_log.debug (fun m ->
+          m "%s VM%d: attempt %d %s, retrying in %.0fs" kind vm n
+            (match reason with
+            | Supervisor.Attempt_timed_out -> "timed out"
+            | Supervisor.Succeeded | Supervisor.Fault_injected -> "failed")
+            delay);
+      ignore (Engine.schedule_after engine ~delay (fun () -> attempt (n + 1)))
+    | `Done outcome ->
+      (* the hypervisor operation terminally failed: the VM keeps its
+         previous state; the repair path (or the next control-loop
+         iteration) observes the unchanged configuration and replans *)
+      note_failed tally vm;
+      Sim_log.debug (fun m ->
+          m "%s VM%d: %a" kind vm Supervisor.pp_outcome outcome);
+      on_complete false
+  in
+  attempt 1
+
+let mk_record cluster plan ~started_at ~cost ~pools ~tally ~aborted =
   let r =
     {
       started_at;
@@ -82,7 +296,13 @@ let mk_record cluster plan ~started_at ~cost ~pools ~failed =
       runs = Plan.run_count plan;
       stops = Plan.stop_count plan;
       pools;
-      failed;
+      failed = tally.t_failed;
+      retries = tally.t_retries;
+      timeouts = tally.t_timeouts;
+      node_losses = tally.t_node_losses;
+      failed_vms = List.rev tally.t_failed_vms;
+      lost_nodes = List.rev tally.t_lost_nodes;
+      aborted;
     }
   in
   Sim_log.debug (fun m -> m "%a" pp_record r);
@@ -91,7 +311,7 @@ let mk_record cluster plan ~started_at ~cost ~pools ~failed =
       ~args:
         [
           ("cost", Otrace.I cost); ("pools", Otrace.I pools);
-          ("failed", Otrace.I failed);
+          ("failed", Otrace.I r.failed); ("retries", Otrace.I r.retries);
         ]
       ~at_s:started_at ~dur_s:(duration r) ();
     Ometrics.incr (Ometrics.counter "sim.switches");
@@ -101,84 +321,34 @@ let mk_record cluster plan ~started_at ~cost ~pools ~failed =
   end;
   r
 
-(* Run one action: contention registration, duration, completion. Calls
-   [on_complete applied] when done ([applied] is false on an injected
-   failure). *)
-let run_action cluster ~should_fail action ~on_complete =
-  let engine = Cluster.engine cluster in
-  let params = Cluster.params cluster in
-  let config = Cluster.config cluster in
-  let vm = Action.vm action in
-  let busy node = Cluster.busy ~except:vm cluster node in
-  let dur = Perf_model.action_duration ~params ~busy action config in
-  (* NFS bandwidth sharing: concurrent image transfers on the same
-     storage server stretch each other *)
-  let storage_transfer =
-    match Cluster.storage cluster with
-    | Some st when Storage.uses_storage action -> Some st
-    | Some _ | None -> None
-  in
-  let dur =
-    match storage_transfer with
-    | Some st ->
-      let factor = Storage.slowdown st vm in
-      Storage.begin_transfer st vm;
-      dur *. factor
-    | None -> dur
-  in
-  if !Obs.enabled then begin
-    let kind = kind_name action in
-    (* simulated-time span of the hypervisor operation, plus its
-       duration distribution (the Perf_model + storage-sharing output) *)
-    Obs.sim_span
-      ~name:("sim." ^ kind)
-      ~args:[ ("vm", Otrace.I vm); ("dur_s", Otrace.F dur) ]
-      ~at_s:(Engine.now engine) ~dur_s:dur ();
-    Ometrics.observe (Ometrics.histogram ("sim.action_s." ^ kind)) dur
-  end;
-  let nodes = touched_nodes action in
-  let local = Action.is_local action in
-  Cluster.register_op cluster ~nodes ~local;
-  Cluster.recompute cluster;
-  ignore
-    (Engine.schedule_after engine ~delay:dur (fun () ->
-         (match storage_transfer with
-         | Some st -> Storage.end_transfer st vm
-         | None -> ());
-         Cluster.unregister_op cluster ~nodes ~local;
-         if should_fail action then begin
-           (* the hypervisor operation failed: the VM keeps its previous
-              state; the next control-loop iteration observes the
-              unchanged configuration and replans *)
-           Cluster.recompute cluster;
-           on_complete false
-         end
-         else begin
-           let config = Cluster.config cluster in
-           Cluster.set_config cluster (Action.apply config action);
-           on_complete true
-         end))
-
 (* -- pool-based execution --------------------------------------------------- *)
 
-let execute ?(should_fail = fun _ -> false) cluster plan ~on_done =
+let execute ?should_fail ?injector ?policy ?(abort_on_failure = false) cluster
+    plan ~on_done =
+  let injector, policy = resolve ?should_fail ?injector ?policy () in
   let engine = Cluster.engine cluster in
   let params = Cluster.params cluster in
   let started_at = Engine.now engine in
   let cost = Plan.cost (Cluster.config cluster) plan in
   let pools = Array.of_list (Plan.pools plan) in
   let gap = params.Perf_model.pipeline_gap_s in
-  let failures = ref 0 in
+  let tally = mk_tally () in
   let rec run_pool i =
     if i >= Array.length pools then
       on_done
         (mk_record cluster plan ~started_at ~cost ~pools:(Array.length pools)
-           ~failed:!failures)
+           ~tally ~aborted:false)
+    else if abort_on_failure && tally.t_failed > 0 then
+      (* stop at the pool boundary: the rest of the plan may depend on
+         the failed actions — hand the salvage decision to the repair
+         layer instead of blindly pushing on *)
+      on_done
+        (mk_record cluster plan ~started_at ~cost ~pools:(Array.length pools)
+           ~tally ~aborted:true)
     else begin
       let actions = pools.(i) in
       let remaining = ref (List.length actions) in
-      let finish_one applied =
-        if not applied then incr failures;
+      let finish_one _applied =
         decr remaining;
         if !remaining = 0 then run_pool (i + 1)
       in
@@ -196,7 +366,7 @@ let execute ?(should_fail = fun _ -> false) cluster plan ~on_done =
           in
           ignore
             (Engine.schedule_after engine ~delay:offset (fun () ->
-                 run_action cluster ~should_fail action
+                 run_action cluster ~injector ~policy ~tally action
                    ~on_complete:finish_one)))
         actions;
       if actions = [] then run_pool (i + 1)
@@ -206,8 +376,9 @@ let execute ?(should_fail = fun _ -> false) cluster plan ~on_done =
 
 (* -- continuous (event-driven) execution ------------------------------------- *)
 
-let execute_continuous ?(should_fail = fun _ -> false) ?vjobs cluster plan
-    ~on_done =
+let execute_continuous ?should_fail ?injector ?policy
+    ?(abort_on_failure = false) ?vjobs cluster plan ~on_done =
+  let injector, policy = resolve ?should_fail ?injector ?policy () in
   let engine = Cluster.engine cluster in
   let params = Cluster.params cluster in
   let started_at = Engine.now engine in
@@ -216,9 +387,10 @@ let execute_continuous ?(should_fail = fun _ -> false) ?vjobs cluster plan
   let pending = ref (Continuous.group_actions ?vjobs plan) in
   let prereq = Continuous.vm_prerequisites plan in
   let completed = Array.make (Array.length prereq) false in
-  let failures = ref 0 in
+  let tally = mk_tally () in
   let in_flight = ref 0 in
   let n = Configuration.node_count (Cluster.config cluster) in
+  let aborting () = abort_on_failure && tally.t_failed > 0 in
   (* claims reserved by in-flight actions, on top of the live loads *)
   let claimed_cpu = Array.make n 0 and claimed_mem = Array.make n 0 in
   let group_feasible g =
@@ -249,7 +421,9 @@ let execute_continuous ?(should_fail = fun _ -> false) ?vjobs cluster plan
     !ok
   in
   let finished () =
-    on_done (mk_record cluster plan ~started_at ~cost ~pools:1 ~failed:!failures)
+    on_done
+      (mk_record cluster plan ~started_at ~cost ~pools:1 ~tally
+         ~aborted:(aborting () && !pending <> []))
   in
   let rec start_group g =
     let config = Cluster.config cluster in
@@ -266,8 +440,8 @@ let execute_continuous ?(should_fail = fun _ -> false) ?vjobs cluster plan
         let offset = if List.length g > 1 then float_of_int k *. gap else 0. in
         ignore
           (Engine.schedule_after engine ~delay:offset (fun () ->
-               run_action cluster ~should_fail a ~on_complete:(fun applied ->
-                   if not applied then incr failures;
+               run_action cluster ~injector ~policy ~tally a
+                 ~on_complete:(fun _applied ->
                    completed.(i) <- true;
                    (match claim with
                    | Some (node, cpu, mem) ->
@@ -276,32 +450,35 @@ let execute_continuous ?(should_fail = fun _ -> false) ?vjobs cluster plan
                    | None -> ());
                    decr in_flight;
                    try_start ();
-                   if !in_flight = 0 && !pending = [] then finished ()))))
+                   if !in_flight = 0 && (!pending = [] || aborting ()) then
+                     finished ()))))
       g
   and try_start () =
-    let rec scan () =
-      let started = ref false in
-      pending :=
-        List.filter
-          (fun g ->
-            if group_feasible g then begin
-              start_group g;
-              started := true;
-              false
-            end
-            else true)
-          !pending;
-      if !started then scan ()
-    in
-    scan ();
-    (* live demands can drift from the planning-time ones: when nothing
-       can start and nothing is in flight, force the oldest group (the
-       plan's own order is a valid execution under planning demands) *)
-    if !in_flight = 0 then
-      match !pending with
-      | g :: rest ->
-        pending := rest;
-        start_group g
-      | [] -> ()
+    if not (aborting ()) then begin
+      let rec scan () =
+        let started = ref false in
+        pending :=
+          List.filter
+            (fun g ->
+              if group_feasible g then begin
+                start_group g;
+                started := true;
+                false
+              end
+              else true)
+            !pending;
+        if !started then scan ()
+      in
+      scan ();
+      (* live demands can drift from the planning-time ones: when nothing
+         can start and nothing is in flight, force the oldest group (the
+         plan's own order is a valid execution under planning demands) *)
+      if !in_flight = 0 then
+        match !pending with
+        | g :: rest ->
+          pending := rest;
+          start_group g
+        | [] -> ()
+    end
   in
   if !pending = [] then finished () else try_start ()

@@ -1,5 +1,6 @@
 (** Plan execution on the simulated cluster, with parallel pools,
-    pipelined suspends/resumes and contention effects. *)
+    pipelined suspends/resumes, contention effects, and supervised
+    fault handling (injection, timeouts, retries, node loss). *)
 
 open Entropy_core
 
@@ -14,7 +15,19 @@ type record = {
   runs : int;
   stops : int;
   pools : int;
-  failed : int;  (** injected action failures (VM state unchanged) *)
+  failed : int;
+      (** actions that terminally failed (VM state unchanged), whatever
+          the cause: injected failure, exhausted retries, timeout or
+          node loss *)
+  retries : int;   (** extra attempts across all actions *)
+  timeouts : int;  (** attempts aborted by the supervisor timeout *)
+  node_losses : int;  (** actions lost to a crashed node *)
+  failed_vms : Vm.id list;  (** VMs whose action terminally failed *)
+  lost_nodes : Node.id list;
+      (** crashed nodes encountered during the switch *)
+  aborted : bool;
+      (** execution stopped early ([abort_on_failure]) with part of the
+          plan unexecuted *)
 }
 
 val duration : record -> float
@@ -24,19 +37,41 @@ val touched_nodes : Action.t -> Node.id list
 val is_pipelined : Action.t -> bool
 
 val execute :
-  ?should_fail:(Action.t -> bool) -> Cluster.t -> Plan.t ->
-  on_done:(record -> unit) -> unit
+  ?should_fail:(Action.t -> bool) ->
+  ?injector:Entropy_fault.Injector.t ->
+  ?policy:Entropy_fault.Supervisor.policy ->
+  ?abort_on_failure:bool ->
+  Cluster.t -> Plan.t -> on_done:(record -> unit) -> unit
 (** Pool-based execution (the paper's model): schedules the whole switch
     on the cluster's engine and calls [on_done] when the last pool
-    completes. [should_fail] injects hypervisor failures: the action
-    takes its normal time, then leaves the VM in its previous state (the
-    loop replans at its next iteration). *)
+    completes.
+
+    Every action runs supervised. [injector] decides per attempt whether
+    the hypervisor operation fails or is slowed down; [policy] bounds
+    each attempt to [timeout_factor x expected duration] and grants
+    bounded retries with exponential backoff (default:
+    {!Entropy_fault.Supervisor.default_policy} when an injector is
+    given). A terminal failure leaves the VM in its previous state. With
+    [abort_on_failure] (default false), execution stops at the next pool
+    boundary after a terminal failure so a repair layer can salvage the
+    rest; otherwise remaining pools run as before and the loop replans
+    at its next iteration.
+
+    [should_fail] is the legacy hook — equivalent to an injector
+    [Predicate] model with the no-retry policy — and composes with
+    [injector] when both are given. *)
 
 val execute_continuous :
-  ?should_fail:(Action.t -> bool) -> ?vjobs:Vjob.t list -> Cluster.t ->
+  ?should_fail:(Action.t -> bool) ->
+  ?injector:Entropy_fault.Injector.t ->
+  ?policy:Entropy_fault.Supervisor.policy ->
+  ?abort_on_failure:bool ->
+  ?vjobs:Vjob.t list -> Cluster.t ->
   Plan.t -> on_done:(record -> unit) -> unit
 (** Event-driven execution (Entropy 2 / BtrPlace model): each action —
     or vjob suspend/resume group when [vjobs] is given — starts as soon
     as its claim fits the live free resources, honouring per-VM action
     precedence. Typically shortens the switch vs {!execute}; the
-    record's [pools] field is 1. *)
+    record's [pools] field is 1. Supervision as in {!execute}; with
+    [abort_on_failure], no further group starts after a terminal
+    failure. *)

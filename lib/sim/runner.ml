@@ -2,18 +2,44 @@
    section 5.2 experiment): a cluster, a set of vjobs submitted at time
    zero running NGB-like workloads, the monitoring collector, the
    decision module and the plan executor, wired on the discrete-event
-   engine. *)
+   engine.
+
+   With a fault injector, the run becomes a chaos experiment: scripted
+   node crashes fire on the engine, actions run supervised (timeouts,
+   retries), and a switch that terminally loses actions aborts at the
+   pool boundary and goes through the repair chain — salvage the
+   surviving plan or FFD-replan — immediately, instead of waiting for
+   the next loop iteration. *)
+
+(* capture the simulator's own log source before [open Entropy_core]
+   shadows it with the core's *)
+module Sim_log = Log
 
 open Entropy_core
 module Trace = Vworkload.Trace
 module Obs = Entropy_obs.Obs
+module Injector = Entropy_fault.Injector
+module Repair = Entropy_fault.Repair
+
+type repair_record = {
+  at : float;
+  source : [ `Salvaged | `Replanned ];
+  before : Configuration.t;
+  target : Configuration.t;
+  demand : Demand.t;
+  queue : Vjob.t list;
+  plan : Plan.t;
+}
 
 type result = {
   makespan : float;  (* completion time of the last vjob *)
   completions : (Vjob.t * float) list;
   switches : Executor.record list;
+  repairs : repair_record list;
+  crashes : (Node.id * float * Vjob.id list) list;
   series : Metrics.point list;
   iterations : int;
+  final_config : Configuration.t;
 }
 
 (* Build the initial configuration (+ vjobs + programs) from traces.
@@ -59,8 +85,9 @@ let vjob_terminated config vjob =
    already be running/sleeping). *)
 let run_custom ?(params = Perf_model.defaults) ?(period = 30.)
     ?(sample_period = 30.) ?(poll_period = 5.) ?(cp_timeout = 1.0)
-    ?(max_time = 1_000_000.) ?decision ?should_fail ?storage
-    ?(execution = `Pools) ~config ~vjobs ~programs () =
+    ?(max_time = 1_000_000.) ?decision ?should_fail ?injector ?policy
+    ?(max_repairs = 4) ?storage ?(execution = `Pools) ~config ~vjobs
+    ~programs () =
   let engine = Engine.create () in
   let cluster =
     Cluster.create ~params ?storage ~engine ~config ~vjobs ~programs ()
@@ -74,8 +101,11 @@ let run_custom ?(params = Perf_model.defaults) ?(period = 30.)
     | Some d -> d
     | None -> Decision.consolidation ~cp_timeout ()
   in
+  let faulty = injector <> None in
   let metrics = Metrics.start ~period:sample_period cluster in
   let switches = ref [] in
+  let repairs = ref [] in
+  let crashes = ref [] in
   let iterations = ref 0 in
   let done_flag = ref false in
   (* periodic monitoring polls, Ganglia style *)
@@ -86,16 +116,32 @@ let run_custom ?(params = Perf_model.defaults) ?(period = 30.)
     end
   in
   poll_loop ();
-  let rec iterate () =
+  let live_queue () =
     let config = Cluster.config cluster in
     let now = Engine.now engine in
-    (* the RMS only sees the vjobs that have been submitted *)
-    let queue =
-      List.filter
-        (fun vj ->
-          Vjob.submit_time vj <= now && not (vjob_terminated config vj))
-        vjobs
-    in
+    List.filter
+      (fun vj ->
+        Vjob.submit_time vj <= now && not (vjob_terminated config vj))
+      vjobs
+  in
+  (* scripted node crashes fire on the engine, whatever the loop is
+     doing; the executor notices in-flight actions touching the dead
+     node, the next (re)plan sees the reset vjobs and shrunk capacity *)
+  (match injector with
+  | None -> ()
+  | Some inj ->
+    List.iter
+      (fun (node, at_s) ->
+        ignore
+          (Engine.schedule engine ~at:at_s (fun () ->
+               if Cluster.node_alive cluster node then begin
+                 let affected = Cluster.crash_node cluster node in
+                 crashes := (node, Engine.now engine, affected) :: !crashes
+               end)))
+      (Injector.node_crashes inj));
+  let rec iterate () =
+    let config = Cluster.config cluster in
+    let queue = live_queue () in
     let all_done =
       List.for_all (fun vj -> vjob_terminated config vj) vjobs
     in
@@ -123,19 +169,59 @@ let run_custom ?(params = Perf_model.defaults) ?(period = 30.)
       in
       if Plan.is_empty result.Optimizer.plan then
         ignore (Engine.schedule_after engine ~delay:period iterate)
-      else begin
-        let on_done r =
-          switches := r :: !switches;
-          ignore (Engine.schedule_after engine ~delay:period iterate)
-        in
-        match execution with
-        | `Pools ->
-          Executor.execute ?should_fail cluster result.Optimizer.plan ~on_done
-        | `Continuous ->
-          Executor.execute_continuous ?should_fail ~vjobs:queue cluster
-            result.Optimizer.plan ~on_done
-      end
+      else
+        exec ~depth:0 ~target:result.Optimizer.target result.Optimizer.plan
     end
+  (* execute one plan; on a degraded switch, chase it with at most
+     [max_repairs] immediate repair plans before handing control back to
+     the periodic loop *)
+  and exec ~depth ~target plan =
+    let queue = live_queue () in
+    let on_done r =
+      switches := r :: !switches;
+      let degraded = r.Executor.failed > 0 in
+      if faulty && degraded && depth < max_repairs then repair ~depth ~target r
+      else ignore (Engine.schedule_after engine ~delay:period iterate)
+    in
+    match execution with
+    | `Pools ->
+      Executor.execute ?should_fail ?injector ?policy
+        ~abort_on_failure:faulty cluster plan ~on_done
+    | `Continuous ->
+      Executor.execute_continuous ?should_fail ?injector ?policy
+        ~abort_on_failure:faulty ~vjobs:queue cluster plan ~on_done
+  and repair ~depth ~target r =
+    Vmonitor.Collector.poll collector;
+    let before = Cluster.config cluster in
+    let demand = Vmonitor.Collector.demand collector in
+    let queue = live_queue () in
+    match
+      Repair.repair ~vjobs:queue ~current:before ~target ~demand ~queue
+        ~failed_vms:r.Executor.failed_vms ~lost_nodes:r.Executor.lost_nodes ()
+    with
+    | Some o ->
+      Sim_log.info (fun m ->
+          m "switch degraded at %.0fs (%d failed, %d node-losses): %a plan, \
+             %d actions"
+            (Engine.now engine) r.Executor.failed r.Executor.node_losses
+            Repair.pp_source o.Repair.source
+            (Plan.action_count o.Repair.plan));
+      repairs :=
+        {
+          at = Engine.now engine;
+          source = o.Repair.source;
+          before;
+          target = o.Repair.target;
+          demand;
+          queue;
+          plan = o.Repair.plan;
+        }
+        :: !repairs;
+      exec ~depth:(depth + 1) ~target:o.Repair.target o.Repair.plan
+    | None ->
+      (* nothing to repair towards right now (e.g. the packing needs no
+         actions): fall back to the periodic loop *)
+      ignore (Engine.schedule_after engine ~delay:period iterate)
   in
   ignore (Engine.schedule_after engine ~delay:0.5 iterate);
   Engine.run ~until:max_time engine;
@@ -153,17 +239,20 @@ let run_custom ?(params = Perf_model.defaults) ?(period = 30.)
     makespan;
     completions;
     switches = List.rev !switches;
+    repairs = List.rev !repairs;
+    crashes = List.rev !crashes;
     series = Metrics.points metrics;
     iterations = !iterations;
+    final_config = Cluster.config cluster;
   }
 
 let run_entropy ?params ?period ?sample_period ?poll_period ?cp_timeout
-    ?max_time ?decision ?should_fail ?arrival_spacing ?storage ?execution
-    ~nodes ~traces () =
+    ?max_time ?decision ?should_fail ?injector ?policy ?max_repairs
+    ?arrival_spacing ?storage ?execution ~nodes ~traces () =
   let config, vjobs, programs = setup ?arrival_spacing ~nodes ~traces () in
   run_custom ?params ?period ?sample_period ?poll_period ?cp_timeout
-    ?max_time ?decision ?should_fail ?storage ?execution ~config ~vjobs
-    ~programs ()
+    ?max_time ?decision ?should_fail ?injector ?policy ?max_repairs ?storage
+    ?execution ~config ~vjobs ~programs ()
 
 let mean_switch_duration result =
   match result.switches with

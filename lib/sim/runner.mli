@@ -1,13 +1,31 @@
-(** End-to-end simulated Entropy runs (the section 5.2 experiment). *)
+(** End-to-end simulated Entropy runs (the section 5.2 experiment),
+    optionally under fault injection with supervised execution and
+    immediate plan repair. *)
 
 open Entropy_core
+
+type repair_record = {
+  at : float;           (** simulated time of the repair decision *)
+  source : [ `Salvaged | `Replanned ];
+  before : Configuration.t;  (** mid-switch configuration repaired from *)
+  target : Configuration.t;  (** where the repaired plan ends *)
+  demand : Demand.t;    (** demand the repair was planned against *)
+  queue : Vjob.t list;  (** live vjobs at repair time *)
+  plan : Plan.t;
+}
 
 type result = {
   makespan : float;  (** completion time of the last vjob *)
   completions : (Vjob.t * float) list;
   switches : Executor.record list;
+  repairs : repair_record list;
+      (** repair plans executed after degraded switches, in order *)
+  crashes : (Node.id * float * Vjob.id list) list;
+      (** scripted node crashes that fired: node, time, resubmitted
+          vjobs *)
   series : Metrics.point list;
   iterations : int;  (** control-loop iterations executed *)
+  final_config : Configuration.t;
 }
 
 val setup :
@@ -22,23 +40,35 @@ val run_custom :
   ?params:Perf_model.params -> ?period:float -> ?sample_period:float ->
   ?poll_period:float -> ?cp_timeout:float -> ?max_time:float ->
   ?decision:Decision.t -> ?should_fail:(Action.t -> bool) ->
+  ?injector:Entropy_fault.Injector.t ->
+  ?policy:Entropy_fault.Supervisor.policy -> ?max_repairs:int ->
   ?storage:Storage.t -> ?execution:[ `Pools | `Continuous ] ->
   config:Configuration.t -> vjobs:Vjob.t list ->
   programs:(Vm.id -> Vworkload.Program.t) -> unit -> result
 (** Run the control loop over an arbitrary initial configuration (VMs
     may already be running or sleeping). [execution] selects pool-based
-    (default, the paper's model) or continuous switch execution. *)
+    (default, the paper's model) or continuous switch execution.
+
+    With [injector], actions run supervised under [policy] (default
+    {!Entropy_fault.Supervisor.default_policy}), scripted node crashes
+    fire on the engine, and a switch that terminally loses actions
+    aborts and is chased by at most [max_repairs] (default 4) immediate
+    repair plans — salvage or FFD replan — before the periodic loop
+    resumes. *)
 
 val run_entropy :
   ?params:Perf_model.params -> ?period:float -> ?sample_period:float ->
   ?poll_period:float -> ?cp_timeout:float -> ?max_time:float ->
   ?decision:Decision.t -> ?should_fail:(Action.t -> bool) ->
+  ?injector:Entropy_fault.Injector.t ->
+  ?policy:Entropy_fault.Supervisor.policy -> ?max_repairs:int ->
   ?arrival_spacing:float -> ?storage:Storage.t ->
   ?execution:[ `Pools | `Continuous ] -> nodes:Node.t array ->
   traces:Vworkload.Trace.t list -> unit -> result
 (** Run the control loop until every vjob has completed and been
     stopped. The loop only sees the vjobs already submitted at each
     iteration. [should_fail] injects hypervisor action failures (see
-    {!Executor.execute}). *)
+    {!Executor.execute}); [injector] enables the full fault pipeline
+    (see {!run_custom}). *)
 
 val mean_switch_duration : result -> float

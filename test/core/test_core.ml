@@ -891,7 +891,8 @@ let test_loop_runs_to_completion () =
           state :=
             List.fold_left
               (fun cfg pool -> List.fold_left Action.apply cfg pool)
-              !state (Plan.pools plan));
+              !state (Plan.pools plan);
+          Loop.clean);
       wait = (fun _ -> incr iterations);
       finished = (fun () -> !iterations >= 3);
     }
@@ -905,6 +906,50 @@ let test_loop_runs_to_completion () =
     (List.for_all
        (fun vj -> Configuration.vjob_state !state vj = Some Lifecycle.Running)
        vjobs)
+
+let test_loop_recovers_degraded_switch () =
+  (* the first switch degrades (vm0's action lost, nothing applied): the
+     loop must immediately re-observe, re-decide and re-execute instead
+     of waiting for the next period *)
+  let config, vjobs = mk_vjob_cluster () in
+  let demand = Demand.uniform ~vm_count:6 50 in
+  let state = ref config in
+  let calls = ref 0 in
+  let driver =
+    {
+      Loop.observe =
+        (fun () ->
+          { Decision.config = !state; demand; queue = vjobs; finished = [] });
+      execute =
+        (fun plan ->
+          incr calls;
+          if !calls = 1 then { Loop.failed_vms = [ 0 ]; lost_nodes = [] }
+          else begin
+            state :=
+              List.fold_left
+                (fun cfg pool -> List.fold_left Action.apply cfg pool)
+                !state (Plan.pools plan);
+            Loop.clean
+          end);
+      wait = (fun _ -> ());
+      finished = (fun () -> false);
+    }
+  in
+  let decision = Decision.consolidation ~cp_timeout:0.5 () in
+  let it = Loop.step decision driver 0 in
+  check_int "one recovery round" 1 it.Loop.recoveries;
+  check_int "re-executed immediately" 2 !calls;
+  check_bool "recovery applied the plan" true
+    (List.for_all
+       (fun vj -> Configuration.vjob_state !state vj = Some Lifecycle.Running)
+       vjobs);
+  (* a driver that never recovers is cut off at max_recoveries *)
+  state := config;
+  let stuck =
+    { driver with Loop.execute = (fun _ -> { Loop.failed_vms = [ 0 ]; lost_nodes = [] }) }
+  in
+  let it = Loop.step ~max_recoveries:2 decision stuck 0 in
+  check_int "bounded recovery" 2 it.Loop.recoveries
 
 (* -- plan validation diagnostics ------------------------------------------- *)
 
@@ -1311,6 +1356,8 @@ let () =
             test_decision_stops_finished;
           Alcotest.test_case "loop to completion" `Quick
             test_loop_runs_to_completion;
+          Alcotest.test_case "loop recovers degraded switch" `Quick
+            test_loop_recovers_degraded_switch;
         ] );
       ( "properties",
         qsuite

@@ -886,6 +886,154 @@ let test_history_window_and_eviction () =
   check_int "window size" 2
     (List.length (Vmonitor.History.window h ~now:30. ~span:10.))
 
+(* -- fault injection ----------------------------------------------------------- *)
+
+module Injector = Entropy_fault.Injector
+module Supervisor = Entropy_fault.Supervisor
+module Verifier = Entropy_analysis.Verifier
+
+let test_engine_cancelled_not_pending () =
+  (* regression: a cancelled event used to inflate [pending] until the
+     heap drained, making "queue empty" checks unreliable *)
+  let e = Vsim.Engine.create () in
+  let h = Vsim.Engine.schedule e ~at:1. (fun () -> ()) in
+  ignore (Vsim.Engine.schedule e ~at:2. (fun () -> ()));
+  check_int "two queued" 2 (Vsim.Engine.pending e);
+  Vsim.Engine.cancel h;
+  check_int "one live event" 1 (Vsim.Engine.pending e);
+  check_int "one cancelled" 1 (Vsim.Engine.cancelled e);
+  Vsim.Engine.cancel h;
+  check_int "cancel idempotent" 1 (Vsim.Engine.cancelled e);
+  Vsim.Engine.run e;
+  check_int "drained" 0 (Vsim.Engine.pending e);
+  check_int "cancelled drained too" 0 (Vsim.Engine.cancelled e);
+  check_int "only the live event ran" 1 (Vsim.Engine.executed e)
+
+let test_executor_retry_masks_fault () =
+  (* first boot attempt fails; one supervised retry completes it, so the
+     switch reports retries but no terminal failure *)
+  let engine, cluster, _ =
+    mk_cluster ~programs:[ [ Program.Compute 1000. ] ] ~memories:[ 512 ] ()
+  in
+  let plan = Plan.make [ [ Action.Run { vm = 0; dst = 0 } ] ] in
+  let injector =
+    Injector.create [ Injector.Fail_nth { kind = Injector.Run; nth = 1 } ]
+  in
+  let policy = Supervisor.make_policy ~max_retries:1 () in
+  let record = ref None in
+  Vsim.Executor.execute ~injector ~policy cluster plan ~on_done:(fun r ->
+      record := Some r);
+  Vsim.Engine.run ~until:100. engine;
+  (match !record with
+  | None -> Alcotest.fail "executor did not finish"
+  | Some r ->
+    check_int "one retry" 1 r.Vsim.Executor.retries;
+    check_int "no terminal failure" 0 r.Vsim.Executor.failed;
+    check_int "boot landed" 1 r.Vsim.Executor.runs;
+    check_bool "not aborted" false r.Vsim.Executor.aborted);
+  check_bool "running" true
+    (Configuration.state (Vsim.Cluster.config cluster) 0
+    = Configuration.Running 0)
+
+let test_executor_timeout_is_terminal () =
+  (* a 10x slowdown against a 3x timeout factor: the attempt is cut off
+     at the deadline and, with no retries, the action fails in place *)
+  let engine, cluster, _ =
+    mk_cluster ~programs:[ [ Program.Compute 1000. ] ] ~memories:[ 512 ] ()
+  in
+  let plan = Plan.make [ [ Action.Run { vm = 0; dst = 0 } ] ] in
+  let injector =
+    Injector.create
+      [ Injector.Slowdown { kind = Some Injector.Run; factor = 10. } ]
+  in
+  let policy = Supervisor.make_policy ~timeout_factor:3. ~max_retries:0 () in
+  let record = ref None in
+  Vsim.Executor.execute ~injector ~policy cluster plan ~on_done:(fun r ->
+      record := Some r);
+  Vsim.Engine.run ~until:200. engine;
+  (match !record with
+  | None -> Alcotest.fail "executor did not finish"
+  | Some r ->
+    check_int "terminal failure" 1 r.Vsim.Executor.failed;
+    check_int "timed out" 1 r.Vsim.Executor.timeouts;
+    Alcotest.(check (list int)) "vm recorded" [ 0 ] r.Vsim.Executor.failed_vms);
+  check_bool "state unchanged" true
+    (Configuration.state (Vsim.Cluster.config cluster) 0 = Configuration.Waiting)
+
+let verify_repairs repairs =
+  List.iter
+    (fun rr ->
+      let findings =
+        Verifier.verify ~vjobs:rr.Vsim.Runner.queue
+          ~current:rr.Vsim.Runner.before ~target:rr.Vsim.Runner.target
+          ~demand:rr.Vsim.Runner.demand rr.Vsim.Runner.plan
+      in
+      Alcotest.(check int)
+        (Fmt.str "repair at %.0fs verifier-clean" rr.Vsim.Runner.at)
+        0 (List.length findings))
+    repairs
+
+let test_runner_repairs_failed_migration () =
+  (* the first migration of the run fails terminally mid-plan: the
+     switch aborts, an immediate repair plan (salvage or replan) takes
+     over, and the workload still converges *)
+  let traces =
+    List.init 3 (fun i -> Trace.make ~seed:i ~vm_count:4 Nasgrid.Ed Nasgrid.W)
+  in
+  let injector =
+    Injector.create [ Injector.Fail_nth { kind = Injector.Migrate; nth = 1 } ]
+  in
+  let r =
+    Vsim.Runner.run_entropy ~cp_timeout:0.2 ~injector
+      ~policy:Supervisor.no_retry ~nodes:(testbed_nodes 4) ~traces ()
+  in
+  check_int "all complete despite the failure" 3
+    (List.length r.Vsim.Runner.completions);
+  let total_failed =
+    List.fold_left
+      (fun acc s -> acc + s.Vsim.Executor.failed)
+      0 r.Vsim.Runner.switches
+  in
+  check_bool "a terminal failure happened" true (total_failed >= 1);
+  check_bool "a repair plan was executed" true (r.Vsim.Runner.repairs <> []);
+  verify_repairs r.Vsim.Runner.repairs;
+  check_bool "finite" true (r.Vsim.Runner.makespan < 10_000.)
+
+let test_runner_node_crash_resubmits () =
+  (* node 0 dies mid-run: its vjobs are reset and resubmitted, the
+     replans avoid the dead node, and everything still completes *)
+  let traces =
+    List.init 2 (fun i -> Trace.make ~seed:i ~vm_count:4 Nasgrid.Ed Nasgrid.W)
+  in
+  let injector =
+    Injector.create [ Injector.Crash_node { node = 0; at_s = 40. } ]
+  in
+  let r =
+    Vsim.Runner.run_entropy ~cp_timeout:0.2 ~injector
+      ~nodes:(testbed_nodes 4) ~traces ()
+  in
+  (match r.Vsim.Runner.crashes with
+  | [ (node, at, affected) ] ->
+    check_int "node 0" 0 node;
+    check_bool "at the scripted time" true (at >= 40. && at < 41.);
+    check_bool "some vjob was resubmitted" true (affected <> [])
+  | _ -> Alcotest.fail "expected exactly one crash");
+  check_int "all complete despite the crash" 2
+    (List.length r.Vsim.Runner.completions);
+  verify_repairs r.Vsim.Runner.repairs;
+  (* the dead node hosts nothing at the end *)
+  let final = r.Vsim.Runner.final_config in
+  Array.iter
+    (fun vm ->
+      let id = Vm.id vm in
+      check_bool "nothing left on the dead node" true
+        (match Configuration.state final id with
+        | Configuration.Running 0 | Configuration.Sleeping 0
+        | Configuration.Sleeping_ram 0 -> false
+        | _ -> true))
+    (Configuration.vms final);
+  check_bool "finite" true (r.Vsim.Runner.makespan < 10_000.)
+
 (* -- run -------------------------------------------------------------------------- *)
 
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
@@ -978,6 +1126,19 @@ let () =
             test_executor_continuous_overlaps_pools;
           Alcotest.test_case "runner completes" `Quick
             test_runner_continuous_execution_completes;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "cancelled not pending" `Quick
+            test_engine_cancelled_not_pending;
+          Alcotest.test_case "retry masks fault" `Quick
+            test_executor_retry_masks_fault;
+          Alcotest.test_case "timeout is terminal" `Quick
+            test_executor_timeout_is_terminal;
+          Alcotest.test_case "repairs failed migration" `Quick
+            test_runner_repairs_failed_migration;
+          Alcotest.test_case "node crash resubmits" `Quick
+            test_runner_node_crash_resubmits;
         ] );
       ( "storage",
         [
