@@ -107,6 +107,23 @@ let bench_fault_nofault () =
     (Staged.stage (fun () ->
          ignore (Vsim.Runner.run_entropy ~cp_timeout:0.05 ~injector ~nodes ~traces ())))
 
+(* Same instance again with an in-memory write-ahead journal: the delta
+   over fault/sim_nofault_2vjobs is the cost of journaling every switch
+   record; with no journal loaded (the two benches above) the hooks are
+   [None] checks and must cost nothing measurable. *)
+let bench_journal_sim () =
+  let traces = Lazy.force small_traces in
+  let nodes =
+    Array.init 3 (fun i -> Node.testbed ~id:i ~name:(Printf.sprintf "N%d" i))
+  in
+  let injector = Entropy_fault.Injector.none in
+  Test.make ~name:"journal/sim_journal_2vjobs"
+    (Staged.stage (fun () ->
+         let journal = Entropy_journal.Journal.mem () in
+         ignore
+           (Vsim.Runner.run_entropy ~cp_timeout:0.05 ~injector ~journal ~nodes
+              ~traces ())))
+
 let bench_fig12_static () =
   let traces = Lazy.force section52_traces in
   Test.make ~name:"fig12/static_fcfs_8vjobs"
@@ -168,6 +185,7 @@ let all_tests : (string * (unit -> Test.t)) list =
     ("fig10/cp_optimize_54vm", bench_fig10_optimize);
     ("fig11/entropy_sim_2vjobs", bench_fig11_sim);
     ("fault/sim_nofault_2vjobs", bench_fault_nofault);
+    ("journal/sim_journal_2vjobs", bench_journal_sim);
     ("fig12/static_fcfs_8vjobs", bench_fig12_static);
     ("fig13/utilization_series", bench_fig13_series);
     ( "ablation/rjsp_first_fit",

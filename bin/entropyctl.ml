@@ -336,11 +336,17 @@ let profile vms cp_timeout restarts seed trace metrics =
    crashes), and report retries, timeouts, repairs and the makespan
    inflation. Every repair plan the run executed is re-checked with the
    independent verifier; exit 0 only when all vjobs complete, the final
-   configuration is viable and every repair plan is clean. *)
+   configuration is viable and every repair plan is clean.
 
-let chaos vms nodes seed fail_rate crashes timeout_factor retries cp_timeout
-    max_time trace metrics =
-  obs_setup trace metrics;
+   With [--journal FILE] every switch goes through the write-ahead
+   journal, and [--kill-at T] kills the simulated controller at T
+   seconds — the canonical crash: the run reports killed:true and
+   [entropyctl resume] picks the journal up. *)
+
+(* the chaos/resume pair must regenerate the exact same instance from
+   (vms, nodes, seed): deterministic per-VM compute programs of
+   240..719 s of work *)
+let chaos_instance ~vms ~nodes ~seed =
   let instance =
     Vworkload.Generator.generate
       {
@@ -351,14 +357,36 @@ let chaos vms nodes seed fail_rate crashes timeout_factor retries cp_timeout
       }
   in
   let { Vworkload.Generator.config; demand = _; vjobs } = instance in
-  let vm_count = Configuration.vm_count config in
-  (* deterministic per-VM compute programs: 240..719 s of work *)
   let programs vm =
-    [ Vworkload.Program.Compute (240. +. float_of_int (((37 * vm) + seed) mod 480)) ]
+    [
+      Vworkload.Program.Compute
+        (240. +. float_of_int (((37 * vm) + seed) mod 480));
+    ]
   in
-  let run ?injector ?policy () =
-    Vsim.Runner.run_custom ~cp_timeout ~max_time ?injector ?policy ~config
-      ~vjobs ~programs ()
+  (config, vjobs, programs)
+
+let write_json_file path json =
+  let oc = open_out path in
+  output_string oc (Entropy_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc
+
+let chaos vms nodes seed fail_rate crashes timeout_factor retries cp_timeout
+    max_time kill_at journal_path json trace metrics =
+  obs_setup trace metrics;
+  let config, vjobs, programs = chaos_instance ~vms ~nodes ~seed in
+  let vm_count = Configuration.vm_count config in
+  let journal =
+    Option.map
+      (fun path ->
+        (* chaos starts a fresh experiment: truncate any stale journal *)
+        (try Sys.remove path with Sys_error _ -> ());
+        Entropy_journal.Journal.open_file path)
+      journal_path
+  in
+  let run ?injector ?policy ?journal ?kill_at () =
+    Vsim.Runner.run_custom ~cp_timeout ~max_time ?injector ?policy ?journal
+      ?kill_at ~config ~vjobs ~programs ()
   in
   Printf.printf
     "chaos: %d VMs / %d nodes (seed %d), %d vjobs, fail rate %.0f%%, %d \
@@ -379,7 +407,8 @@ let chaos vms nodes seed fail_rate crashes timeout_factor retries cp_timeout
     Entropy_fault.Supervisor.make_policy ~timeout_factor ~max_retries:retries
       ()
   in
-  let faulty = run ~injector ~policy () in
+  let faulty = run ~injector ~policy ?journal ?kill_at () in
+  Option.iter Entropy_journal.Journal.close journal;
   obs_write trace metrics;
   let module R = Vsim.Runner in
   let module E = Vsim.Executor in
@@ -442,7 +471,208 @@ let chaos vms nodes seed fail_rate crashes timeout_factor retries cp_timeout
     (List.length faulty.R.completions)
     (List.length vjobs)
     (if final_viable then "viable" else "NOT viable");
-  if not (completed && final_viable && dirty = []) then exit 1
+  let journal_records =
+    match journal_path with
+    | Some path -> List.length (fst (Entropy_journal.Journal.load path))
+    | None -> 0
+  in
+  if faulty.R.killed then
+    Printf.printf
+      "killed at %.0f s with %d/%d vjobs complete; %d journal records for \
+       `entropyctl resume`\n"
+      (Option.value kill_at ~default:0.)
+      (List.length faulty.R.completions)
+      (List.length vjobs) journal_records;
+  Option.iter
+    (fun path ->
+      let open Entropy_obs.Json in
+      write_json_file path
+        (Obj
+           [
+             ("vms", Int vm_count);
+             ("nodes", Int (Configuration.node_count config));
+             ("seed", Int seed);
+             ("fail_rate", Float fail_rate);
+             ("killed", Bool faulty.R.killed);
+             ("completed", Bool completed);
+             ("final_viable", Bool final_viable);
+             ("makespan_s", Float faulty.R.makespan);
+             ("switches", Int (List.length faulty.R.switches));
+             ("failures", Int failures);
+             ("retries", Int retried);
+             ("timeouts", Int timeouts);
+             ("node_losses", Int node_losses);
+             ("repairs_salvaged", Int salvaged);
+             ("repairs_replanned", Int replanned);
+             ("dirty_repairs", Int (List.length dirty));
+             ("journal_records", Int journal_records);
+             ( "journal",
+               match journal_path with Some p -> String p | None -> Null );
+           ]))
+    json;
+  (* a killed run is supposed to be incomplete: the convergence checks
+     move to the resume; a clean kill still requires clean repairs *)
+  if faulty.R.killed then begin
+    if dirty <> [] then exit 1
+  end
+  else if not (completed && final_viable && dirty = []) then exit 1
+
+(* -- resume -------------------------------------------------------------------- *)
+
+(* Pick up a crashed chaos run from its write-ahead journal: regenerate
+   the same instance from (vms, nodes, seed), replay the journal,
+   reconcile the in-flight switch against the journal-projected
+   configuration, execute the resume plan (or the repair plan on
+   divergence) and run the loop to completion. The resume plan is
+   re-checked with [Verifier.verify_resume]: resume + executed prefix
+   must be semantically the original switch. Exit 0 only when every
+   vjob completes, the final configuration is viable and the verifier
+   is clean. *)
+
+let resume vms nodes seed fail_rate timeout_factor retries cp_timeout
+    max_time journal_path json trace metrics =
+  obs_setup trace metrics;
+  let config, vjobs, programs = chaos_instance ~vms ~nodes ~seed in
+  let vm_count = Configuration.vm_count config in
+  let records, dropped_lines =
+    try Entropy_journal.Journal.load journal_path
+    with Sys_error e ->
+      Printf.eprintf "%s\n" e;
+      exit 2
+  in
+  Printf.printf "resume: %d journal records from %s%s\n" (List.length records)
+    journal_path
+    (if dropped_lines = 0 then ""
+     else Printf.sprintf " (%d torn lines dropped)" dropped_lines);
+  let state = Entropy_journal.Recovery.replay records in
+  (* same fault environment as the chaos run: probabilistic failures
+     under the journaled injector seed (falling back to --seed) *)
+  let injector_seed =
+    match state with
+    | Some st -> Option.value st.Entropy_journal.Recovery.seed ~default:seed
+    | None -> seed
+  in
+  let injector =
+    Entropy_fault.Injector.create ~seed:injector_seed
+      [ Entropy_fault.Injector.Fail_rate { kind = None; rate = fail_rate } ]
+  in
+  let policy =
+    Entropy_fault.Supervisor.make_policy ~timeout_factor ~max_retries:retries
+      ()
+  in
+  let journal = Entropy_journal.Journal.open_file journal_path in
+  let outcome =
+    match state with
+    | None -> None
+    | Some st ->
+      let observed = Entropy_journal.Recovery.projected_config st in
+      Vsim.Runner.resume ~cp_timeout ~max_time ~injector ~policy ~journal
+        ~records ~observed ~vjobs ~programs ()
+  in
+  let info, result =
+    match outcome with
+    | Some (info, result) -> (Some info, result)
+    | None ->
+      (* no switch had begun: nothing to reconcile, run from scratch *)
+      Printf.printf "journal holds no in-flight switch: fresh run\n";
+      ( None,
+        Vsim.Runner.run_custom ~cp_timeout ~max_time ~injector ~policy
+          ~journal ~config ~vjobs ~programs () )
+  in
+  Entropy_journal.Journal.close journal;
+  obs_write trace metrics;
+  let module R = Vsim.Runner in
+  let module Rec = Entropy_journal.Recovery in
+  let findings =
+    match info with
+    | Some { R.state; reconciliation; repaired = false } -> (
+      match reconciliation.Rec.plan with
+      | Some plan ->
+        Entropy_analysis.Verifier.verify_resume ~source:state.Rec.source
+          ~original:state.Rec.plan
+          ~observed:(Rec.projected_config state)
+          ~target:reconciliation.Rec.target
+          ~frozen:reconciliation.Rec.frozen_vms ~demand:state.Rec.demand plan
+      | None -> [])
+    | Some { R.repaired = true; _ } | None ->
+      (* the repair path re-targets the switch: original-plan
+         equivalence is not expected, the repair verifier in [chaos]
+         covers those plans *)
+      []
+  in
+  (match info with
+  | Some { R.state; reconciliation; repaired } ->
+    Printf.printf
+      "reconciled switch %d: %d done, %d pending, %d frozen VMs%s\n"
+      state.Rec.switch
+      (List.length reconciliation.Rec.done_vms)
+      (List.length reconciliation.Rec.pending_vms)
+      (List.length reconciliation.Rec.frozen_vms)
+      (if repaired then " (diverged: resumed via repair)" else "");
+    if findings <> [] then
+      Fmt.pr "resume verifier: %a@." Entropy_analysis.Verifier.pp_report
+        findings
+    else Printf.printf "resume verifier: clean\n"
+  | None -> ());
+  let completed =
+    List.for_all
+      (fun vj ->
+        List.for_all
+          (fun vm ->
+            Configuration.state result.R.final_config vm
+            = Configuration.Terminated)
+          (Vjob.vms vj))
+      vjobs
+  in
+  let final_viable =
+    Configuration.is_viable result.R.final_config
+      (Demand.uniform ~vm_count Vworkload.Program.compute_demand)
+  in
+  Printf.printf "resume: %d/%d vjobs completed, final configuration %s\n"
+    (List.length result.R.completions)
+    (List.length vjobs)
+    (if final_viable then "viable" else "NOT viable");
+  Option.iter
+    (fun path ->
+      let open Entropy_obs.Json in
+      write_json_file path
+        (Obj
+           [
+             ("vms", Int vm_count);
+             ("nodes", Int (Configuration.node_count config));
+             ("seed", Int seed);
+             ("journal", String journal_path);
+             ("journal_records", Int (List.length records));
+             ("dropped_lines", Int dropped_lines);
+             ( "resumed_switch",
+               match info with
+               | Some i -> Int i.R.state.Rec.switch
+               | None -> Null );
+             ( "done_vms",
+               Int
+                 (match info with
+                 | Some i -> List.length i.R.reconciliation.Rec.done_vms
+                 | None -> 0) );
+             ( "pending_vms",
+               Int
+                 (match info with
+                 | Some i -> List.length i.R.reconciliation.Rec.pending_vms
+                 | None -> 0) );
+             ( "frozen_vms",
+               Int
+                 (match info with
+                 | Some i -> List.length i.R.reconciliation.Rec.frozen_vms
+                 | None -> 0) );
+             ( "repaired",
+               Bool
+                 (match info with Some i -> i.R.repaired | None -> false) );
+             ("verifier_findings", Int (List.length findings));
+             ("completed", Bool completed);
+             ("final_viable", Bool final_viable);
+             ("makespan_s", Float result.R.makespan);
+           ]))
+    json;
+  if not (completed && final_viable && findings = []) then exit 1
 
 (* -- cmdliner ---------------------------------------------------------------- *)
 
@@ -621,17 +851,118 @@ let chaos_cmd =
       & info [ "max-time" ] ~docv:"S"
           ~doc:"Give up after this much simulated time.")
   in
+  let kill_at_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "kill-at" ] ~docv:"S"
+          ~doc:
+            "Kill the controller at simulated time $(i,S): the run stops \
+             dead mid-switch, leaving only the write-ahead journal behind \
+             for $(b,entropyctl resume).")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Write the write-ahead switch journal to $(i,FILE) (truncated \
+             first).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write a machine-readable run report to $(i,FILE).")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run the simulated control loop under fault injection and report \
           retries, repairs and makespan inflation vs the fault-free run")
     Term.(
-      const (fun () v n s fr cr tf re t mt tr m ->
-          chaos v n s fr cr tf re t mt tr m)
+      const (fun () v n s fr cr tf re t mt ka jp js tr m ->
+          chaos v n s fr cr tf re t mt ka jp js tr m)
       $ logs_term $ vms_arg $ nodes_arg $ seed_arg $ fail_rate_arg
       $ crash_arg $ timeout_factor_arg $ retries_arg $ chaos_timeout_arg
-      $ max_time_arg $ trace_arg $ metrics_arg)
+      $ max_time_arg $ kill_at_arg $ journal_arg $ json_arg $ trace_arg
+      $ metrics_arg)
+
+let resume_cmd =
+  let vms_arg =
+    Arg.(
+      value & opt int 54
+      & info [ "vms" ] ~docv:"N"
+          ~doc:
+            "Number of VMs in the generated instance (must match the \
+             killed run).")
+  in
+  let nodes_arg =
+    Arg.(
+      value & opt int 15
+      & info [ "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Instance generator seed; the injector seed is recovered from \
+             the journal when present.")
+  in
+  let fail_rate_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "fail-rate" ] ~docv:"P"
+          ~doc:"Per-attempt action failure probability, in [0,1].")
+  in
+  let timeout_factor_arg =
+    Arg.(
+      value & opt float 3.0
+      & info [ "timeout-factor" ] ~docv:"F"
+          ~doc:"Supervisor timeout = F x expected action duration.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Supervised retries per action (exponential backoff).")
+  in
+  let resume_timeout_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "cp-timeout" ] ~doc:"CP solving timeout in seconds.")
+  in
+  let max_time_arg =
+    Arg.(
+      value & opt float 1_000_000.
+      & info [ "max-time" ] ~docv:"S"
+          ~doc:"Give up after this much simulated time.")
+  in
+  let journal_pos =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"JOURNAL")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write a machine-readable resume report to $(i,FILE).")
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Recover a killed chaos run from its write-ahead journal: replay, \
+          reconcile the in-flight switch, resume idempotently and run to \
+          completion")
+    Term.(
+      const (fun () v n s fr tf re t mt jp js tr m ->
+          resume v n s fr tf re t mt jp js tr m)
+      $ logs_term $ vms_arg $ nodes_arg $ seed_arg $ fail_rate_arg
+      $ timeout_factor_arg $ retries_arg $ resume_timeout_arg $ max_time_arg
+      $ journal_pos $ json_arg $ trace_arg $ metrics_arg)
 
 let () =
   let info =
@@ -643,5 +974,5 @@ let () =
        (Cmd.group info
           [
             check_cmd; plan_cmd; lint_cmd; actions_cmd; simulate_cmd;
-            profile_cmd; chaos_cmd;
+            profile_cmd; chaos_cmd; resume_cmd;
           ]))

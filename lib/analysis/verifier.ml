@@ -77,6 +77,12 @@ type finding =
       got : Configuration.vm_state;
     }
   | Cost_mismatch of { reported : int; derived : int }
+  | Resume_divergence of {
+      vm : Vm.id;
+      frozen : bool;
+      expected : Configuration.vm_state;
+      got : Configuration.vm_state;
+    }
 
 let pp_finding ppf = function
   | Claim_overflow { pool; action; node; resource; needed; available } ->
@@ -118,6 +124,13 @@ let pp_finding ppf = function
   | Cost_mismatch { reported; derived } ->
     Fmt.pf ppf "Plan.cost reports %d, independent re-derivation gives %d"
       reported derived
+  | Resume_divergence { vm; frozen; expected; got } ->
+    Fmt.pf ppf
+      "resume: %s VM %d ends %a, %s expects %a"
+      (if frozen then "frozen" else "live")
+      vm Configuration.pp_vm_state got
+      (if frozen then "the observation" else "the original plan")
+      Configuration.pp_vm_state expected
 
 (* -- independent cost re-derivation --------------------------------------- *)
 
@@ -337,6 +350,41 @@ let verify ?(vjobs = []) ~current ~target ~demand plan =
 
 let is_clean ?vjobs ~current ~target ~demand plan =
   verify ?vjobs ~current ~target ~demand plan = []
+
+(* -- crash-resume equivalence ---------------------------------------------- *)
+
+(* Where the original plan would have left every VM, replayed action by
+   action from the journaled source. Invalid applications are skipped
+   (tolerating odd journals) — the per-VM end state is what matters
+   here, full applicability is the main verifier's job. *)
+let original_final ~source plan =
+  List.fold_left
+    (fun config a ->
+      try Action.apply config a with Action.Invalid _ -> config)
+    source (Plan.actions plan)
+
+let verify_resume ?vjobs ~source ~original ~observed ~target ~frozen ~demand
+    plan =
+  let base = verify ?vjobs ~current:observed ~target ~demand plan in
+  let final = original_final ~source original in
+  let divergences =
+    List.init (Configuration.vm_count observed) Fun.id
+    |> List.filter_map (fun vm ->
+           let is_frozen = List.mem vm frozen in
+           (* a frozen VM must stay exactly where it was observed; a
+              live VM must end where the original plan would have put
+              it — together: resume plan + executed prefix is
+              semantically the original switch *)
+           let expected =
+             if is_frozen then Configuration.state observed vm
+             else Configuration.state final vm
+           in
+           let got = Configuration.state target vm in
+           if Configuration.equal_vm_state expected got then None
+           else
+             Some (Resume_divergence { vm; frozen = is_frozen; expected; got }))
+  in
+  base @ divergences
 
 let pp_report ppf findings =
   match findings with

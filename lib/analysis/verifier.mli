@@ -59,6 +59,15 @@ type finding =
     }
   | Cost_mismatch of { reported : int; derived : int }
       (** [Plan.cost] disagrees with the independent re-derivation *)
+  | Resume_divergence of {
+      vm : Vm.id;
+      frozen : bool;
+      expected : Configuration.vm_state;
+      got : Configuration.vm_state;
+    }
+      (** crash resume: the resumed plan's end state for the VM differs
+          from what the original switch promised (live VM) or from the
+          observation it was frozen at (frozen VM) *)
 
 val verify :
   ?vjobs:Vjob.t list ->
@@ -78,6 +87,23 @@ val is_clean :
   demand:Demand.t ->
   Plan.t ->
   bool
+
+val verify_resume :
+  ?vjobs:Vjob.t list ->
+  source:Configuration.t ->
+  original:Plan.t ->
+  observed:Configuration.t ->
+  target:Configuration.t ->
+  frozen:Vm.id list ->
+  demand:Demand.t ->
+  Plan.t ->
+  finding list
+(** Verify a crash-resume plan: the full {!verify} replay of the resume
+    plan from [observed] to [target], plus the equivalence check that
+    resume plan + executed prefix ≡ the original switch — every
+    non-frozen VM's state in [target] equals where the [original] plan
+    (replayed from the journaled [source]) would have left it, and every
+    frozen VM stays exactly as [observed]. *)
 
 val table1_action_cost : Configuration.t -> Action.t -> int
 (** Independent restatement of the Table 1 action cost model. *)

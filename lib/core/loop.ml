@@ -35,6 +35,24 @@ type driver = {
   finished : unit -> bool;          (* all work done, stop looping *)
 }
 
+(* Journaling hooks: the loop calls [on_switch_begin] right before
+   handing a non-empty plan to the driver and [on_switch_end] right
+   after it reports back. Abstract callbacks keep the core free of any
+   journal dependency — lib/journal plugs in from outside. *)
+type hooks = {
+  on_switch_begin :
+    index:int -> source:Configuration.t -> target:Configuration.t ->
+    demand:Demand.t -> plan:Plan.t -> unit;
+  on_switch_end : index:int -> report:exec_report -> unit;
+}
+
+let no_hooks =
+  {
+    on_switch_begin =
+      (fun ~index:_ ~source:_ ~target:_ ~demand:_ ~plan:_ -> ());
+    on_switch_end = (fun ~index:_ ~report:_ -> ());
+  }
+
 type iteration = {
   index : int;
   observation : Decision.observation;
@@ -49,16 +67,23 @@ let default_max_recoveries = 3
 (* One iteration: decide, execute only when the plan is non-empty (an
    empty plan means the current configuration already matches the
    decision), and re-plan immediately — at most [max_recoveries] times —
-   when the driver reports a degraded switch. *)
-let step ?(max_recoveries = default_max_recoveries) decision driver index =
-  let rec go round =
+   when the driver reports a degraded switch. [first], when given,
+   supplies the first round's result instead of the decision module —
+   the resume path injects a journal-derived plan this way; recovery
+   rounds always go back through the decision module. *)
+let step_aux ?(max_recoveries = default_max_recoveries) ?(hooks = no_hooks)
+    ?first decision driver index =
+  let rec go round first =
     let observation =
       Obs.span ~cat:"loop" ~name:"loop.observe" driver.observe
     in
     let result =
-      Obs.span ~cat:"loop" ~name:"loop.decide"
-        ~args:[ ("iteration", Entropy_obs.Trace.I index) ]
-        (fun () -> decision.Decision.decide observation)
+      match first with
+      | Some mk -> mk observation
+      | None ->
+        Obs.span ~cat:"loop" ~name:"loop.decide"
+          ~args:[ ("iteration", Entropy_obs.Trace.I index) ]
+          (fun () -> decision.Decision.decide observation)
     in
     let executed = not (Plan.is_empty result.Optimizer.plan) in
     if !Obs.enabled then begin
@@ -75,15 +100,24 @@ let step ?(max_recoveries = default_max_recoveries) decision driver index =
           result.Optimizer.cost
           (if executed then "" else " (no switch needed)"));
     let report =
-      if executed then
-        Obs.span ~cat:"loop" ~name:"loop.execute"
-          ~args:
-            [
-              ( "actions",
-                Entropy_obs.Trace.I (Plan.action_count result.Optimizer.plan) );
-              ("cost", Entropy_obs.Trace.I result.Optimizer.cost);
-            ]
-          (fun () -> driver.execute result.Optimizer.plan)
+      if executed then begin
+        hooks.on_switch_begin ~index ~source:observation.Decision.config
+          ~target:result.Optimizer.target ~demand:observation.Decision.demand
+          ~plan:result.Optimizer.plan;
+        let report =
+          Obs.span ~cat:"loop" ~name:"loop.execute"
+            ~args:
+              [
+                ( "actions",
+                  Entropy_obs.Trace.I (Plan.action_count result.Optimizer.plan)
+                );
+                ("cost", Entropy_obs.Trace.I result.Optimizer.cost);
+              ]
+            (fun () -> driver.execute result.Optimizer.plan)
+        in
+        hooks.on_switch_end ~index ~report;
+        report
+      end
       else clean
     in
     if report_ok report || round >= max_recoveries then
@@ -100,17 +134,36 @@ let step ?(max_recoveries = default_max_recoveries) decision driver index =
             (List.length report.failed_vms)
             (List.length report.lost_nodes)
             (round + 1) max_recoveries);
-      go (round + 1)
+      go (round + 1) None
     end
   in
-  go 0
+  go 0 first
+
+let step ?max_recoveries ?hooks decision driver index =
+  step_aux ?max_recoveries ?hooks decision driver index
+
+let resume ?max_recoveries ?hooks ~target ~plan decision driver index =
+  (* Run a recovery-derived plan as the iteration's first round; a
+     degraded resume falls back to the normal recovery replans, which
+     decide afresh. *)
+  let first observation =
+    {
+      Optimizer.target;
+      plan;
+      cost = Plan.cost observation.Decision.config plan;
+      improved = false;
+      rules_satisfied = true;
+      stats = None;
+    }
+  in
+  step_aux ?max_recoveries ?hooks ~first decision driver index
 
 let run ?(period = default_period) ?(max_iterations = max_int)
-    ?max_recoveries decision driver =
+    ?max_recoveries ?hooks decision driver =
   let rec go index history =
     if index >= max_iterations || driver.finished () then List.rev history
     else begin
-      let it = step ?max_recoveries decision driver index in
+      let it = step ?max_recoveries ?hooks decision driver index in
       driver.wait period;
       go (index + 1) (it :: history)
     end

@@ -21,6 +21,22 @@ type driver = {
   finished : unit -> bool;
 }
 
+type hooks = {
+  on_switch_begin :
+    index:int -> source:Configuration.t -> target:Configuration.t ->
+    demand:Demand.t -> plan:Plan.t -> unit;
+      (** called right before a non-empty plan is handed to the driver —
+          the write-ahead point: everything needed to re-derive the
+          switch is available here *)
+  on_switch_end : index:int -> report:exec_report -> unit;
+      (** called right after the driver reports back *)
+}
+(** Journaling hooks. The core stays journal-agnostic: lib/journal (or a
+    test) supplies callbacks; {!no_hooks} costs two closure calls per
+    switch. *)
+
+val no_hooks : hooks
+
 type iteration = {
   index : int;
   observation : Decision.observation;
@@ -38,13 +54,26 @@ val default_max_recoveries : int
     observe/decide/execute rounds before deferring to the next
     iteration. *)
 
-val step : ?max_recoveries:int -> Decision.t -> driver -> int -> iteration
+val step :
+  ?max_recoveries:int -> ?hooks:hooks -> Decision.t -> driver -> int ->
+  iteration
 (** One iteration. When the driver reports a degraded switch (failed VMs
     or lost nodes), the loop immediately re-observes the post-failure
     state, re-decides, and re-executes — at most [max_recoveries] times —
     instead of waiting for the next period. The returned [iteration]
     carries the last round's observation and result. *)
 
+val resume :
+  ?max_recoveries:int -> ?hooks:hooks -> target:Configuration.t ->
+  plan:Plan.t -> Decision.t -> driver -> int -> iteration
+(** Crash-recovery entry point: like {!step}, but the first round
+    executes the given recovery-derived plan towards [target] instead of
+    consulting the decision module (the synthesized result has
+    [improved = false] and no search stats). An empty [plan] means the
+    reconciliation found nothing left to do. A degraded resume falls
+    into the same bounded recovery replans as {!step}, which decide
+    afresh. *)
+
 val run :
   ?period:float -> ?max_iterations:int -> ?max_recoveries:int ->
-  Decision.t -> driver -> iteration list
+  ?hooks:hooks -> Decision.t -> driver -> iteration list

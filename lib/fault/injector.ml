@@ -66,6 +66,7 @@ let proceed = { fail = false; slowdown = 1. }
 
 type t = {
   models : model list;
+  seed : int;
   rng : Random.State.t;
   seen : int array;  (* attempts decided so far, per action kind *)
   mutable decisions : int;
@@ -86,6 +87,7 @@ let create ?(seed = 0) models =
   List.iter check_model models;
   {
     models;
+    seed;
     rng = Random.State.make [| seed; 0x9e3779b9 |];
     seen = Array.make 7 0;
     decisions = 0;
@@ -101,6 +103,7 @@ let with_predicate t p =
   else { t with models = Predicate p :: t.models }
 let is_none t = t.models = []
 let decided t = t.decisions
+let seed t = t.seed
 
 let matches k = function None -> true | Some k' -> k = k'
 

@@ -62,3 +62,7 @@ val node_crashes : t -> (Node.id * float) list
 
 val decided : t -> int
 (** Total attempts decided so far (for tests and reports). *)
+
+val seed : t -> int
+(** The seed given at {!create} — journaled with a switch so a resumed
+    run can rebuild an identically-behaving injector. *)

@@ -77,6 +77,23 @@ let repair ?heuristic ?rules ?vjobs ~current ~target ~demand ~queue
         | None ->
           ffd_replan ?heuristic ?rules ?vjobs ~config:current ~demand ~queue ())
 
+type residue = { failed_vms : Vm.id list; lost_nodes : Node.id list }
+
+let no_residue = { failed_vms = []; lost_nodes = [] }
+let residue_ok r = r.failed_vms = [] && r.lost_nodes = []
+
+let pp_residue ppf r =
+  Fmt.pf ppf "failed VMs %a, lost nodes %a"
+    Fmt.(Dump.list int)
+    r.failed_vms
+    Fmt.(Dump.list int)
+    r.lost_nodes
+
+let repair_residue ?heuristic ?rules ?vjobs ~current ~target ~demand ~queue
+    residue () =
+  repair ?heuristic ?rules ?vjobs ~current ~target ~demand ~queue
+    ~failed_vms:residue.failed_vms ~lost_nodes:residue.lost_nodes ()
+
 let resubmission_vjobs config vjobs ~lost_nodes =
   let on_lost vm =
     match Configuration.state config vm with

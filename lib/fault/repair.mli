@@ -35,6 +35,23 @@ val repair :
     when salvage yields nothing). [queue] is the live, unterminated vjob
     list — vjobs reset to Waiting by a node crash resubmit through it. *)
 
+type residue = { failed_vms : Vm.id list; lost_nodes : Node.id list }
+(** What a crash-recovery reconciliation could not resolve on its own:
+    VMs whose journaled action left them in a state the salvaged plan
+    cannot carry forward, and crashed nodes the original target still
+    uses. A clean residue means the resumed plan needs no repair. *)
+
+val no_residue : residue
+val residue_ok : residue -> bool
+val pp_residue : Format.formatter -> residue -> unit
+
+val repair_residue :
+  ?heuristic:Ffd.heuristic -> ?rules:Placement_rules.t list ->
+  ?vjobs:Vjob.t list -> current:Configuration.t -> target:Configuration.t ->
+  demand:Demand.t -> queue:Vjob.t list -> residue -> unit -> outcome option
+(** {!repair} driven by a reconciliation residue instead of an in-switch
+    execution report. *)
+
 val resubmission_vjobs :
   Configuration.t -> Vjob.t list -> lost_nodes:Node.id list -> Vjob.t list
 (** The vjobs with a VM running on — or an image stored on — a lost

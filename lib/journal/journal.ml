@@ -1,0 +1,111 @@
+(* Append-only journal over the checksummed line format of [Record].
+
+   The file backend flushes after every append: the durability unit is
+   the line, and a crash can lose at most the record being written —
+   which [load] then drops as a torn tail. *)
+
+module Obs = Entropy_obs.Obs
+module Metrics = Entropy_obs.Metrics
+
+let m_appended = lazy (Metrics.counter "journal.appended")
+let m_dropped = lazy (Metrics.counter "journal.dropped_lines")
+
+type backend =
+  | Mem of { mutable lines : string list (* newest first *) }
+  | File of { path : string; oc : out_channel; mutable closed : bool }
+
+type t = { backend : backend; mutable length : int }
+
+let mem () = { backend = Mem { lines = [] }; length = 0 }
+
+let count_lines path =
+  let ic = open_in path in
+  let n = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr n
+     done
+   with End_of_file -> close_in ic);
+  !n
+
+let open_file path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  (* Appending to an existing journal continues behind its durable
+     records, so count what is already there. *)
+  { backend = File { path; oc; closed = false }; length = count_lines path }
+
+let path t =
+  match t.backend with Mem _ -> None | File { path; _ } -> Some path
+
+let length t = t.length
+
+let append t record =
+  let line = Record.to_line record in
+  (match t.backend with
+  | Mem m -> m.lines <- line :: m.lines
+  | File f ->
+    if f.closed then invalid_arg "Journal.append: journal is closed";
+    output_string f.oc line;
+    output_char f.oc '\n';
+    flush f.oc);
+  t.length <- t.length + 1;
+  if !Obs.enabled then Metrics.incr (Lazy.force m_appended);
+  Log.debug (fun m -> m "append %a" Record.pp record)
+
+let close t =
+  match t.backend with
+  | Mem _ -> ()
+  | File f ->
+    if not f.closed then (
+      f.closed <- true;
+      close_out f.oc)
+
+let decode_prefix lines =
+  (* WAL semantics: the valid prefix ends at the first line that fails
+     to parse or checksum; nothing after it is trusted even if it
+     parses. *)
+  let rec go acc dropped = function
+    | [] -> (List.rev acc, dropped)
+    | line :: rest -> (
+      match Record.of_line line with
+      | record -> go (record :: acc) dropped rest
+      | exception Record.Corrupt reason ->
+        Log.warn (fun m ->
+            m "dropping torn/corrupt tail (%d line%s): %s"
+              (List.length rest + 1)
+              (if rest = [] then "" else "s")
+              reason);
+        (List.rev acc, List.length rest + 1))
+  in
+  go [] 0 lines
+
+let load path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let records, dropped = decode_prefix (List.rev !lines) in
+  if !Obs.enabled && dropped > 0 then
+    Metrics.add (Lazy.force m_dropped) dropped;
+  Log.info (fun m ->
+      m "loaded %d record%s from %s%s" (List.length records)
+        (if List.length records = 1 then "" else "s")
+        path
+        (if dropped = 0 then "" else Fmt.str " (%d torn lines dropped)" dropped));
+  (records, dropped)
+
+let records t =
+  match t.backend with
+  | Mem m -> fst (decode_prefix (List.rev m.lines))
+  | File f ->
+    if not f.closed then flush f.oc;
+    fst (load f.path)
+
+let of_records rs =
+  let t = mem () in
+  List.iter (fun r -> append t r) rs;
+  t

@@ -1,0 +1,43 @@
+(** Append-only switch journal with in-memory and file backends.
+
+    The in-memory backend backs the simulator (and tests); the file
+    backend backs [entropyctl], appending one checksummed line per
+    record and flushing after every append so a crash loses at most the
+    line being written. {!load} implements the write-ahead-log torn-tail
+    rule: replay stops at the first line that fails to parse or
+    checksum, and everything after it is dropped. *)
+
+type t
+
+val mem : unit -> t
+(** Volatile journal held in memory. *)
+
+val open_file : string -> t
+(** Open (creating or appending to) a file journal at the given path. *)
+
+val path : t -> string option
+(** The backing path of a file journal; [None] for {!mem}. *)
+
+val append : t -> Record.t -> unit
+(** Durably append one record (file backend flushes before returning). *)
+
+val length : t -> int
+(** Records appended or loaded so far. *)
+
+val close : t -> unit
+(** Close the backing channel; no-op for {!mem} and idempotent. *)
+
+val records : t -> Record.t list
+(** All records, oldest first. For a file journal this flushes and
+    re-reads the backing file, so it reflects exactly what a recovery
+    after a crash at this instant would see. *)
+
+val load : string -> Record.t list * int
+(** Read a journal file: the valid prefix of records plus the number of
+    trailing lines dropped as torn or corrupt. A record that fails its
+    checksum ends the valid prefix — later lines are not trusted even if
+    they parse. Raises [Sys_error] when the file cannot be read. *)
+
+val of_records : Record.t list -> t
+(** An in-memory journal pre-populated with the given records — the
+    test-suite hook for crash-at-a-record-boundary scenarios. *)

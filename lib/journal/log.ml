@@ -1,0 +1,9 @@
+(* Log source for the switch journal. Enable with e.g.
+   [Logs.set_reporter (Logs_fmt.reporter ()); Logs.Src.set_level
+   Log.src (Some Logs.Debug)]. *)
+
+let src =
+  Logs.Src.create "entropy.journal"
+    ~doc:"Write-ahead switch journal and crash recovery"
+
+include (val Logs.src_log src : Logs.LOG)

@@ -1,0 +1,5 @@
+(** Log source for the switch journal ([entropy.journal]). *)
+
+val src : Logs.Src.t
+
+include Logs.LOG

@@ -1,0 +1,445 @@
+(* Journal records and their durable form.
+
+   Every record serializes to a single JSON line wrapped with an FNV-1a
+   checksum of the payload: [{"crc":C,"rec":R}]. The checksum turns a
+   torn write (the controller died mid-append) or a flipped byte into a
+   detectable corruption instead of a silently wrong replay; [Journal]
+   treats the first bad line as the end of the durable prefix.
+
+   Configurations are serialized in full (nodes with capacities, VMs,
+   states) so a journal is self-contained: recovery does not need the
+   cluster description that produced it. *)
+
+open Entropy_core
+module Json = Entropy_obs.Json
+
+type t =
+  | Switch_begin of {
+      switch : int;
+      at_s : float;
+      source : Configuration.t;
+      target : Configuration.t;
+      plan : Plan.t;
+      demand : Demand.t;
+      seed : int option;
+    }
+  | Action_started of {
+      switch : int;
+      pool : int;
+      attempt : int;
+      at_s : float;
+      action : Action.t;
+    }
+  | Action_done of { switch : int; pool : int; at_s : float; action : Action.t }
+  | Action_failed of {
+      switch : int;
+      pool : int;
+      at_s : float;
+      action : Action.t;
+    }
+  | Pool_committed of { switch : int; pool : int; at_s : float }
+  | Switch_end of { switch : int; at_s : float; aborted : bool }
+
+exception Corrupt of string
+
+let corrupt fmt = Fmt.kstr (fun s -> raise (Corrupt s)) fmt
+
+let switch = function
+  | Switch_begin { switch; _ }
+  | Action_started { switch; _ }
+  | Action_done { switch; _ }
+  | Action_failed { switch; _ }
+  | Pool_committed { switch; _ }
+  | Switch_end { switch; _ } -> switch
+
+let at_s = function
+  | Switch_begin { at_s; _ }
+  | Action_started { at_s; _ }
+  | Action_done { at_s; _ }
+  | Action_failed { at_s; _ }
+  | Pool_committed { at_s; _ }
+  | Switch_end { at_s; _ } -> at_s
+
+(* -- encoding ---------------------------------------------------------------- *)
+
+let action_to_json a =
+  let open Json in
+  match a with
+  | Action.Run { vm; dst } -> Obj [ ("k", String "run"); ("vm", Int vm); ("dst", Int dst) ]
+  | Action.Stop { vm; host } ->
+    Obj [ ("k", String "stop"); ("vm", Int vm); ("host", Int host) ]
+  | Action.Migrate { vm; src; dst } ->
+    Obj [ ("k", String "migrate"); ("vm", Int vm); ("src", Int src); ("dst", Int dst) ]
+  | Action.Suspend { vm; host } ->
+    Obj [ ("k", String "suspend"); ("vm", Int vm); ("host", Int host) ]
+  | Action.Resume { vm; src; dst } ->
+    Obj [ ("k", String "resume"); ("vm", Int vm); ("src", Int src); ("dst", Int dst) ]
+  | Action.Suspend_ram { vm; host } ->
+    Obj [ ("k", String "suspend-ram"); ("vm", Int vm); ("host", Int host) ]
+  | Action.Resume_ram { vm; host } ->
+    Obj [ ("k", String "resume-ram"); ("vm", Int vm); ("host", Int host) ]
+
+let state_to_json s =
+  let open Json in
+  match s with
+  | Configuration.Waiting -> String "waiting"
+  | Configuration.Terminated -> String "terminated"
+  | Configuration.Running n -> Obj [ ("s", String "running"); ("n", Int n) ]
+  | Configuration.Sleeping n -> Obj [ ("s", String "sleeping"); ("n", Int n) ]
+  | Configuration.Sleeping_ram n ->
+    Obj [ ("s", String "sleeping-ram"); ("n", Int n) ]
+
+let config_to_json c =
+  let open Json in
+  let nodes =
+    Array.to_list (Configuration.nodes c)
+    |> List.map (fun n ->
+           Obj
+             [
+               ("name", String (Node.name n));
+               ("cpu", Int (Node.cpu_capacity n));
+               ("mem", Int (Node.memory_mb n));
+             ])
+  in
+  let vms =
+    Array.to_list (Configuration.vms c)
+    |> List.map (fun vm ->
+           Obj
+             [
+               ("name", String (Vm.name vm)); ("mem", Int (Vm.memory_mb vm));
+             ])
+  in
+  let states =
+    List.init (Configuration.vm_count c) (fun vm ->
+        state_to_json (Configuration.state c vm))
+  in
+  Obj [ ("nodes", List nodes); ("vms", List vms); ("states", List states) ]
+
+let plan_to_json plan =
+  Json.List
+    (List.map
+       (fun pool -> Json.List (List.map action_to_json pool))
+       (Plan.pools plan))
+
+let demand_to_json d =
+  Json.List
+    (List.init (Demand.vm_count d) (fun vm -> Json.Int (Demand.cpu d vm)))
+
+let to_json r =
+  let open Json in
+  match r with
+  | Switch_begin { switch; at_s; source; target; plan; demand; seed } ->
+    Obj
+      ([
+         ("t", String "begin");
+         ("sw", Int switch);
+         ("at", Float at_s);
+         ("source", config_to_json source);
+         ("target", config_to_json target);
+         ("plan", plan_to_json plan);
+         ("demand", demand_to_json demand);
+       ]
+      @ match seed with None -> [] | Some s -> [ ("seed", Int s) ])
+  | Action_started { switch; pool; attempt; at_s; action } ->
+    Obj
+      [
+        ("t", String "start");
+        ("sw", Int switch);
+        ("pool", Int pool);
+        ("n", Int attempt);
+        ("at", Float at_s);
+        ("a", action_to_json action);
+      ]
+  | Action_done { switch; pool; at_s; action } ->
+    Obj
+      [
+        ("t", String "done");
+        ("sw", Int switch);
+        ("pool", Int pool);
+        ("at", Float at_s);
+        ("a", action_to_json action);
+      ]
+  | Action_failed { switch; pool; at_s; action } ->
+    Obj
+      [
+        ("t", String "failed");
+        ("sw", Int switch);
+        ("pool", Int pool);
+        ("at", Float at_s);
+        ("a", action_to_json action);
+      ]
+  | Pool_committed { switch; pool; at_s } ->
+    Obj
+      [
+        ("t", String "pool");
+        ("sw", Int switch);
+        ("pool", Int pool);
+        ("at", Float at_s);
+      ]
+  | Switch_end { switch; at_s; aborted } ->
+    Obj
+      [
+        ("t", String "end");
+        ("sw", Int switch);
+        ("at", Float at_s);
+        ("aborted", Bool aborted);
+      ]
+
+(* -- decoding ---------------------------------------------------------------- *)
+
+let get_int name j =
+  match Json.member name j with
+  | Some (Json.Int i) -> i
+  | _ -> corrupt "missing integer field %S" name
+
+let get_float name j =
+  match Option.bind (Json.member name j) Json.number with
+  | Some f -> f
+  | None -> corrupt "missing numeric field %S" name
+
+let get_string name j =
+  match Option.bind (Json.member name j) Json.string_value with
+  | Some s -> s
+  | None -> corrupt "missing string field %S" name
+
+let get_list name j =
+  match Option.bind (Json.member name j) Json.to_list with
+  | Some l -> l
+  | None -> corrupt "missing array field %S" name
+
+let action_of_json j =
+  match get_string "k" j with
+  | "run" -> Action.Run { vm = get_int "vm" j; dst = get_int "dst" j }
+  | "stop" -> Action.Stop { vm = get_int "vm" j; host = get_int "host" j }
+  | "migrate" ->
+    Action.Migrate
+      { vm = get_int "vm" j; src = get_int "src" j; dst = get_int "dst" j }
+  | "suspend" -> Action.Suspend { vm = get_int "vm" j; host = get_int "host" j }
+  | "resume" ->
+    Action.Resume
+      { vm = get_int "vm" j; src = get_int "src" j; dst = get_int "dst" j }
+  | "suspend-ram" ->
+    Action.Suspend_ram { vm = get_int "vm" j; host = get_int "host" j }
+  | "resume-ram" ->
+    Action.Resume_ram { vm = get_int "vm" j; host = get_int "host" j }
+  | k -> corrupt "unknown action kind %S" k
+
+let state_of_json = function
+  | Json.String "waiting" -> Configuration.Waiting
+  | Json.String "terminated" -> Configuration.Terminated
+  | j -> (
+    match get_string "s" j with
+    | "running" -> Configuration.Running (get_int "n" j)
+    | "sleeping" -> Configuration.Sleeping (get_int "n" j)
+    | "sleeping-ram" -> Configuration.Sleeping_ram (get_int "n" j)
+    | s -> corrupt "unknown VM state %S" s)
+
+let config_of_json j =
+  let nodes =
+    get_list "nodes" j
+    |> List.mapi (fun id n ->
+           let cpu = get_int "cpu" n and mem = get_int "mem" n in
+           let name = get_string "name" n in
+           (* [Node.make] rejects non-positive capacities; a zeroed node
+              in a journal is a crashed one (the only way the API builds
+              one), so rebuild it through [Node.crashed] *)
+           if cpu <= 0 || mem <= 0 then
+             Node.crashed
+               (Node.make ~id ~name ~cpu_capacity:(max 1 cpu)
+                  ~memory_mb:(max 1 mem))
+           else Node.make ~id ~name ~cpu_capacity:cpu ~memory_mb:mem)
+    |> Array.of_list
+  in
+  let vms =
+    get_list "vms" j
+    |> List.mapi (fun id v ->
+           Vm.make ~id ~name:(get_string "name" v) ~memory_mb:(get_int "mem" v))
+    |> Array.of_list
+  in
+  let states = get_list "states" j |> List.map state_of_json in
+  if List.length states <> Array.length vms then
+    corrupt "configuration: %d states for %d VMs" (List.length states)
+      (Array.length vms);
+  let config = Configuration.make ~nodes ~vms in
+  Configuration.with_states config (Array.of_list states)
+
+let plan_of_json j =
+  match Json.to_list j with
+  | None -> corrupt "plan: expected an array of pools"
+  | Some pools ->
+    Plan.make
+      (List.map
+         (fun pool ->
+           match Json.to_list pool with
+           | None -> corrupt "plan: expected an array of actions"
+           | Some actions -> List.map action_of_json actions)
+         pools)
+
+let demand_of_json j =
+  match Json.to_list j with
+  | None -> corrupt "demand: expected an array"
+  | Some cpus ->
+    let arr =
+      Array.of_list
+        (List.map
+           (function
+             | Json.Int i -> i | _ -> corrupt "demand: expected integers")
+           cpus)
+    in
+    Demand.of_fn ~vm_count:(Array.length arr) (fun vm -> arr.(vm))
+
+let of_json j =
+  let field name =
+    match Json.member name j with
+    | Some v -> v
+    | None -> corrupt "missing field %S" name
+  in
+  match get_string "t" j with
+  | "begin" ->
+    Switch_begin
+      {
+        switch = get_int "sw" j;
+        at_s = get_float "at" j;
+        source = config_of_json (field "source");
+        target = config_of_json (field "target");
+        plan = plan_of_json (field "plan");
+        demand = demand_of_json (field "demand");
+        seed =
+          (match Json.member "seed" j with
+          | Some (Json.Int s) -> Some s
+          | _ -> None);
+      }
+  | "start" ->
+    Action_started
+      {
+        switch = get_int "sw" j;
+        pool = get_int "pool" j;
+        attempt = get_int "n" j;
+        at_s = get_float "at" j;
+        action = action_of_json (field "a");
+      }
+  | "done" ->
+    Action_done
+      {
+        switch = get_int "sw" j;
+        pool = get_int "pool" j;
+        at_s = get_float "at" j;
+        action = action_of_json (field "a");
+      }
+  | "failed" ->
+    Action_failed
+      {
+        switch = get_int "sw" j;
+        pool = get_int "pool" j;
+        at_s = get_float "at" j;
+        action = action_of_json (field "a");
+      }
+  | "pool" ->
+    Pool_committed
+      { switch = get_int "sw" j; pool = get_int "pool" j; at_s = get_float "at" j }
+  | "end" ->
+    Switch_end
+      {
+        switch = get_int "sw" j;
+        at_s = get_float "at" j;
+        aborted =
+          (match Json.member "aborted" j with
+          | Some (Json.Bool b) -> b
+          | _ -> corrupt "missing boolean field \"aborted\"");
+      }
+  | t -> corrupt "unknown record type %S" t
+
+(* -- checksummed line form ---------------------------------------------------- *)
+
+let checksum s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+let to_line r =
+  let payload = Json.to_string (to_json r) in
+  Json.to_string
+    (Json.Obj [ ("crc", Json.Int (checksum payload)); ("rec", Json.String payload) ])
+
+let of_line line =
+  let j =
+    try Json.parse line
+    with Json.Parse_error e -> corrupt "unparseable line: %s" e
+  in
+  let crc =
+    match Json.member "crc" j with
+    | Some (Json.Int c) -> c
+    | _ -> corrupt "missing checksum"
+  in
+  let payload =
+    match Option.bind (Json.member "rec" j) Json.string_value with
+    | Some p -> p
+    | None -> corrupt "missing record payload"
+  in
+  if checksum payload <> crc then
+    corrupt "checksum mismatch (stored %d, computed %d)" crc (checksum payload);
+  let rec_json =
+    try Json.parse payload
+    with Json.Parse_error e -> corrupt "unparseable record payload: %s" e
+  in
+  of_json rec_json
+
+(* -- equality & printing ------------------------------------------------------ *)
+
+let equal_demand a b =
+  Demand.vm_count a = Demand.vm_count b
+  && List.for_all
+       (fun vm -> Demand.cpu a vm = Demand.cpu b vm)
+       (List.init (Demand.vm_count a) Fun.id)
+
+let equal_plan a b =
+  let pa = Plan.pools a and pb = Plan.pools b in
+  List.length pa = List.length pb
+  && List.for_all2
+       (fun la lb ->
+         List.length la = List.length lb && List.for_all2 Action.equal la lb)
+       pa pb
+
+let equal a b =
+  match (a, b) with
+  | Switch_begin x, Switch_begin y ->
+    x.switch = y.switch && x.at_s = y.at_s
+    && Configuration.equal x.source y.source
+    && Configuration.equal x.target y.target
+    && equal_plan x.plan y.plan && equal_demand x.demand y.demand
+    && x.seed = y.seed
+  | Action_started x, Action_started y ->
+    x.switch = y.switch && x.pool = y.pool && x.attempt = y.attempt
+    && x.at_s = y.at_s && Action.equal x.action y.action
+  | Action_done x, Action_done y ->
+    x.switch = y.switch && x.pool = y.pool && x.at_s = y.at_s
+    && Action.equal x.action y.action
+  | Action_failed x, Action_failed y ->
+    x.switch = y.switch && x.pool = y.pool && x.at_s = y.at_s
+    && Action.equal x.action y.action
+  | Pool_committed x, Pool_committed y ->
+    x.switch = y.switch && x.pool = y.pool && x.at_s = y.at_s
+  | Switch_end x, Switch_end y ->
+    x.switch = y.switch && x.at_s = y.at_s && x.aborted = y.aborted
+  | _ -> false
+
+let pp ppf = function
+  | Switch_begin { switch; at_s; plan; _ } ->
+    Fmt.pf ppf "begin sw=%d at=%.0fs (%d actions)" switch at_s
+      (Plan.action_count plan)
+  | Action_started { switch; pool; attempt; at_s; action } ->
+    Fmt.pf ppf "start sw=%d pool=%d n=%d at=%.0fs %a" switch pool attempt at_s
+      Action.pp action
+  | Action_done { switch; pool; at_s; action } ->
+    Fmt.pf ppf "done sw=%d pool=%d at=%.0fs %a" switch pool at_s Action.pp
+      action
+  | Action_failed { switch; pool; at_s; action } ->
+    Fmt.pf ppf "failed sw=%d pool=%d at=%.0fs %a" switch pool at_s Action.pp
+      action
+  | Pool_committed { switch; pool; at_s } ->
+    Fmt.pf ppf "pool sw=%d pool=%d at=%.0fs" switch pool at_s
+  | Switch_end { switch; at_s; aborted } ->
+    Fmt.pf ppf "end sw=%d at=%.0fs%s" switch at_s
+      (if aborted then " (aborted)" else "")

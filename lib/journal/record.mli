@@ -1,0 +1,63 @@
+(** Write-ahead journal records for cluster-wide context switches.
+
+    A controller about to execute a switch appends {!Switch_begin}
+    (everything needed to re-derive the decision: source and target
+    configurations, the plan, the smoothed demand, the injector seed),
+    the executor appends a record at every action state transition, and
+    {!Switch_end} closes the switch. After a crash, {!Recovery} replays
+    the records to reconstruct the in-flight state.
+
+    The durable form is one checksummed JSON line per record
+    ({!to_line} / {!of_line}); a torn or corrupted tail is detected by
+    the checksum and dropped by {!Journal.load}. *)
+
+open Entropy_core
+
+type t =
+  | Switch_begin of {
+      switch : int;  (** switch id, monotone across one journal *)
+      at_s : float;  (** simulated (or driver) time of the append *)
+      source : Configuration.t;
+      target : Configuration.t;
+      plan : Plan.t;
+      demand : Demand.t;  (** the demand the decision was made against *)
+      seed : int option;  (** fault-injector seed, when one is loaded *)
+    }
+  | Action_started of {
+      switch : int;
+      pool : int;
+      attempt : int;  (** 1-based supervised attempt *)
+      at_s : float;
+      action : Action.t;
+    }
+  | Action_done of { switch : int; pool : int; at_s : float; action : Action.t }
+  | Action_failed of {
+      switch : int;
+      pool : int;
+      at_s : float;
+      action : Action.t;
+    }  (** terminal failure: the VM keeps its previous state *)
+  | Pool_committed of { switch : int; pool : int; at_s : float }
+  | Switch_end of { switch : int; at_s : float; aborted : bool }
+
+exception Corrupt of string
+(** Raised by the decoders on malformed input or a checksum mismatch. *)
+
+val switch : t -> int
+val at_s : t -> float
+
+val to_json : t -> Entropy_obs.Json.t
+val of_json : Entropy_obs.Json.t -> t
+(** Raises {!Corrupt}. *)
+
+val checksum : string -> int
+(** FNV-1a 32-bit over the serialized record payload. *)
+
+val to_line : t -> string
+(** One newline-free JSON line: [{"crc":...,"rec":...}]. *)
+
+val of_line : string -> t
+(** Raises {!Corrupt} on a parse error or a checksum mismatch. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

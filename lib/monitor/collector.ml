@@ -8,6 +8,10 @@
    accumulation window. *)
 
 open Entropy_core
+module Obs = Entropy_obs.Obs
+module Metrics = Entropy_obs.Metrics
+
+let m_dropped = lazy (Metrics.counter "monitor.dropped_samples")
 
 type source = unit -> float * int array
 (* current time, per-VM CPU consumption *)
@@ -17,17 +21,42 @@ type t = {
   history : History.t;
   smoothing_span : float;
   mutable polls : int;
+  mutable dropped : int;
 }
 
 let create ?(capacity = 128) ?(smoothing_span = 10.) source =
-  { source; history = History.create ~capacity (); smoothing_span; polls = 0 }
+  {
+    source;
+    history = History.create ~capacity ();
+    smoothing_span;
+    polls = 0;
+    dropped = 0;
+  }
+
+(* A real monitoring bus delivers garbage now and then: readings with a
+   clock that jumped backwards (reordered delivery, a resynced NTP
+   source) or impossible CPU values. Admitting them would corrupt the
+   smoothing window the decisions are made from, so validation rejects
+   the sample whole. Equal timestamps are fine — several services
+   legitimately poll within the same instant. *)
+let valid t ~time ~cpu =
+  Float.is_finite time
+  && (match History.latest t.history with
+     | Some latest -> time >= Sample.time latest
+     | None -> true)
+  && Array.for_all (fun c -> c >= 0) cpu
 
 let poll t =
   let time, cpu = t.source () in
   t.polls <- t.polls + 1;
-  History.add t.history (Sample.make ~time ~cpu)
+  if valid t ~time ~cpu then History.add t.history (Sample.make ~time ~cpu)
+  else begin
+    t.dropped <- t.dropped + 1;
+    if !Obs.enabled then Metrics.incr (Lazy.force m_dropped)
+  end
 
 let polls t = t.polls
+let dropped t = t.dropped
 let history t = t.history
 
 (* Smoothed demand: per-VM average over the accumulation window. An

@@ -13,9 +13,17 @@ val create : ?capacity:int -> ?smoothing_span:float -> source -> t
     reports before each loop iteration. *)
 
 val poll : t -> unit
-(** Take one reading from the source. *)
+(** Take one reading from the source. Readings that fail validation —
+    a non-finite timestamp, a timestamp strictly before the latest
+    sample's (reordered delivery or a clock jump; equal timestamps are
+    admitted), or any negative CPU value — are dropped whole: they never
+    enter the smoothing window. Drops are counted ({!dropped}, and the
+    [monitor.dropped_samples] counter when observability is on). *)
 
 val polls : t -> int
+
+(** Readings rejected by validation so far. *)
+val dropped : t -> int
 val history : t -> History.t
 
 val demand : t -> Demand.t

@@ -35,6 +35,7 @@ module Otrace = Entropy_obs.Trace
 module Ometrics = Entropy_obs.Metrics
 module Injector = Entropy_fault.Injector
 module Supervisor = Entropy_fault.Supervisor
+module Jrecord = Entropy_journal.Record
 
 type record = {
   started_at : float;
@@ -159,8 +160,17 @@ let resolve ?should_fail ?injector ?policy () =
 (* Run one action under supervision: contention registration, duration
    (with injected slowdown), timeout, bounded backoff retries, node-loss
    detection. Calls [on_complete applied] once, when the action reaches
-   a terminal outcome ([applied] is false unless the action applied). *)
-let run_action cluster ~injector ~policy ~tally action ~on_complete =
+   a terminal outcome ([applied] is false unless the action applied).
+
+   [emit], when given, journals every state transition of the action:
+   one [Action_started] per attempt, then exactly one terminal
+   [Action_done] or [Action_failed]. The records carry simulated time
+   and are appended before the configuration change becomes visible to
+   anyone else (the completion callback runs after the append), so a
+   crash between the two is indistinguishable from a crash right before
+   the transition — the write-ahead property recovery relies on. *)
+let run_action ?emit ?(switch = 0) ?(pool = 0) cluster ~injector ~policy
+    ~tally action ~on_complete =
   let engine = Cluster.engine cluster in
   let params = Cluster.params cluster in
   let vm = Action.vm action in
@@ -168,11 +178,27 @@ let run_action cluster ~injector ~policy ~tally action ~on_complete =
   let all_nodes = involved_nodes action in
   let local = Action.is_local action in
   let kind = kind_name action in
+  let journal mk =
+    match emit with
+    | Some f -> f (mk ~at_s:(Engine.now engine))
+    | None -> ()
+  in
+  let emit_started n =
+    journal (fun ~at_s ->
+        Jrecord.Action_started { switch; pool; attempt = n; at_s; action })
+  in
+  let emit_done () =
+    journal (fun ~at_s -> Jrecord.Action_done { switch; pool; at_s; action })
+  in
+  let emit_failed () =
+    journal (fun ~at_s -> Jrecord.Action_failed { switch; pool; at_s; action })
+  in
   let terminal_node_loss node =
     note_node_lost tally node;
     note_failed tally vm;
     Sim_log.debug (fun m ->
         m "%s VM%d: node N%d lost, action abandoned" kind vm node);
+    emit_failed ();
     on_complete false
   in
   let rec attempt n =
@@ -181,6 +207,7 @@ let run_action cluster ~injector ~policy ~tally action ~on_complete =
     with
     | Some node -> terminal_node_loss node
     | None ->
+      emit_started n;
       let config = Cluster.config cluster in
       let busy node = Cluster.busy ~except:vm cluster node in
       let decision = Injector.decide injector action in
@@ -250,6 +277,7 @@ let run_action cluster ~injector ~policy ~tally action ~on_complete =
                  match Action.apply (Cluster.config cluster) action with
                  | config ->
                    Cluster.set_config cluster config;
+                   emit_done ();
                    on_complete true
                  | exception Action.Invalid reason ->
                    (* the VM's state changed under the plan (e.g. a node
@@ -258,6 +286,7 @@ let run_action cluster ~injector ~policy ~tally action ~on_complete =
                        m "%s VM%d: no longer applicable (%s)" kind vm reason);
                    note_failed tally vm;
                    Cluster.recompute cluster;
+                   emit_failed ();
                    on_complete false
                end))
   and settle n reason =
@@ -279,6 +308,7 @@ let run_action cluster ~injector ~policy ~tally action ~on_complete =
       note_failed tally vm;
       Sim_log.debug (fun m ->
           m "%s VM%d: %a" kind vm Supervisor.pp_outcome outcome);
+      emit_failed ();
       on_complete false
   in
   attempt 1
@@ -323,8 +353,8 @@ let mk_record cluster plan ~started_at ~cost ~pools ~tally ~aborted =
 
 (* -- pool-based execution --------------------------------------------------- *)
 
-let execute ?should_fail ?injector ?policy ?(abort_on_failure = false) cluster
-    plan ~on_done =
+let execute ?should_fail ?injector ?policy ?(abort_on_failure = false) ?emit
+    ?switch cluster plan ~on_done =
   let injector, policy = resolve ?should_fail ?injector ?policy () in
   let engine = Cluster.engine cluster in
   let params = Cluster.params cluster in
@@ -350,7 +380,19 @@ let execute ?should_fail ?injector ?policy ?(abort_on_failure = false) cluster
       let remaining = ref (List.length actions) in
       let finish_one _applied =
         decr remaining;
-        if !remaining = 0 then run_pool (i + 1)
+        if !remaining = 0 then begin
+          (match emit with
+          | Some f ->
+            f
+              (Jrecord.Pool_committed
+                 {
+                   switch = Option.value switch ~default:0;
+                   pool = i;
+                   at_s = Engine.now engine;
+                 })
+          | None -> ());
+          run_pool (i + 1)
+        end
       in
       (* pipeline offsets: the k-th suspend/resume starts k seconds in *)
       let k = ref 0 in
@@ -366,8 +408,8 @@ let execute ?should_fail ?injector ?policy ?(abort_on_failure = false) cluster
           in
           ignore
             (Engine.schedule_after engine ~delay:offset (fun () ->
-                 run_action cluster ~injector ~policy ~tally action
-                   ~on_complete:finish_one)))
+                 run_action ?emit ?switch ~pool:i cluster ~injector ~policy
+                   ~tally action ~on_complete:finish_one)))
         actions;
       if actions = [] then run_pool (i + 1)
     end
@@ -377,7 +419,7 @@ let execute ?should_fail ?injector ?policy ?(abort_on_failure = false) cluster
 (* -- continuous (event-driven) execution ------------------------------------- *)
 
 let execute_continuous ?should_fail ?injector ?policy
-    ?(abort_on_failure = false) ?vjobs cluster plan ~on_done =
+    ?(abort_on_failure = false) ?emit ?switch ?vjobs cluster plan ~on_done =
   let injector, policy = resolve ?should_fail ?injector ?policy () in
   let engine = Cluster.engine cluster in
   let params = Cluster.params cluster in
@@ -440,8 +482,10 @@ let execute_continuous ?should_fail ?injector ?policy
         let offset = if List.length g > 1 then float_of_int k *. gap else 0. in
         ignore
           (Engine.schedule_after engine ~delay:offset (fun () ->
-               run_action cluster ~injector ~policy ~tally a
-                 ~on_complete:(fun _applied ->
+               (* the continuous model has no pool boundaries: every
+                  action journals under pool 0 *)
+               run_action ?emit ?switch ~pool:0 cluster ~injector ~policy
+                 ~tally a ~on_complete:(fun _applied ->
                    completed.(i) <- true;
                    (match claim with
                    | Some (node, cpu, mem) ->

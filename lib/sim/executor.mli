@@ -41,6 +41,8 @@ val execute :
   ?injector:Entropy_fault.Injector.t ->
   ?policy:Entropy_fault.Supervisor.policy ->
   ?abort_on_failure:bool ->
+  ?emit:(Entropy_journal.Record.t -> unit) ->
+  ?switch:int ->
   Cluster.t -> Plan.t -> on_done:(record -> unit) -> unit
 (** Pool-based execution (the paper's model): schedules the whole switch
     on the cluster's engine and calls [on_done] when the last pool
@@ -59,19 +61,29 @@ val execute :
 
     [should_fail] is the legacy hook — equivalent to an injector
     [Predicate] model with the no-retry policy — and composes with
-    [injector] when both are given. *)
+    [injector] when both are given.
+
+    [emit], when given, receives a write-ahead journal record at every
+    action state transition (one [Action_started] per attempt, exactly
+    one terminal [Action_done] / [Action_failed] per action, a
+    [Pool_committed] when a pool drains), tagged with switch id
+    [switch] (default 0). Terminal records are appended before the
+    completion callback observes the new configuration. *)
 
 val execute_continuous :
   ?should_fail:(Action.t -> bool) ->
   ?injector:Entropy_fault.Injector.t ->
   ?policy:Entropy_fault.Supervisor.policy ->
   ?abort_on_failure:bool ->
+  ?emit:(Entropy_journal.Record.t -> unit) ->
+  ?switch:int ->
   ?vjobs:Vjob.t list -> Cluster.t ->
   Plan.t -> on_done:(record -> unit) -> unit
 (** Event-driven execution (Entropy 2 / BtrPlace model): each action —
     or vjob suspend/resume group when [vjobs] is given — starts as soon
     as its claim fits the live free resources, honouring per-VM action
     precedence. Typically shortens the switch vs {!execute}; the
-    record's [pools] field is 1. Supervision as in {!execute}; with
-    [abort_on_failure], no further group starts after a terminal
-    failure. *)
+    record's [pools] field is 1. Supervision and journaling as in
+    {!execute} (all journal records carry pool 0 and no
+    [Pool_committed] is emitted); with [abort_on_failure], no further
+    group starts after a terminal failure. *)

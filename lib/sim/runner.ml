@@ -20,6 +20,9 @@ module Trace = Vworkload.Trace
 module Obs = Entropy_obs.Obs
 module Injector = Entropy_fault.Injector
 module Repair = Entropy_fault.Repair
+module Journal = Entropy_journal.Journal
+module Jrecord = Entropy_journal.Record
+module Recovery = Entropy_journal.Recovery
 
 type repair_record = {
   at : float;
@@ -40,6 +43,7 @@ type result = {
   series : Metrics.point list;
   iterations : int;
   final_config : Configuration.t;
+  killed : bool;  (* [kill_at] fired with vjobs still incomplete *)
 }
 
 (* Build the initial configuration (+ vjobs + programs) from traces.
@@ -86,8 +90,8 @@ let vjob_terminated config vjob =
 let run_custom ?(params = Perf_model.defaults) ?(period = 30.)
     ?(sample_period = 30.) ?(poll_period = 5.) ?(cp_timeout = 1.0)
     ?(max_time = 1_000_000.) ?decision ?should_fail ?injector ?policy
-    ?(max_repairs = 4) ?storage ?(execution = `Pools) ~config ~vjobs
-    ~programs () =
+    ?(max_repairs = 4) ?storage ?(execution = `Pools) ?journal ?kill_at
+    ?initial ~config ~vjobs ~programs () =
   let engine = Engine.create () in
   let cluster =
     Cluster.create ~params ?storage ~engine ~config ~vjobs ~programs ()
@@ -102,6 +106,15 @@ let run_custom ?(params = Perf_model.defaults) ?(period = 30.)
     | None -> Decision.consolidation ~cp_timeout ()
   in
   let faulty = injector <> None in
+  (* a journal opened on an earlier run (the resume path) continues its
+     switch numbering instead of reusing ids *)
+  let switch_id =
+    ref
+      (match journal with
+      | Some j -> Recovery.next_switch_id (Journal.records j)
+      | None -> 0)
+  in
+  let emit = Option.map (fun j r -> Journal.append j r) journal in
   let metrics = Metrics.start ~period:sample_period cluster in
   let switches = ref [] in
   let repairs = ref [] in
@@ -170,14 +183,44 @@ let run_custom ?(params = Perf_model.defaults) ?(period = 30.)
       if Plan.is_empty result.Optimizer.plan then
         ignore (Engine.schedule_after engine ~delay:period iterate)
       else
-        exec ~depth:0 ~target:result.Optimizer.target result.Optimizer.plan
+        exec ~depth:0 ~demand ~target:result.Optimizer.target
+          result.Optimizer.plan
     end
   (* execute one plan; on a degraded switch, chase it with at most
      [max_repairs] immediate repair plans before handing control back to
-     the periodic loop *)
-  and exec ~depth ~target plan =
+     the periodic loop. The switch is bracketed by write-ahead journal
+     records: Switch_begin goes durable before the first action starts,
+     Switch_end only after the executor reports back — a kill anywhere
+     in between leaves a journal that replays to the in-flight state. *)
+  and exec ~depth ~demand ~target plan =
     let queue = live_queue () in
+    let sw = !switch_id in
+    (match journal with
+    | None -> ()
+    | Some j ->
+      incr switch_id;
+      Journal.append j
+        (Jrecord.Switch_begin
+           {
+             switch = sw;
+             at_s = Engine.now engine;
+             source = Cluster.config cluster;
+             target;
+             plan;
+             demand;
+             seed = Option.map Injector.seed injector;
+           }));
     let on_done r =
+      (match journal with
+      | None -> ()
+      | Some j ->
+        Journal.append j
+          (Jrecord.Switch_end
+             {
+               switch = sw;
+               at_s = Engine.now engine;
+               aborted = r.Executor.aborted;
+             }));
       switches := r :: !switches;
       let degraded = r.Executor.failed > 0 in
       if faulty && degraded && depth < max_repairs then repair ~depth ~target r
@@ -186,10 +229,11 @@ let run_custom ?(params = Perf_model.defaults) ?(period = 30.)
     match execution with
     | `Pools ->
       Executor.execute ?should_fail ?injector ?policy
-        ~abort_on_failure:faulty cluster plan ~on_done
+        ~abort_on_failure:faulty ?emit ~switch:sw cluster plan ~on_done
     | `Continuous ->
       Executor.execute_continuous ?should_fail ?injector ?policy
-        ~abort_on_failure:faulty ~vjobs:queue cluster plan ~on_done
+        ~abort_on_failure:faulty ?emit ~switch:sw ~vjobs:queue cluster plan
+        ~on_done
   and repair ~depth ~target r =
     Vmonitor.Collector.poll collector;
     let before = Cluster.config cluster in
@@ -217,14 +261,26 @@ let run_custom ?(params = Perf_model.defaults) ?(period = 30.)
           plan = o.Repair.plan;
         }
         :: !repairs;
-      exec ~depth:(depth + 1) ~target:o.Repair.target o.Repair.plan
+      exec ~depth:(depth + 1) ~demand ~target:o.Repair.target o.Repair.plan
     | None ->
       (* nothing to repair towards right now (e.g. the packing needs no
          actions): fall back to the periodic loop *)
       ignore (Engine.schedule_after engine ~delay:period iterate)
   in
-  ignore (Engine.schedule_after engine ~delay:0.5 iterate);
-  Engine.run ~until:max_time engine;
+  (match initial with
+  | Some (target, plan) when not (Plan.is_empty plan) ->
+    (* the resume path: execute a recovery-derived plan first, then fall
+       back into the periodic loop through its on_done *)
+    ignore
+      (Engine.schedule_after engine ~delay:0.5 (fun () ->
+           Vmonitor.Collector.poll collector;
+           let demand = Vmonitor.Collector.demand collector in
+           exec ~depth:0 ~demand ~target plan))
+  | Some _ | None -> ignore (Engine.schedule_after engine ~delay:0.5 iterate));
+  let horizon =
+    match kill_at with Some k -> Float.min k max_time | None -> max_time
+  in
+  Engine.run ~until:horizon engine;
   let completions =
     List.filter_map
       (fun (id, time) ->
@@ -235,6 +291,11 @@ let run_custom ?(params = Perf_model.defaults) ?(period = 30.)
   let makespan =
     List.fold_left (fun acc (_, t) -> Float.max acc t) 0. completions
   in
+  let final_config = Cluster.config cluster in
+  let killed =
+    kill_at <> None
+    && not (List.for_all (fun vj -> vjob_terminated final_config vj) vjobs)
+  in
   {
     makespan;
     completions;
@@ -243,16 +304,69 @@ let run_custom ?(params = Perf_model.defaults) ?(period = 30.)
     crashes = List.rev !crashes;
     series = Metrics.points metrics;
     iterations = !iterations;
-    final_config = Cluster.config cluster;
+    final_config;
+    killed;
   }
 
 let run_entropy ?params ?period ?sample_period ?poll_period ?cp_timeout
     ?max_time ?decision ?should_fail ?injector ?policy ?max_repairs
-    ?arrival_spacing ?storage ?execution ~nodes ~traces () =
+    ?arrival_spacing ?storage ?execution ?journal ?kill_at ~nodes ~traces () =
   let config, vjobs, programs = setup ?arrival_spacing ~nodes ~traces () in
   run_custom ?params ?period ?sample_period ?poll_period ?cp_timeout
     ?max_time ?decision ?should_fail ?injector ?policy ?max_repairs ?storage
-    ?execution ~config ~vjobs ~programs ()
+    ?execution ?journal ?kill_at ~config ~vjobs ~programs ()
+
+(* -- crash recovery ----------------------------------------------------------- *)
+
+type resume_info = {
+  state : Recovery.switch_state;
+  reconciliation : Recovery.reconciliation;
+  repaired : bool;
+}
+
+let resume ?params ?period ?sample_period ?poll_period ?cp_timeout ?max_time
+    ?decision ?injector ?policy ?max_repairs ?storage ?execution ?journal
+    ?kill_at ~records ~observed ~vjobs ~programs () =
+  match Recovery.replay records with
+  | None -> None
+  | Some state ->
+    let queue =
+      List.filter (fun vj -> not (vjob_terminated observed vj)) vjobs
+    in
+    let reconciliation =
+      Recovery.reconcile ~vjobs:queue ~state ~observed ()
+    in
+    let target, plan, repaired =
+      match reconciliation.Recovery.plan with
+      | Some plan -> (reconciliation.Recovery.target, plan, false)
+      | None -> (
+        (* divergence (or a stuck planner): hand the residue to repair *)
+        match
+          Repair.repair_residue ~vjobs:queue ~current:observed
+            ~target:reconciliation.Recovery.target
+            ~demand:state.Recovery.demand ~queue
+            reconciliation.Recovery.residue ()
+        with
+        | Some o -> (o.Repair.target, o.Repair.plan, true)
+        | None ->
+          (* nothing to repair towards: let the periodic loop decide *)
+          (reconciliation.Recovery.target, Plan.empty, true))
+    in
+    Sim_log.info (fun m ->
+        m "resuming switch %d from %d journal records: %d done, %d pending, \
+           %d frozen%s"
+          state.Recovery.switch (List.length records)
+          (List.length reconciliation.Recovery.done_vms)
+          (List.length reconciliation.Recovery.pending_vms)
+          (List.length reconciliation.Recovery.frozen_vms)
+          (if repaired then " (via repair)" else ""));
+    let result =
+      run_custom ?params ?period ?sample_period ?poll_period ?cp_timeout
+        ?max_time ?decision ?injector ?policy ?max_repairs ?storage
+        ?execution ?journal ?kill_at ~initial:(target, plan) ~config:observed
+        ~vjobs ~programs ()
+    in
+    Some ({ state; reconciliation; repaired }, result)
 
 let mean_switch_duration result =
   match result.switches with

@@ -26,6 +26,9 @@ type result = {
   series : Metrics.point list;
   iterations : int;  (** control-loop iterations executed *)
   final_config : Configuration.t;
+  killed : bool;
+      (** the run was cut short by [kill_at] with vjobs incomplete —
+          the simulated controller crash *)
 }
 
 val setup :
@@ -43,6 +46,8 @@ val run_custom :
   ?injector:Entropy_fault.Injector.t ->
   ?policy:Entropy_fault.Supervisor.policy -> ?max_repairs:int ->
   ?storage:Storage.t -> ?execution:[ `Pools | `Continuous ] ->
+  ?journal:Entropy_journal.Journal.t -> ?kill_at:float ->
+  ?initial:Configuration.t * Plan.t ->
   config:Configuration.t -> vjobs:Vjob.t list ->
   programs:(Vm.id -> Vworkload.Program.t) -> unit -> result
 (** Run the control loop over an arbitrary initial configuration (VMs
@@ -54,7 +59,18 @@ val run_custom :
     fire on the engine, and a switch that terminally loses actions
     aborts and is chased by at most [max_repairs] (default 4) immediate
     repair plans — salvage or FFD replan — before the periodic loop
-    resumes. *)
+    resumes.
+
+    With [journal], every switch is bracketed by write-ahead records
+    ([Switch_begin] before the first action, [Switch_end] after the
+    executor reports) and every action state transition is journaled
+    (see {!Executor.execute}). [kill_at] stops the discrete-event engine
+    at that simulated time — the controller crash: no [Switch_end] is
+    written for an in-flight switch and [result.killed] is set when
+    vjobs were left incomplete. [initial] executes a given
+    [(target, plan)] first (at t=0.5s) instead of consulting the
+    decision module — the resume path; an empty plan falls through to
+    the periodic loop. *)
 
 val run_entropy :
   ?params:Perf_model.params -> ?period:float -> ?sample_period:float ->
@@ -63,12 +79,43 @@ val run_entropy :
   ?injector:Entropy_fault.Injector.t ->
   ?policy:Entropy_fault.Supervisor.policy -> ?max_repairs:int ->
   ?arrival_spacing:float -> ?storage:Storage.t ->
-  ?execution:[ `Pools | `Continuous ] -> nodes:Node.t array ->
-  traces:Vworkload.Trace.t list -> unit -> result
+  ?execution:[ `Pools | `Continuous ] ->
+  ?journal:Entropy_journal.Journal.t -> ?kill_at:float ->
+  nodes:Node.t array -> traces:Vworkload.Trace.t list -> unit -> result
 (** Run the control loop until every vjob has completed and been
     stopped. The loop only sees the vjobs already submitted at each
     iteration. [should_fail] injects hypervisor action failures (see
-    {!Executor.execute}); [injector] enables the full fault pipeline
-    (see {!run_custom}). *)
+    {!Executor.execute}); [injector] enables the full fault pipeline and
+    [journal] / [kill_at] the crash-tolerance pipeline (see
+    {!run_custom}). *)
+
+type resume_info = {
+  state : Entropy_journal.Recovery.switch_state;
+      (** the in-flight switch replayed from the journal *)
+  reconciliation : Entropy_journal.Recovery.reconciliation;
+  repaired : bool;
+      (** the resume plan came from {!Entropy_fault.Repair} (divergent
+          residue or stuck planner) rather than straight reconciliation *)
+}
+
+val resume :
+  ?params:Perf_model.params -> ?period:float -> ?sample_period:float ->
+  ?poll_period:float -> ?cp_timeout:float -> ?max_time:float ->
+  ?decision:Decision.t -> ?injector:Entropy_fault.Injector.t ->
+  ?policy:Entropy_fault.Supervisor.policy -> ?max_repairs:int ->
+  ?storage:Storage.t -> ?execution:[ `Pools | `Continuous ] ->
+  ?journal:Entropy_journal.Journal.t -> ?kill_at:float ->
+  records:Entropy_journal.Record.t list -> observed:Configuration.t ->
+  vjobs:Vjob.t list -> programs:(Vm.id -> Vworkload.Program.t) -> unit ->
+  (resume_info * result) option
+(** Idempotently resume a run from a crashed controller's journal:
+    replay [records], reconcile the last in-flight switch against
+    [observed], execute the derived resume plan (or the repair plan on
+    divergence) and then run the periodic loop to completion. [None]
+    when the journal holds no switch — nothing to resume; start a fresh
+    run instead. Pass the same [journal] to keep appending: the resumed
+    switch takes the next free switch id. The journaled injector seed is
+    available as [state.seed] for rebuilding a deterministic injector;
+    [injector] itself stays the caller's choice. *)
 
 val mean_switch_duration : result -> float

@@ -158,6 +158,26 @@ let test_supervisor_backoff_doubles_and_caps () =
   (* 5 * 2^4 = 80 is capped at 60 *)
   check_float 1e-9 "capped" 60. (Supervisor.backoff_s p ~attempt:5)
 
+(* Regression: far past the cap boundary the doubling term overflows to
+   infinity, and the cap must still win — the delay stays the constant
+   [backoff_max_s], finite, so scheduling retry n at [now + backoff]
+   never overflows simulated time. *)
+let test_supervisor_backoff_at_cap_boundary () =
+  let p = Supervisor.make_policy ~max_retries:10_000 () in
+  check_float 1e-9 "deep retry is capped" 60.
+    (Supervisor.backoff_s p ~attempt:200);
+  check_float 1e-9 "overflow-deep retry is capped" 60.
+    (Supervisor.backoff_s p ~attempt:10_000);
+  check_bool "capped backoff is finite" true
+    (Float.is_finite (Supervisor.backoff_s p ~attempt:10_000));
+  (* constant past the cap: attempt n and n+1 give the same delay *)
+  check_float 1e-9 "constant past the cap"
+    (Supervisor.backoff_s p ~attempt:500)
+    (Supervisor.backoff_s p ~attempt:501);
+  match Supervisor.next p ~attempts:9_000 Supervisor.Fault_injected with
+  | `Retry d -> check_float 1e-9 "next at depth retries with the cap" 60. d
+  | `Done _ -> Alcotest.fail "expected a retry under a huge retry budget"
+
 let test_supervisor_next_classification () =
   let p = Supervisor.default_policy in
   (match Supervisor.next p ~attempts:2 Supervisor.Succeeded with
@@ -338,6 +358,39 @@ let test_resubmission_vjobs () =
   check_bool "nothing lost, nothing resubmitted" true
     (Repair.resubmission_vjobs config vjobs ~lost_nodes:[] = [])
 
+(* Journal reconciliation hands repair a residue record; the
+   residue-driven entry point must behave exactly like spelling the
+   failure sets out by hand. *)
+let test_repair_residue () =
+  check_bool "no_residue is ok" true (Repair.residue_ok Repair.no_residue);
+  let residue = { Repair.failed_vms = [ 0 ]; lost_nodes = [] } in
+  check_bool "failed VM is residue" false (Repair.residue_ok residue);
+  let current =
+    mk_config ~nodes:3 ~vm_count:2
+      [ Configuration.Running 0; Configuration.Running 0 ]
+  in
+  let target =
+    mk_config ~nodes:3 ~vm_count:2
+      [ Configuration.Running 1; Configuration.Running 1 ]
+  in
+  let by_residue =
+    Repair.repair_residue ~current ~target ~demand:demand2 ~queue:[] residue
+      ()
+  in
+  let by_hand =
+    Repair.repair ~current ~target ~demand:demand2 ~queue:[] ~failed_vms:[ 0 ]
+      ~lost_nodes:[] ()
+  in
+  match (by_residue, by_hand) with
+  | Some r, Some h ->
+    check_bool "same source" true (r.Repair.source = h.Repair.source);
+    check_bool "same target" true
+      (Configuration.equal r.Repair.target h.Repair.target);
+    check_int "same plan size"
+      (Plan.action_count h.Repair.plan)
+      (Plan.action_count r.Repair.plan)
+  | _ -> Alcotest.fail "expected repairs from both entry points"
+
 (* -- node crash primitive ------------------------------------------------------- *)
 
 let test_node_crashed_marker () =
@@ -371,6 +424,8 @@ let () =
           Alcotest.test_case "timeout" `Quick test_supervisor_timeout;
           Alcotest.test_case "backoff" `Quick
             test_supervisor_backoff_doubles_and_caps;
+          Alcotest.test_case "backoff at cap boundary" `Quick
+            test_supervisor_backoff_at_cap_boundary;
           Alcotest.test_case "classification" `Quick
             test_supervisor_next_classification;
           Alcotest.test_case "succeeded" `Quick test_supervisor_succeeded;
@@ -393,5 +448,6 @@ let () =
           Alcotest.test_case "lost node replans" `Quick
             test_repair_lost_node_replans;
           Alcotest.test_case "resubmission set" `Quick test_resubmission_vjobs;
+          Alcotest.test_case "residue entry point" `Quick test_repair_residue;
         ] );
     ]

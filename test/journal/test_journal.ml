@@ -1,0 +1,467 @@
+(* Tests for the write-ahead switch journal: record codec round trips,
+   checksum and torn-tail handling, the two backends, journal replay,
+   and reconciliation of a journaled switch against an observation. *)
+
+open Entropy_core
+module Record = Entropy_journal.Record
+module Journal = Entropy_journal.Journal
+module Recovery = Entropy_journal.Recovery
+module Repair = Entropy_fault.Repair
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let testbed_nodes n =
+  Array.init n (fun i -> Node.testbed ~id:i ~name:(Printf.sprintf "N%d" i))
+
+let mk_config ?(crashed = []) ~nodes ~vm_count states =
+  let node_arr =
+    Array.map
+      (fun n -> if List.mem (Node.id n) crashed then Node.crashed n else n)
+      (testbed_nodes nodes)
+  in
+  let vms =
+    Array.init vm_count (fun i ->
+        Vm.make ~id:i ~name:(Printf.sprintf "vm%d" i) ~memory_mb:512)
+  in
+  Configuration.with_states
+    (Configuration.make ~nodes:node_arr ~vms)
+    (Array.of_list states)
+
+(* a switch over every vm_state and a multi-pool plan with several
+   action shapes — the codec must survive all of them *)
+let rich_begin =
+  let source =
+    mk_config ~crashed:[ 2 ] ~nodes:3 ~vm_count:5
+      Configuration.
+        [ Waiting; Running 0; Sleeping 1; Sleeping_ram 0; Terminated ]
+  in
+  let target =
+    mk_config ~crashed:[ 2 ] ~nodes:3 ~vm_count:5
+      Configuration.
+        [ Running 1; Running 1; Running 0; Running 0; Terminated ]
+  in
+  let plan =
+    Plan.make
+      [
+        [
+          Action.Run { vm = 0; dst = 1 };
+          Action.Migrate { vm = 1; src = 0; dst = 1 };
+        ];
+        [
+          Action.Resume { vm = 2; src = 1; dst = 0 };
+          Action.Resume_ram { vm = 3; host = 0 };
+        ];
+      ]
+  in
+  Record.Switch_begin
+    {
+      switch = 3;
+      at_s = 12.5;
+      source;
+      target;
+      plan;
+      demand = Demand.of_fn ~vm_count:5 (fun vm -> 10 * vm);
+      seed = Some 42;
+    }
+
+let all_records =
+  [
+    rich_begin;
+    Record.Action_started
+      {
+        switch = 3;
+        pool = 0;
+        attempt = 2;
+        at_s = 13.;
+        action = Action.Migrate { vm = 1; src = 0; dst = 1 };
+      };
+    Record.Action_done
+      {
+        switch = 3;
+        pool = 0;
+        at_s = 14.5;
+        action = Action.Migrate { vm = 1; src = 0; dst = 1 };
+      };
+    Record.Action_failed
+      {
+        switch = 3;
+        pool = 0;
+        at_s = 15.;
+        action = Action.Run { vm = 0; dst = 1 };
+      };
+    Record.Pool_committed { switch = 3; pool = 0; at_s = 15.5 };
+    Record.Switch_end { switch = 3; at_s = 16.; aborted = true };
+  ]
+
+(* -- record codec ------------------------------------------------------------- *)
+
+let test_record_round_trip () =
+  List.iter
+    (fun r ->
+      let line = Record.to_line r in
+      check_bool "line has no newline" false (String.contains line '\n');
+      check_bool
+        (Format.asprintf "round trip: %a" Record.pp r)
+        true
+        (Record.equal r (Record.of_line line)))
+    all_records
+
+let test_record_accessors () =
+  List.iter
+    (fun r -> check_int "switch id" 3 (Record.switch r))
+    all_records;
+  Alcotest.(check (float 1e-9)) "begin time" 12.5 (Record.at_s rich_begin)
+
+let test_checksum_detects_corruption () =
+  let line = Record.to_line rich_begin in
+  (* flip one payload character; the crc no longer matches *)
+  let i = String.length line - 3 in
+  let corrupt =
+    String.mapi
+      (fun j c -> if j = i then (if c = 'x' then 'y' else 'x') else c)
+      line
+  in
+  check_bool "of_line rejects a flipped byte" true
+    (match Record.of_line corrupt with
+    | exception Record.Corrupt _ -> true
+    | _ -> false);
+  check_bool "of_line rejects garbage" true
+    (match Record.of_line "not json at all" with
+    | exception Record.Corrupt _ -> true
+    | _ -> false)
+
+let test_checksum_reference () =
+  (* FNV-1a 32-bit reference values — pins the on-disk format *)
+  check_int "fnv-1a of empty" 0x811c9dc5 (Record.checksum "");
+  check_int "fnv-1a of 'a'" 0xe40c292c (Record.checksum "a")
+
+(* -- backends ----------------------------------------------------------------- *)
+
+let test_mem_backend () =
+  let j = Journal.mem () in
+  check_bool "no path" true (Journal.path j = None);
+  check_int "empty" 0 (Journal.length j);
+  List.iter (Journal.append j) all_records;
+  check_int "length counts appends" (List.length all_records)
+    (Journal.length j);
+  check_bool "records round trip in order" true
+    (List.for_all2 Record.equal all_records (Journal.records j));
+  Journal.close j;
+  check_bool "close is a no-op" true
+    (List.length (Journal.records j) = List.length all_records)
+
+let test_of_records () =
+  let j = Journal.of_records all_records in
+  check_int "pre-populated" (List.length all_records) (Journal.length j);
+  check_bool "same records" true
+    (List.for_all2 Record.equal all_records (Journal.records j))
+
+let temp_journal () =
+  let path = Filename.temp_file "entropy_journal" ".wal" in
+  Sys.remove path;
+  path
+
+let test_file_backend () =
+  let path = temp_journal () in
+  let j = Journal.open_file path in
+  check_string "path" path (Option.get (Journal.path j));
+  List.iter (Journal.append j) all_records;
+  (* records on an open file journal reflect the flushed file *)
+  check_bool "records while open" true
+    (List.for_all2 Record.equal all_records (Journal.records j));
+  Journal.close j;
+  Journal.close j;
+  let loaded, dropped = Journal.load path in
+  check_int "no torn lines" 0 dropped;
+  check_bool "load round trip" true
+    (List.for_all2 Record.equal all_records loaded);
+  (* reopening appends after the existing records *)
+  let j2 = Journal.open_file path in
+  check_int "length counts existing lines" (List.length all_records)
+    (Journal.length j2);
+  Journal.append j2 (Record.Switch_end { switch = 4; at_s = 20.; aborted = false });
+  Journal.close j2;
+  check_int "appended after reopen"
+    (List.length all_records + 1)
+    (List.length (fst (Journal.load path)));
+  Sys.remove path
+
+let test_torn_tail () =
+  let path = temp_journal () in
+  let good = List.map Record.to_line all_records in
+  let oc = open_out path in
+  List.iteri
+    (fun i line ->
+      (* corrupt the third line; everything after it must be dropped,
+         even the later well-formed lines *)
+      if i = 2 then output_string oc "{\"crc\":1,\"rec\":\"torn"
+      else output_string oc line;
+      output_char oc '\n')
+    good;
+  close_out oc;
+  let loaded, dropped = Journal.load path in
+  check_int "valid prefix ends at the torn line" 2 (List.length loaded);
+  check_int "torn + distrusted tail counted"
+    (List.length all_records - 2)
+    dropped;
+  Sys.remove path
+
+(* -- replay ------------------------------------------------------------------- *)
+
+let source2 =
+  mk_config ~nodes:3 ~vm_count:2
+    Configuration.[ Running 0; Running 0 ]
+
+let target2 =
+  mk_config ~nodes:3 ~vm_count:2
+    Configuration.[ Running 1; Running 1 ]
+
+let mig vm = Action.Migrate { vm; src = 0; dst = 1 }
+let plan2 = Plan.make [ [ mig 0; mig 1 ] ]
+let demand2 = Demand.uniform ~vm_count:2 40
+
+let begin2 ?(switch = 0) () =
+  Record.Switch_begin
+    {
+      switch;
+      at_s = 1.;
+      source = source2;
+      target = target2;
+      plan = plan2;
+      demand = demand2;
+      seed = None;
+    }
+
+let test_replay_empty () =
+  check_bool "no begin, no state" true (Recovery.replay [] = None);
+  check_bool "stray records alone yield no state" true
+    (Recovery.replay
+       [ Record.Pool_committed { switch = 0; pool = 0; at_s = 1. } ]
+    = None)
+
+let test_replay_mid_switch () =
+  let records =
+    [
+      begin2 ();
+      Record.Action_started
+        { switch = 0; pool = 0; attempt = 1; at_s = 2.; action = mig 0 };
+      Record.Action_done { switch = 0; pool = 0; at_s = 3.; action = mig 0 };
+      Record.Action_started
+        { switch = 0; pool = 0; attempt = 1; at_s = 2.; action = mig 1 };
+    ]
+  in
+  match Recovery.replay records with
+  | None -> Alcotest.fail "expected a switch state"
+  | Some st ->
+    check_int "switch id" 0 st.Recovery.switch;
+    check_bool "not ended" false st.Recovery.ended;
+    check_int "one done" 1 (List.length st.Recovery.done_actions);
+    check_bool "vm0 done" true
+      (List.exists (fun (_, a) -> Action.equal a (mig 0)) st.Recovery.done_actions);
+    check_int "one in flight" 1 (List.length st.Recovery.in_flight);
+    check_bool "vm1 in flight" true
+      (List.exists (fun (_, a) -> Action.equal a (mig 1)) st.Recovery.in_flight);
+    check_int "no failures" 0 (List.length st.Recovery.failed_actions);
+    (* the journal-projected config has vm0 moved, vm1 untouched *)
+    let proj = Recovery.projected_config st in
+    check_bool "vm0 projected onto N1" true
+      (Configuration.state proj 0 = Configuration.Running 1);
+    check_bool "vm1 still on N0" true
+      (Configuration.state proj 1 = Configuration.Running 0)
+
+let test_replay_complete_switch () =
+  let records =
+    [
+      begin2 ();
+      Record.Action_started
+        { switch = 0; pool = 0; attempt = 1; at_s = 2.; action = mig 0 };
+      Record.Action_failed { switch = 0; pool = 0; at_s = 3.; action = mig 0 };
+      Record.Action_started
+        { switch = 0; pool = 0; attempt = 1; at_s = 2.; action = mig 1 };
+      Record.Action_done { switch = 0; pool = 0; at_s = 4.; action = mig 1 };
+      Record.Pool_committed { switch = 0; pool = 0; at_s = 4. };
+      Record.Switch_end { switch = 0; at_s = 5.; aborted = true };
+    ]
+  in
+  match Recovery.replay records with
+  | None -> Alcotest.fail "expected a switch state"
+  | Some st ->
+    check_bool "ended" true st.Recovery.ended;
+    check_bool "aborted" true st.Recovery.aborted;
+    check_int "failed recorded" 1 (List.length st.Recovery.failed_actions);
+    check_int "nothing in flight" 0 (List.length st.Recovery.in_flight);
+    Alcotest.(check (list int)) "pool committed" [ 0 ] st.Recovery.committed_pools
+
+let test_replay_last_begin_wins () =
+  let records =
+    [
+      begin2 ();
+      Record.Action_done { switch = 0; pool = 0; at_s = 3.; action = mig 0 };
+      Record.Switch_end { switch = 0; at_s = 4.; aborted = false };
+      begin2 ~switch:1 ();
+      Record.Action_done { switch = 1; pool = 0; at_s = 6.; action = mig 1 };
+    ]
+  in
+  (match Recovery.replay records with
+  | None -> Alcotest.fail "expected a switch state"
+  | Some st ->
+    check_int "last switch" 1 st.Recovery.switch;
+    check_bool "fresh state: only switch 1's record" true
+      (List.for_all
+         (fun (_, a) -> Action.equal a (mig 1))
+         st.Recovery.done_actions
+      && List.length st.Recovery.done_actions = 1));
+  check_int "next id past the highest" 2 (Recovery.next_switch_id records);
+  check_int "empty journal starts at 0" 0 (Recovery.next_switch_id [])
+
+(* -- reconciliation ----------------------------------------------------------- *)
+
+let state_mid_switch () =
+  match
+    Recovery.replay
+      [
+        begin2 ();
+        Record.Action_started
+          { switch = 0; pool = 0; attempt = 1; at_s = 2.; action = mig 0 };
+        Record.Action_done { switch = 0; pool = 0; at_s = 3.; action = mig 0 };
+      ]
+  with
+  | Some st -> st
+  | None -> Alcotest.fail "replay lost the switch"
+
+let test_reconcile_pending_and_done () =
+  let state = state_mid_switch () in
+  (* the observation agrees with the journal: vm0 moved, vm1 not yet *)
+  let observed =
+    mk_config ~nodes:3 ~vm_count:2
+      Configuration.[ Running 1; Running 0 ]
+  in
+  let r = Recovery.reconcile ~state ~observed () in
+  Alcotest.(check (list int)) "vm0 done" [ 0 ] r.Recovery.done_vms;
+  Alcotest.(check (list int)) "vm1 pending" [ 1 ] r.Recovery.pending_vms;
+  check_bool "no frozen VMs" true (r.Recovery.frozen_vms = []);
+  check_bool "clean residue" true (Repair.residue_ok r.Recovery.residue);
+  match r.Recovery.plan with
+  | None -> Alcotest.fail "clean reconciliation must rebuild a plan"
+  | Some p ->
+    Alcotest.(check (list int))
+      "resume re-runs exactly the unfinished migration" [ 1 ]
+      (List.map Action.vm (Plan.actions p))
+
+let test_reconcile_all_done () =
+  let state = state_mid_switch () in
+  (* both actions' effects are visible: the crash hit after the work *)
+  let observed = target2 in
+  let r = Recovery.reconcile ~state ~observed () in
+  Alcotest.(check (list int)) "both done" [ 0; 1 ] r.Recovery.done_vms;
+  check_bool "nothing to re-run" true
+    (match r.Recovery.plan with Some p -> Plan.is_empty p | None -> false)
+
+let test_reconcile_divergence_freezes () =
+  let state = state_mid_switch () in
+  (* vm1 is observed on a node no chain state mentions: diverged *)
+  let observed =
+    mk_config ~nodes:3 ~vm_count:2
+      Configuration.[ Running 1; Running 2 ]
+  in
+  let r = Recovery.reconcile ~state ~observed () in
+  Alcotest.(check (list int)) "vm1 frozen" [ 1 ] r.Recovery.frozen_vms;
+  check_bool "divergence is residue" false
+    (Repair.residue_ok r.Recovery.residue);
+  Alcotest.(check (list int))
+    "frozen VM lands in residue.failed_vms" [ 1 ]
+    r.Recovery.residue.Repair.failed_vms;
+  check_bool "no resume plan on residue" true (r.Recovery.plan = None);
+  check_bool "salvaged target pins the frozen VM where observed" true
+    (Configuration.state r.Recovery.target 1 = Configuration.Running 2)
+
+let test_reconcile_terminated_is_benign () =
+  let state = state_mid_switch () in
+  (* vm1 terminated while the controller was down: off-chain, so frozen,
+     but a finished vjob is not a failure *)
+  let observed =
+    mk_config ~nodes:3 ~vm_count:2
+      Configuration.[ Running 1; Terminated ]
+  in
+  let r = Recovery.reconcile ~state ~observed () in
+  Alcotest.(check (list int)) "vm1 frozen" [ 1 ] r.Recovery.frozen_vms;
+  check_bool "benign: residue stays clean" true
+    (Repair.residue_ok r.Recovery.residue);
+  check_bool "resume plan exists" true (r.Recovery.plan <> None);
+  check_bool "target keeps vm1 terminated" true
+    (Configuration.state r.Recovery.target 1 = Configuration.Terminated)
+
+let test_reconcile_journaled_failure_is_residue () =
+  let state =
+    match
+      Recovery.replay
+        [
+          begin2 ();
+          Record.Action_started
+            { switch = 0; pool = 0; attempt = 1; at_s = 2.; action = mig 0 };
+          Record.Action_failed
+            { switch = 0; pool = 0; at_s = 3.; action = mig 0 };
+        ]
+    with
+    | Some st -> st
+    | None -> Alcotest.fail "replay lost the switch"
+  in
+  let r = Recovery.reconcile ~state ~observed:source2 () in
+  check_bool "journaled failure reaches the residue" true
+    (List.mem 0 r.Recovery.residue.Repair.failed_vms)
+
+let test_reconcile_rejects_shape_mismatch () =
+  let state = state_mid_switch () in
+  let observed = mk_config ~nodes:3 ~vm_count:1 Configuration.[ Running 0 ] in
+  check_bool "vm count mismatch" true
+    (match Recovery.reconcile ~state ~observed () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* -- run ---------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "entropy_journal"
+    [
+      ( "record",
+        [
+          Alcotest.test_case "round trip" `Quick test_record_round_trip;
+          Alcotest.test_case "accessors" `Quick test_record_accessors;
+          Alcotest.test_case "corruption detected" `Quick
+            test_checksum_detects_corruption;
+          Alcotest.test_case "checksum reference" `Quick
+            test_checksum_reference;
+        ] );
+      ( "backends",
+        [
+          Alcotest.test_case "mem" `Quick test_mem_backend;
+          Alcotest.test_case "of_records" `Quick test_of_records;
+          Alcotest.test_case "file" `Quick test_file_backend;
+          Alcotest.test_case "torn tail" `Quick test_torn_tail;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "empty" `Quick test_replay_empty;
+          Alcotest.test_case "mid switch" `Quick test_replay_mid_switch;
+          Alcotest.test_case "complete switch" `Quick
+            test_replay_complete_switch;
+          Alcotest.test_case "last begin wins" `Quick
+            test_replay_last_begin_wins;
+        ] );
+      ( "reconcile",
+        [
+          Alcotest.test_case "pending and done" `Quick
+            test_reconcile_pending_and_done;
+          Alcotest.test_case "all done" `Quick test_reconcile_all_done;
+          Alcotest.test_case "divergence freezes" `Quick
+            test_reconcile_divergence_freezes;
+          Alcotest.test_case "terminated is benign" `Quick
+            test_reconcile_terminated_is_benign;
+          Alcotest.test_case "journaled failure is residue" `Quick
+            test_reconcile_journaled_failure_is_residue;
+          Alcotest.test_case "shape mismatch rejected" `Quick
+            test_reconcile_rejects_shape_mismatch;
+        ] );
+    ]

@@ -863,6 +863,65 @@ let test_collector_poll_count_and_bootstrap () =
   check_int "bootstrap poll" 1 (Vmonitor.Collector.polls c);
   check_int "value" 7 (Demand.cpu d 0)
 
+(* a collector over a scripted list of raw readings *)
+let scripted_collector readings =
+  let remaining = ref readings in
+  let source () =
+    match !remaining with
+    | [] -> Alcotest.fail "collector polled past the script"
+    | r :: rest ->
+      remaining := rest;
+      r
+  in
+  Vmonitor.Collector.create ~smoothing_span:10. source
+
+let test_collector_drops_bad_samples () =
+  let c =
+    scripted_collector
+      [
+        (1., [| 50 |]);
+        (Float.nan, [| 50 |]) (* non-finite timestamp *);
+        (0.5, [| 50 |]) (* clock jumped backwards *);
+        (2., [| -3 |]) (* impossible CPU *);
+        (3., [| -1 |]) (* still impossible after a sign glitch *);
+        (4., [| 60 |]);
+      ]
+  in
+  for _ = 1 to 6 do
+    Vmonitor.Collector.poll c
+  done;
+  check_int "all polls counted" 6 (Vmonitor.Collector.polls c);
+  check_int "four readings dropped" 4 (Vmonitor.Collector.dropped c);
+  check_int "only valid samples in history" 2
+    (Vmonitor.History.length (Vmonitor.Collector.history c));
+  (* the garbage never reaches the smoothed demand *)
+  let d = Vmonitor.Collector.demand c in
+  check_int "smoothed over the two good readings" 55 (Demand.cpu d 0)
+
+let test_collector_keeps_equal_timestamps () =
+  (* several services legitimately poll within the same instant; equal
+     timestamps must be admitted (only strictly-backwards is dropped) *)
+  let c = scripted_collector [ (5., [| 10 |]); (5., [| 20 |]); (5., [| 30 |]) ] in
+  for _ = 1 to 3 do
+    Vmonitor.Collector.poll c
+  done;
+  check_int "nothing dropped" 0 (Vmonitor.Collector.dropped c);
+  check_int "all samples kept" 3
+    (Vmonitor.History.length (Vmonitor.Collector.history c))
+
+let test_collector_drop_counter_metric () =
+  let module Obs = Entropy_obs.Obs in
+  let module Metrics = Entropy_obs.Metrics in
+  let was = !Obs.enabled in
+  Obs.enabled := true;
+  let c = scripted_collector [ (1., [| 10 |]); (0., [| 10 |]) ] in
+  Vmonitor.Collector.poll c;
+  Vmonitor.Collector.poll c;
+  Obs.enabled := was;
+  check_int "collector counts the drop" 1 (Vmonitor.Collector.dropped c);
+  check_bool "monitor.dropped_samples advanced" true
+    (Metrics.counter_value (Metrics.counter "monitor.dropped_samples") >= 1)
+
 let test_engine_max_events () =
   let e = Vsim.Engine.create () in
   let count = ref 0 in
@@ -1034,6 +1093,174 @@ let test_runner_node_crash_resubmits () =
     (Configuration.vms final);
   check_bool "finite" true (r.Vsim.Runner.makespan < 10_000.)
 
+(* -- journal + crash resume ----------------------------------------------------- *)
+
+module Journal = Entropy_journal.Journal
+module Jrecord = Entropy_journal.Record
+module Recovery = Entropy_journal.Recovery
+
+(* a small faulty instance: 2 vjobs of 4 VMs on 4 nodes, seeded
+   fail-rate injection to make the journal interesting *)
+let journal_instance () =
+  let traces =
+    List.init 2 (fun i -> Trace.make ~seed:i ~vm_count:4 Nasgrid.Ed Nasgrid.W)
+  in
+  Vsim.Runner.setup ~nodes:(testbed_nodes 4) ~traces ()
+
+let journal_injector () =
+  Injector.create ~seed:42
+    [ Injector.Fail_rate { kind = None; rate = 0.15 } ]
+
+let test_journal_emission_well_formed () =
+  let config, vjobs, programs = journal_instance () in
+  let journal = Journal.mem () in
+  let r =
+    Vsim.Runner.run_custom ~cp_timeout:0.2 ~injector:(journal_injector ())
+      ~journal ~config ~vjobs ~programs ()
+  in
+  check_int "completes" 2 (List.length r.Vsim.Runner.completions);
+  check_bool "not killed" false r.Vsim.Runner.killed;
+  let records = Journal.records journal in
+  check_bool "records were journaled" true (records <> []);
+  (match records with
+  | Jrecord.Switch_begin { seed; _ } :: _ ->
+    Alcotest.(check (option int)) "begin carries the seed" (Some 42) seed
+  | _ -> Alcotest.fail "journal must open with Switch_begin");
+  (* write-ahead discipline: every switch's records sit between its
+     begin and end; every terminal action record follows a start of the
+     same action in the same switch *)
+  let begun = Hashtbl.create 8 and ended = Hashtbl.create 8 in
+  let started = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let sw = Jrecord.switch r in
+      (match r with
+      | Jrecord.Switch_begin _ -> Hashtbl.replace begun sw ()
+      | _ ->
+        check_bool "record after its begin" true (Hashtbl.mem begun sw);
+        check_bool "record before its end" false (Hashtbl.mem ended sw));
+      match r with
+      | Jrecord.Action_started { action; _ } ->
+        Hashtbl.replace started (sw, action) ()
+      | Jrecord.Action_done { action; _ }
+      | Jrecord.Action_failed { action; _ } ->
+        check_bool "terminal follows its start" true
+          (Hashtbl.mem started (sw, action))
+      | Jrecord.Switch_end _ -> Hashtbl.replace ended sw ()
+      | Jrecord.Switch_begin _ | Jrecord.Pool_committed _ -> ())
+    records;
+  (* a completed run closes every switch it opened *)
+  Hashtbl.iter
+    (fun sw () -> check_bool "switch closed" true (Hashtbl.mem ended sw))
+    begun;
+  check_int "ids are dense from 0" (Hashtbl.length begun)
+    (Recovery.next_switch_id records)
+
+let test_runner_kill_and_resume () =
+  let config, vjobs, programs = journal_instance () in
+  let journal = Journal.mem () in
+  let killed =
+    Vsim.Runner.run_custom ~cp_timeout:0.2 ~injector:(journal_injector ())
+      ~journal ~kill_at:30. ~config ~vjobs ~programs ()
+  in
+  check_bool "cut short" true killed.Vsim.Runner.killed;
+  check_bool "work left undone" true
+    (List.length killed.Vsim.Runner.completions < 2);
+  let records = Journal.records journal in
+  match Recovery.replay records with
+  | None -> Alcotest.fail "a 30 s kill must land after a switch began"
+  | Some st ->
+    let observed = Recovery.projected_config st in
+    (match
+       Vsim.Runner.resume ~cp_timeout:0.2 ~journal ~records ~observed ~vjobs
+         ~programs ()
+     with
+    | None -> Alcotest.fail "resume must find the switch"
+    | Some (info, r) ->
+      check_bool "journal agrees with the observation: no repair" false
+        info.Vsim.Runner.repaired;
+      check_int "both vjobs complete after resume" 2
+        (List.length r.Vsim.Runner.completions);
+      check_bool "resumed run not killed" false r.Vsim.Runner.killed;
+      (* the resumed switch continued the id sequence in the journal *)
+      check_bool "journal extended" true
+        (List.length (Journal.records journal) > List.length records));
+    (* the journal now closes with completed switches only *)
+    (match Recovery.replay (Journal.records journal) with
+    | Some st' -> check_bool "last switch closed" true st'.Recovery.ended
+    | None -> Alcotest.fail "journal lost its switches")
+
+(* The acceptance property: crash at EVERY record boundary of a seeded
+   faulty run, resume from the journal prefix, and the cluster still
+   converges — every vjob completes, the final configuration is viable,
+   and the resume plan verifies against the original switch. *)
+let test_crash_at_every_record_boundary () =
+  let config, vjobs, programs = journal_instance () in
+  let journal = Journal.mem () in
+  let full =
+    Vsim.Runner.run_custom ~cp_timeout:0.2 ~injector:(journal_injector ())
+      ~journal ~config ~vjobs ~programs ()
+  in
+  check_int "reference run completes" 2
+    (List.length full.Vsim.Runner.completions);
+  let records = Journal.records journal in
+  let n = List.length records in
+  check_bool "enough boundaries to matter" true (n >= 10);
+  let vm_count = Configuration.vm_count config in
+  let demand = Demand.uniform ~vm_count Program.compute_demand in
+  for cut = 0 to n do
+    let prefix = List.filteri (fun i _ -> i < cut) records in
+    let label what = Printf.sprintf "cut %d/%d: %s" cut n what in
+    match Recovery.replay prefix with
+    | None ->
+      (* crash before any switch began: a fresh run must still work *)
+      let r =
+        Vsim.Runner.run_custom ~cp_timeout:0.2 ~config ~vjobs ~programs ()
+      in
+      check_int (label "fresh run completes") 2
+        (List.length r.Vsim.Runner.completions)
+    | Some st ->
+      let observed = Recovery.projected_config st in
+      (match
+         Vsim.Runner.resume ~cp_timeout:0.2 ~records:prefix ~observed ~vjobs
+           ~programs ()
+       with
+      | None -> Alcotest.fail (label "resume lost the switch")
+      | Some (info, r) ->
+        (* completion in the resumed world: every vjob reaches Terminated
+           (crashes inside the final stop-switch leave no program events
+           to re-run, so completion counts would under-report) *)
+        check_bool (label "all vjobs complete") true
+          (List.for_all
+             (fun vj ->
+               List.for_all
+                 (fun vm ->
+                   Configuration.state r.Vsim.Runner.final_config vm
+                   = Configuration.Terminated)
+                 (Vjob.vms vj))
+             vjobs);
+        check_bool (label "resumed run not killed") false r.Vsim.Runner.killed;
+        check_bool (label "final configuration viable") true
+          (Configuration.is_viable r.Vsim.Runner.final_config demand);
+        (* idempotent resume: journal + observation agree, so the resume
+           is a straight continuation with a verifier-clean plan *)
+        if not info.Vsim.Runner.repaired then
+          match info.Vsim.Runner.reconciliation.Recovery.plan with
+          | None -> ()
+          | Some plan ->
+            let findings =
+              Verifier.verify_resume ~vjobs
+                ~source:st.Recovery.source ~original:st.Recovery.plan
+                ~observed
+                ~target:info.Vsim.Runner.reconciliation.Recovery.target
+                ~frozen:info.Vsim.Runner.reconciliation.Recovery.frozen_vms
+                ~demand:st.Recovery.demand plan
+            in
+            Alcotest.(check int)
+              (label "resume plan verifier-clean")
+              0 (List.length findings))
+  done
+
 (* -- run -------------------------------------------------------------------------- *)
 
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
@@ -1140,6 +1367,15 @@ let () =
           Alcotest.test_case "node crash resubmits" `Quick
             test_runner_node_crash_resubmits;
         ] );
+      ( "journal",
+        [
+          Alcotest.test_case "emission well formed" `Quick
+            test_journal_emission_well_formed;
+          Alcotest.test_case "kill and resume" `Quick
+            test_runner_kill_and_resume;
+          Alcotest.test_case "crash at every boundary" `Quick
+            test_crash_at_every_record_boundary;
+        ] );
       ( "storage",
         [
           Alcotest.test_case "sharding + counts" `Quick
@@ -1167,6 +1403,12 @@ let () =
             test_history_average_fallback;
           Alcotest.test_case "collector bootstrap" `Quick
             test_collector_poll_count_and_bootstrap;
+          Alcotest.test_case "drops bad samples" `Quick
+            test_collector_drops_bad_samples;
+          Alcotest.test_case "keeps equal timestamps" `Quick
+            test_collector_keeps_equal_timestamps;
+          Alcotest.test_case "drop counter metric" `Quick
+            test_collector_drop_counter_metric;
           Alcotest.test_case "engine max events" `Quick
             test_engine_max_events;
         ] );
