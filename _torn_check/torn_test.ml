@@ -1,0 +1,20 @@
+let () =
+  let module J = Entropy_journal.Journal in
+  let module R = Entropy_journal.Record in
+  let path = Filename.temp_file "torn" ".wal" in
+  Sys.remove path;
+  let j = J.open_file path in
+  J.append j (R.Switch_end { switch = 0; at_s = 1.; aborted = false });
+  J.close j;
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"crc\":1,\"rec\":\"torn";
+  close_out oc;
+  let recs, dropped = J.load path in
+  Printf.printf "after crash: %d records, %d dropped\n" (List.length recs) dropped;
+  let j2 = J.open_file path in
+  J.append j2 (R.Switch_end { switch = 1; at_s = 2.; aborted = false });
+  J.append j2 (R.Switch_end { switch = 2; at_s = 3.; aborted = false });
+  J.close j2;
+  let recs2, dropped2 = J.load path in
+  Printf.printf "after resume appends: %d records, %d dropped\n"
+    (List.length recs2) dropped2
