@@ -124,6 +124,91 @@ let bench_journal_sim () =
            (Vsim.Runner.run_entropy ~cp_timeout:0.05 ~injector ~journal ~nodes
               ~traces ())))
 
+(* Same journaled run against the file backend with group commit: the
+   delta over journal/sim_journal_2vjobs is the real write+fsync cost;
+   the acceptance target is this bench within 2x of the journal-off
+   fig11 probe. *)
+let bench_journal_binary_sim () =
+  let traces = Lazy.force small_traces in
+  let nodes =
+    Array.init 3 (fun i -> Node.testbed ~id:i ~name:(Printf.sprintf "N%d" i))
+  in
+  let injector = Entropy_fault.Injector.none in
+  let path = Filename.temp_file "entropy_bench_journal" ".wal" in
+  at_exit (fun () -> if Sys.file_exists path then Sys.remove path);
+  Test.make ~name:"journal/sim_binary_2vjobs"
+    (Staged.stage (fun () ->
+         if Sys.file_exists path then Sys.remove path;
+         let journal = Entropy_journal.Journal.open_file path in
+         ignore
+           (Vsim.Runner.run_entropy ~cp_timeout:0.05 ~injector ~journal ~nodes
+              ~traces ());
+         Entropy_journal.Journal.close journal))
+
+(* Group-commit microbench: append one pool's worth of records (16
+   parallel starts, 16 terminal dones, the pool commit) bracketed by a
+   switch. Batched uses the default thresholds (starts accumulate,
+   terminals flush); unbatched forces a write+flush per record. *)
+let journal_flush_records =
+  lazy
+    (let nodes =
+       Array.init 4 (fun i -> Node.testbed ~id:i ~name:(Printf.sprintf "N%d" i))
+     in
+     let vms =
+       Array.init 8 (fun i ->
+           Vm.make ~id:i ~name:(Printf.sprintf "vm%02d" i) ~memory_mb:512)
+     in
+     let config = Configuration.make ~nodes ~vms in
+     let actions =
+       List.init 16 (fun i ->
+           Action.Migrate { vm = i mod 8; src = i mod 4; dst = (i + 1) mod 4 })
+     in
+     let open Entropy_journal.Record in
+     Switch_begin
+       {
+         switch = 0;
+         at_s = 0.;
+         source = config;
+         target = config;
+         plan = Plan.make [ actions ];
+         demand = Demand.of_fn ~vm_count:8 (fun _ -> 60);
+         seed = None;
+       }
+     :: List.concat
+          [
+            List.mapi
+              (fun i a ->
+                Action_started
+                  { switch = 0; pool = 0; attempt = 1; at_s = float_of_int i; action = a })
+              actions;
+            List.mapi
+              (fun i a ->
+                Action_done
+                  { switch = 0; pool = 0; at_s = 20. +. float_of_int i; action = a })
+              actions;
+            [
+              Pool_committed { switch = 0; pool = 0; at_s = 40. };
+              Switch_end { switch = 0; at_s = 40.; aborted = false };
+            ];
+          ])
+
+let bench_journal_flush ~batched () =
+  let records = Lazy.force journal_flush_records in
+  let name =
+    if batched then "journal/flush_batched" else "journal/flush_unbatched"
+  in
+  let path = Filename.temp_file "entropy_bench_flush" ".wal" in
+  at_exit (fun () -> if Sys.file_exists path then Sys.remove path);
+  Test.make ~name
+    (Staged.stage (fun () ->
+         if Sys.file_exists path then Sys.remove path;
+         let j =
+           if batched then Entropy_journal.Journal.open_file path
+           else Entropy_journal.Journal.open_file ~flush_records:1 path
+         in
+         List.iter (Entropy_journal.Journal.append j) records;
+         Entropy_journal.Journal.close j))
+
 let bench_fig12_static () =
   let traces = Lazy.force section52_traces in
   Test.make ~name:"fig12/static_fcfs_8vjobs"
@@ -186,6 +271,9 @@ let all_tests : (string * (unit -> Test.t)) list =
     ("fig11/entropy_sim_2vjobs", bench_fig11_sim);
     ("fault/sim_nofault_2vjobs", bench_fault_nofault);
     ("journal/sim_journal_2vjobs", bench_journal_sim);
+    ("journal/sim_binary_2vjobs", bench_journal_binary_sim);
+    ("journal/flush_batched", bench_journal_flush ~batched:true);
+    ("journal/flush_unbatched", bench_journal_flush ~batched:false);
     ("fig12/static_fcfs_8vjobs", bench_fig12_static);
     ("fig13/utilization_series", bench_fig13_series);
     ( "ablation/rjsp_first_fit",

@@ -964,6 +964,45 @@ let resume_cmd =
       $ timeout_factor_arg $ retries_arg $ resume_timeout_arg $ max_time_arg
       $ journal_pos $ json_arg $ trace_arg $ metrics_arg)
 
+(* -- journal ------------------------------------------------------------------- *)
+
+(* Debug export: decode a write-ahead journal (binary frames or legacy
+   JSON lines, auto-detected) and print each record as one JSON line on
+   stdout. Torn-tail diagnostics go to stderr so the output stays
+   pipeable. *)
+
+let journal_dump journal_path =
+  let records, dropped =
+    try Entropy_journal.Journal.load journal_path
+    with Sys_error e ->
+      Printf.eprintf "%s\n" e;
+      exit 2
+  in
+  List.iter
+    (fun r ->
+      print_endline
+        (Entropy_obs.Json.to_string (Entropy_journal.Record.to_json r)))
+    records;
+  if dropped > 0 then
+    Printf.eprintf "journal dump: %d torn record(s) dropped at tail\n" dropped
+
+let journal_cmd =
+  let journal_pos =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"JOURNAL")
+  in
+  let dump_cmd =
+    Cmd.v
+      (Cmd.info "dump"
+         ~doc:
+           "Decode a write-ahead journal (binary frames or legacy JSON \
+            lines, auto-detected) and print each record as one JSON line \
+            on stdout")
+      Term.(const (fun () p -> journal_dump p) $ logs_term $ journal_pos)
+  in
+  Cmd.group
+    (Cmd.info "journal" ~doc:"Inspect write-ahead switch journals")
+    [ dump_cmd ]
+
 let () =
   let info =
     Cmd.info "entropyctl"
@@ -974,5 +1013,5 @@ let () =
        (Cmd.group info
           [
             check_cmd; plan_cmd; lint_cmd; actions_cmd; simulate_cmd;
-            profile_cmd; chaos_cmd; resume_cmd;
+            profile_cmd; chaos_cmd; resume_cmd; journal_cmd;
           ]))

@@ -1,70 +1,70 @@
-(* Append-only journal over the checksummed line format of [Record].
+(* Append-only journal over the binary frame format of [Record], with
+   group commit on the file backend.
 
-   The file backend flushes after every append: the durability unit is
-   the line, and a crash can lose at most the record being written —
-   which [load] then drops as a torn tail. *)
+   Records accumulate in a reused [Buffer] and are written + flushed as
+   a batch: immediately at every commit point (terminal records, pool
+   and switch boundaries — see [Record.commit_point]) and otherwise when
+   the batch passes a byte or record threshold. Because commit points
+   flush synchronously inside [append], a completion callback that runs
+   after its terminal record was appended always observes that record
+   durable — the write-ahead ordering of PR 5 is preserved; a crash can
+   only lose a tail of non-terminal [Action_started] records, which
+   resume re-runs idempotently.
+
+   Journals written before the binary format (one checksummed JSON line
+   per record) still load: the first byte of the file selects the codec
+   ('{' is never a valid frame magic), and appends to such a file stay
+   in its line format so the file remains single-codec. *)
 
 module Obs = Entropy_obs.Obs
 module Metrics = Entropy_obs.Metrics
 
 let m_appended = lazy (Metrics.counter "journal.appended")
-let m_dropped = lazy (Metrics.counter "journal.dropped_lines")
+let m_dropped = lazy (Metrics.counter "journal.dropped_records")
+
+type mode = Binary | Json_lines
+
+type file = {
+  path : string;
+  oc : out_channel;
+  buf : Buffer.t;  (* encoded records not yet written to [oc] *)
+  flush_bytes : int;
+  flush_records : int;
+  mode : mode;
+  mutable buffered : int;  (* records currently in [buf] *)
+  mutable closed : bool;
+}
 
 type backend =
-  | Mem of { mutable lines : string list (* newest first *) }
-  | File of { path : string; oc : out_channel; mutable closed : bool }
+  | Mem of { mem_buf : Buffer.t (* binary frames, oldest first *) }
+  | File of file
 
 type t = { backend : backend; mutable length : int }
 
-let mem () = { backend = Mem { lines = [] }; length = 0 }
+let default_flush_bytes = 64 * 1024
+let default_flush_records = 64
 
-let count_lines path =
-  let ic = open_in path in
-  let n = ref 0 in
-  (try
-     while true do
-       ignore (input_line ic);
-       incr n
-     done
-   with End_of_file -> close_in ic);
-  !n
+let mem () = { backend = Mem { mem_buf = Buffer.create 4096 }; length = 0 }
 
-let open_file path =
-  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
-  (* Appending to an existing journal continues behind its durable
-     records, so count what is already there. *)
-  { backend = File { path; oc; closed = false }; length = count_lines path }
+(* -- decoding ----------------------------------------------------------------- *)
 
-let path t =
-  match t.backend with Mem _ -> None | File { path; _ } -> Some path
+let decode_binary src =
+  (* WAL semantics: the valid prefix ends at the first torn or corrupt
+     frame; nothing after it is trusted. Frame boundaries inside the
+     torn tail are unknowable, so the dropped count is at least 1. *)
+  let rec go acc pos =
+    match Record.read_frame src ~pos with
+    | None -> (List.rev acc, 0)
+    | Some (Record.Frame (record, next)) -> go (record :: acc) next
+    | Some (Record.Torn reason) ->
+      Log.warn (fun m ->
+          m "dropping torn/corrupt tail (%d bytes): %s"
+            (String.length src - pos) reason);
+      (List.rev acc, 1)
+  in
+  go [] 0
 
-let length t = t.length
-
-let append t record =
-  let line = Record.to_line record in
-  (match t.backend with
-  | Mem m -> m.lines <- line :: m.lines
-  | File f ->
-    if f.closed then invalid_arg "Journal.append: journal is closed";
-    output_string f.oc line;
-    output_char f.oc '\n';
-    flush f.oc);
-  t.length <- t.length + 1;
-  if !Obs.enabled then Metrics.incr (Lazy.force m_appended);
-  Log.debug (fun m -> m "append %a" Record.pp record)
-
-let close t =
-  match t.backend with
-  | Mem _ -> ()
-  | File f ->
-    if not f.closed then (
-      f.closed <- true;
-      close_out f.oc)
-
-let decode_prefix lines =
-  (* WAL semantics: the valid prefix ends at the first line that fails
-     to parse or checksum; nothing after it is trusted even if it
-     parses. *)
+let decode_lines lines =
   let rec go acc dropped = function
     | [] -> (List.rev acc, dropped)
     | line :: rest -> (
@@ -80,29 +80,152 @@ let decode_prefix lines =
   in
   go [] 0 lines
 
+let split_lines s =
+  (* like [String.split_on_char '\n'] but without a phantom final line
+     when the file ends in a newline, as written journals do *)
+  String.split_on_char '\n' s
+  |> List.filter (fun line -> line <> "")
+
+let mode_of_contents contents =
+  if String.length contents > 0 && contents.[0] = '{' then Json_lines
+  else Binary
+
+let decode_contents contents =
+  match mode_of_contents contents with
+  | Binary -> decode_binary contents
+  | Json_lines -> decode_lines (split_lines contents)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  contents
+
+(* -- lifecycle ---------------------------------------------------------------- *)
+
+let encode_valid_prefix mode records =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      match mode with
+      | Binary -> Record.write_frame b r
+      | Json_lines ->
+        Buffer.add_string b (Record.to_line r);
+        Buffer.add_char b '\n')
+    records;
+  Buffer.contents b
+
+let open_file ?(flush_bytes = default_flush_bytes)
+    ?(flush_records = default_flush_records) path =
+  let contents = if Sys.file_exists path then read_file path else "" in
+  let mode = mode_of_contents contents in
+  let records, dropped = decode_contents contents in
+  (* Truncate a torn tail before appending: new records written after
+     torn garbage would sit beyond the durable prefix and never be
+     replayed. Rewriting the valid prefix makes reopen-after-crash
+     append where recovery reads. *)
+  let valid = encode_valid_prefix mode records in
+  let oc =
+    if dropped > 0 || String.length valid <> String.length contents then begin
+      if dropped > 0 then
+        Log.warn (fun m ->
+            m "truncating %s to its valid prefix (%d record%s kept)" path
+              (List.length records)
+              (if List.length records = 1 then "" else "s"));
+      let oc =
+        open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644
+          path
+      in
+      output_string oc valid;
+      flush oc;
+      oc
+    end
+    else
+      open_out_gen [ Open_append; Open_creat; Open_wronly; Open_binary ] 0o644
+        path
+  in
+  {
+    backend =
+      File
+        {
+          path;
+          oc;
+          buf = Buffer.create 4096;
+          flush_bytes;
+          flush_records;
+          mode;
+          buffered = 0;
+          closed = false;
+        };
+    length = List.length records;
+  }
+
+let path t =
+  match t.backend with Mem _ -> None | File { path; _ } -> Some path
+
+let length t = t.length
+
+let flush_file f =
+  if Buffer.length f.buf > 0 then begin
+    Buffer.output_buffer f.oc f.buf;
+    Buffer.clear f.buf;
+    f.buffered <- 0;
+    flush f.oc
+  end
+
+let flush t =
+  match t.backend with
+  | Mem _ -> ()
+  | File f -> if not f.closed then flush_file f
+
+let append t record =
+  (match t.backend with
+  | Mem m -> Record.write_frame m.mem_buf record
+  | File f ->
+    if f.closed then invalid_arg "Journal.append: journal is closed";
+    (match f.mode with
+    | Binary -> Record.write_frame f.buf record
+    | Json_lines ->
+      Buffer.add_string f.buf (Record.to_line record);
+      Buffer.add_char f.buf '\n');
+    f.buffered <- f.buffered + 1;
+    if
+      Record.commit_point record
+      || f.buffered >= f.flush_records
+      || Buffer.length f.buf >= f.flush_bytes
+    then flush_file f);
+  t.length <- t.length + 1;
+  if !Obs.enabled then Metrics.incr (Lazy.force m_appended);
+  Log.debug (fun m -> m "append %a" Record.pp record)
+
+let close t =
+  match t.backend with
+  | Mem _ -> ()
+  | File f ->
+    if not f.closed then (
+      flush_file f;
+      f.closed <- true;
+      close_out f.oc)
+
 let load path =
-  let ic = open_in path in
-  let lines = ref [] in
-  (try
-     while true do
-       lines := input_line ic :: !lines
-     done
-   with End_of_file -> close_in ic);
-  let records, dropped = decode_prefix (List.rev !lines) in
+  let records, dropped = decode_contents (read_file path) in
   if !Obs.enabled && dropped > 0 then
     Metrics.add (Lazy.force m_dropped) dropped;
   Log.info (fun m ->
       m "loaded %d record%s from %s%s" (List.length records)
         (if List.length records = 1 then "" else "s")
         path
-        (if dropped = 0 then "" else Fmt.str " (%d torn lines dropped)" dropped));
+        (if dropped = 0 then ""
+         else Fmt.str " (torn tail dropped, >=%d record%s)" dropped
+                (if dropped = 1 then "" else "s")));
   (records, dropped)
 
 let records t =
   match t.backend with
-  | Mem m -> fst (decode_prefix (List.rev m.lines))
+  | Mem m -> fst (decode_binary (Buffer.contents m.mem_buf))
   | File f ->
-    if not f.closed then flush f.oc;
+    if not f.closed then flush_file f;
     fst (load f.path)
 
 let of_records rs =

@@ -1,31 +1,54 @@
 (** Append-only switch journal with in-memory and file backends.
 
-    The in-memory backend backs the simulator (and tests); the file
-    backend backs [entropyctl], appending one checksummed line per
-    record and flushing after every append so a crash loses at most the
-    line being written. {!load} implements the write-ahead-log torn-tail
-    rule: replay stops at the first line that fails to parse or
-    checksum, and everything after it is dropped. *)
+    Records are durably stored as length-prefixed binary frames
+    ({!Record.write_frame}). The file backend group-commits: appends
+    accumulate in a reused buffer and are written + fsynced as a batch —
+    immediately at every commit point ({!Record.commit_point}: terminal
+    action records, pool commits, switch begin/end) and otherwise when
+    the batch passes a configurable byte or record threshold. Because
+    commit points flush synchronously inside {!append}, a terminal
+    record is always durable before its completion callback runs; a
+    crash loses at most a tail of [Action_started] records, which resume
+    re-runs idempotently.
+
+    {!load} implements the write-ahead-log torn-tail rule: replay stops
+    at the first frame that is short, unrecognized, or fails its
+    checksum, and everything after it is dropped. Journals written
+    before the binary format (one checksummed JSON line per record)
+    are auto-detected by their first byte and still load; appends to
+    such a file stay in its line format. *)
 
 type t
 
 val mem : unit -> t
-(** Volatile journal held in memory. *)
+(** Volatile journal held in memory (as encoded binary frames, so its
+    cost profile matches the file backend minus the I/O). *)
 
-val open_file : string -> t
-(** Open (creating or appending to) a file journal at the given path. *)
+val open_file : ?flush_bytes:int -> ?flush_records:int -> string -> t
+(** Open (creating or appending to) a file journal at the given path.
+    If the existing file ends in a torn or corrupt tail, it is truncated
+    to its valid prefix so new appends land inside the durable region.
+    [flush_bytes] (default 64 KiB) and [flush_records] (default 64)
+    bound how much may sit in the group-commit buffer between commit
+    points. *)
 
 val path : t -> string option
 (** The backing path of a file journal; [None] for {!mem}. *)
 
 val append : t -> Record.t -> unit
-(** Durably append one record (file backend flushes before returning). *)
+(** Append one record. On the file backend the record is buffered and
+    the batch is flushed if the record is a {!Record.commit_point} or a
+    threshold is hit — so every terminal record is durable when [append]
+    returns. *)
+
+val flush : t -> unit
+(** Force the group-commit buffer to disk; no-op for {!mem}. *)
 
 val length : t -> int
 (** Records appended or loaded so far. *)
 
 val close : t -> unit
-(** Close the backing channel; no-op for {!mem} and idempotent. *)
+(** Flush and close the backing channel; no-op for {!mem}, idempotent. *)
 
 val records : t -> Record.t list
 (** All records, oldest first. For a file journal this flushes and
@@ -33,10 +56,13 @@ val records : t -> Record.t list
     after a crash at this instant would see. *)
 
 val load : string -> Record.t list * int
-(** Read a journal file: the valid prefix of records plus the number of
-    trailing lines dropped as torn or corrupt. A record that fails its
-    checksum ends the valid prefix — later lines are not trusted even if
-    they parse. Raises [Sys_error] when the file cannot be read. *)
+(** Read a journal file (binary frames or legacy JSON lines,
+    auto-detected): the valid prefix of records plus a count of dropped
+    trailing data — the number of torn lines for a JSON journal, or [1]
+    for a binary journal's torn tail (frame boundaries inside the tail
+    are unknowable). A record that fails its checksum ends the valid
+    prefix — later data is not trusted even if it parses. Raises
+    [Sys_error] when the file cannot be read. *)
 
 val of_records : Record.t list -> t
 (** An in-memory journal pre-populated with the given records — the

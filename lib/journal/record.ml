@@ -1,10 +1,18 @@
-(* Journal records and their durable form.
+(* Journal records and their durable forms.
 
-   Every record serializes to a single JSON line wrapped with an FNV-1a
-   checksum of the payload: [{"crc":C,"rec":R}]. The checksum turns a
-   torn write (the controller died mid-append) or a flipped byte into a
-   detectable corruption instead of a silently wrong replay; [Journal]
-   treats the first bad line as the end of the durable prefix.
+   The durable form is a length-prefixed binary frame: an 11-byte
+   header (magic "EJ", a format version byte, the payload length and an
+   FNV-1a checksum of the payload, both little-endian u32) followed by a
+   compact binary payload. The checksum turns a torn write (the
+   controller died mid-append) or a flipped byte into a detectable
+   corruption instead of a silently wrong replay; [Journal] treats the
+   first bad frame as the end of the durable prefix.
+
+   The JSON line form ([to_line]/[of_line], one checksummed JSON object
+   per line) is kept as the debug export (`entropyctl journal dump`) and
+   as the decoder for journals written before the binary format; the
+   first byte of a journal file selects the codec ('{' is never a valid
+   frame magic).
 
    Configurations are serialized in full (nodes with capacities, VMs,
    states) so a journal is self-contained: recovery does not need the
@@ -349,14 +357,16 @@ let of_json j =
       }
   | t -> corrupt "unknown record type %S" t
 
-(* -- checksummed line form ---------------------------------------------------- *)
+(* -- checksummed line form (JSON debug export + legacy journals) ------------- *)
 
-let checksum s =
+let checksum_sub s ~pos ~len =
   let h = ref 0x811c9dc5 in
-  String.iter
-    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
-    s;
+  for i = pos to pos + len - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * 0x01000193 land 0xffffffff
+  done;
   !h
+
+let checksum s = checksum_sub s ~pos:0 ~len:(String.length s)
 
 let to_line r =
   let payload = Json.to_string (to_json r) in
@@ -385,6 +395,399 @@ let of_line line =
     with Json.Parse_error e -> corrupt "unparseable record payload: %s" e
   in
   of_json rec_json
+
+(* -- binary frame form -------------------------------------------------------- *)
+
+(* Frame layout (all multi-byte integers little-endian):
+
+     0  2   magic "EJ"
+     2  1   format version (currently 1)
+     3  4   payload length (u32)
+     7  4   FNV-1a checksum of the payload (u32)
+    11  n   payload
+
+   The payload is a record tag byte followed by the record's fields:
+   varints (unsigned LEB128) for integers, 8-byte IEEE doubles for
+   times, length-prefixed bytes for names. A frame is rejected — ending
+   the journal's durable prefix — when the header is short or
+   unrecognized, the payload is short, the checksum mismatches, the
+   payload decoder fails, or the payload has trailing bytes. *)
+
+let magic = "EJ"
+let version = 1
+let header_size = 11
+
+let add_varint b v =
+  (* negative values take the full-width form through [lsr] and
+     round-trip exactly on 64-bit; everything we journal is >= 0 *)
+  let rec go v =
+    if v land lnot 0x7f = 0 then Buffer.add_char b (Char.unsafe_chr v)
+    else begin
+      Buffer.add_char b (Char.unsafe_chr (v land 0x7f lor 0x80));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let add_float b f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Buffer.add_char b
+      (Char.unsafe_chr
+         (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff))
+  done
+
+let add_string b s =
+  add_varint b (String.length s);
+  Buffer.add_string b s
+
+type reader = { src : string; limit : int; mutable pos : int }
+
+let read_byte r =
+  if r.pos >= r.limit then corrupt "binary payload: truncated";
+  let c = Char.code (String.unsafe_get r.src r.pos) in
+  r.pos <- r.pos + 1;
+  c
+
+let read_varint r =
+  let rec go shift acc =
+    if shift > 56 then corrupt "binary payload: varint too long";
+    let c = read_byte r in
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_float r =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits :=
+      Int64.logor !bits (Int64.shift_left (Int64.of_int (read_byte r)) (8 * i))
+  done;
+  Int64.float_of_bits !bits
+
+let read_string r =
+  let n = read_varint r in
+  if n < 0 || n > r.limit - r.pos then corrupt "binary payload: truncated string";
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* actions: tag byte + operand varints *)
+
+let add_action b a =
+  let tag t = Buffer.add_char b (Char.unsafe_chr t) in
+  match a with
+  | Action.Run { vm; dst } ->
+    tag 1;
+    add_varint b vm;
+    add_varint b dst
+  | Action.Stop { vm; host } ->
+    tag 2;
+    add_varint b vm;
+    add_varint b host
+  | Action.Migrate { vm; src; dst } ->
+    tag 3;
+    add_varint b vm;
+    add_varint b src;
+    add_varint b dst
+  | Action.Suspend { vm; host } ->
+    tag 4;
+    add_varint b vm;
+    add_varint b host
+  | Action.Resume { vm; src; dst } ->
+    tag 5;
+    add_varint b vm;
+    add_varint b src;
+    add_varint b dst
+  | Action.Suspend_ram { vm; host } ->
+    tag 6;
+    add_varint b vm;
+    add_varint b host
+  | Action.Resume_ram { vm; host } ->
+    tag 7;
+    add_varint b vm;
+    add_varint b host
+
+let read_action r =
+  match read_byte r with
+  | 1 ->
+    let vm = read_varint r in
+    Action.Run { vm; dst = read_varint r }
+  | 2 ->
+    let vm = read_varint r in
+    Action.Stop { vm; host = read_varint r }
+  | 3 ->
+    let vm = read_varint r in
+    let src = read_varint r in
+    Action.Migrate { vm; src; dst = read_varint r }
+  | 4 ->
+    let vm = read_varint r in
+    Action.Suspend { vm; host = read_varint r }
+  | 5 ->
+    let vm = read_varint r in
+    let src = read_varint r in
+    Action.Resume { vm; src; dst = read_varint r }
+  | 6 ->
+    let vm = read_varint r in
+    Action.Suspend_ram { vm; host = read_varint r }
+  | 7 ->
+    let vm = read_varint r in
+    Action.Resume_ram { vm; host = read_varint r }
+  | t -> corrupt "unknown binary action tag %d" t
+
+let add_state b s =
+  let tag t = Buffer.add_char b (Char.unsafe_chr t) in
+  match s with
+  | Configuration.Waiting -> tag 0
+  | Configuration.Terminated -> tag 1
+  | Configuration.Running n ->
+    tag 2;
+    add_varint b n
+  | Configuration.Sleeping n ->
+    tag 3;
+    add_varint b n
+  | Configuration.Sleeping_ram n ->
+    tag 4;
+    add_varint b n
+
+let read_state r =
+  match read_byte r with
+  | 0 -> Configuration.Waiting
+  | 1 -> Configuration.Terminated
+  | 2 -> Configuration.Running (read_varint r)
+  | 3 -> Configuration.Sleeping (read_varint r)
+  | 4 -> Configuration.Sleeping_ram (read_varint r)
+  | t -> corrupt "unknown binary VM-state tag %d" t
+
+let add_config b c =
+  let nodes = Configuration.nodes c in
+  add_varint b (Array.length nodes);
+  Array.iter
+    (fun n ->
+      add_string b (Node.name n);
+      add_varint b (Node.cpu_capacity n);
+      add_varint b (Node.memory_mb n))
+    nodes;
+  let vms = Configuration.vms c in
+  add_varint b (Array.length vms);
+  Array.iter
+    (fun vm ->
+      add_string b (Vm.name vm);
+      add_varint b (Vm.memory_mb vm))
+    vms;
+  for vm = 0 to Array.length vms - 1 do
+    add_state b (Configuration.state c vm)
+  done
+
+let read_config r =
+  let nodes =
+    Array.init (read_varint r) (fun id ->
+        let name = read_string r in
+        let cpu = read_varint r in
+        let mem = read_varint r in
+        (* same crashed-node rule as the JSON decoder: zeroed capacities
+           only ever come from [Node.crashed] *)
+        if cpu <= 0 || mem <= 0 then
+          Node.crashed
+            (Node.make ~id ~name ~cpu_capacity:(max 1 cpu) ~memory_mb:(max 1 mem))
+        else Node.make ~id ~name ~cpu_capacity:cpu ~memory_mb:mem)
+  in
+  let vms =
+    Array.init (read_varint r) (fun id ->
+        let name = read_string r in
+        Vm.make ~id ~name ~memory_mb:(read_varint r))
+  in
+  let states = Array.init (Array.length vms) (fun _ -> read_state r) in
+  Configuration.with_states (Configuration.make ~nodes ~vms) states
+
+let add_plan b plan =
+  let pools = Plan.pools plan in
+  add_varint b (List.length pools);
+  List.iter
+    (fun pool ->
+      add_varint b (List.length pool);
+      List.iter (add_action b) pool)
+    pools
+
+let read_plan r =
+  Plan.make
+    (List.init (read_varint r) (fun _ ->
+         List.init (read_varint r) (fun _ -> read_action r)))
+
+let add_demand b d =
+  let n = Demand.vm_count d in
+  add_varint b n;
+  for vm = 0 to n - 1 do
+    add_varint b (Demand.cpu d vm)
+  done
+
+let read_demand r =
+  let arr = Array.init (read_varint r) (fun _ -> read_varint r) in
+  Demand.of_fn ~vm_count:(Array.length arr) (fun vm -> arr.(vm))
+
+let write_payload b r =
+  let tag t = Buffer.add_char b (Char.unsafe_chr t) in
+  match r with
+  | Switch_begin { switch; at_s; source; target; plan; demand; seed } -> (
+    tag 1;
+    add_varint b switch;
+    add_float b at_s;
+    add_config b source;
+    add_config b target;
+    add_plan b plan;
+    add_demand b demand;
+    match seed with
+    | None -> Buffer.add_char b '\000'
+    | Some s ->
+      Buffer.add_char b '\001';
+      add_varint b s)
+  | Action_started { switch; pool; attempt; at_s; action } ->
+    tag 2;
+    add_varint b switch;
+    add_varint b pool;
+    add_varint b attempt;
+    add_float b at_s;
+    add_action b action
+  | Action_done { switch; pool; at_s; action } ->
+    tag 3;
+    add_varint b switch;
+    add_varint b pool;
+    add_float b at_s;
+    add_action b action
+  | Action_failed { switch; pool; at_s; action } ->
+    tag 4;
+    add_varint b switch;
+    add_varint b pool;
+    add_float b at_s;
+    add_action b action
+  | Pool_committed { switch; pool; at_s } ->
+    tag 5;
+    add_varint b switch;
+    add_varint b pool;
+    add_float b at_s
+  | Switch_end { switch; at_s; aborted } ->
+    tag 6;
+    add_varint b switch;
+    add_float b at_s;
+    Buffer.add_char b (if aborted then '\001' else '\000')
+
+let read_payload r =
+  match read_byte r with
+  | 1 ->
+    let switch = read_varint r in
+    let at_s = read_float r in
+    let source = read_config r in
+    let target = read_config r in
+    let plan = read_plan r in
+    let demand = read_demand r in
+    let seed =
+      match read_byte r with
+      | 0 -> None
+      | 1 -> Some (read_varint r)
+      | t -> corrupt "unknown binary seed tag %d" t
+    in
+    Switch_begin { switch; at_s; source; target; plan; demand; seed }
+  | 2 ->
+    let switch = read_varint r in
+    let pool = read_varint r in
+    let attempt = read_varint r in
+    let at_s = read_float r in
+    Action_started { switch; pool; attempt; at_s; action = read_action r }
+  | 3 ->
+    let switch = read_varint r in
+    let pool = read_varint r in
+    let at_s = read_float r in
+    Action_done { switch; pool; at_s; action = read_action r }
+  | 4 ->
+    let switch = read_varint r in
+    let pool = read_varint r in
+    let at_s = read_float r in
+    Action_failed { switch; pool; at_s; action = read_action r }
+  | 5 ->
+    let switch = read_varint r in
+    let pool = read_varint r in
+    Pool_committed { switch; pool; at_s = read_float r }
+  | 6 ->
+    let switch = read_varint r in
+    let at_s = read_float r in
+    let aborted =
+      match read_byte r with
+      | 0 -> false
+      | 1 -> true
+      | t -> corrupt "unknown binary aborted tag %d" t
+    in
+    Switch_end { switch; at_s; aborted }
+  | t -> corrupt "unknown binary record tag %d" t
+
+(* one shared scratch buffer: frames are built whole before being
+   appended so the header can carry the payload length and checksum *)
+let scratch = Buffer.create 4096
+
+let write_frame b r =
+  Buffer.clear scratch;
+  write_payload scratch r;
+  let payload = Buffer.contents scratch in
+  let len = String.length payload in
+  let crc = checksum payload in
+  Buffer.add_string b magic;
+  Buffer.add_char b (Char.unsafe_chr version);
+  for i = 0 to 3 do
+    Buffer.add_char b (Char.unsafe_chr ((len lsr (8 * i)) land 0xff))
+  done;
+  for i = 0 to 3 do
+    Buffer.add_char b (Char.unsafe_chr ((crc lsr (8 * i)) land 0xff))
+  done;
+  Buffer.add_string b payload
+
+let to_frame r =
+  let b = Buffer.create 256 in
+  write_frame b r;
+  Buffer.contents b
+
+type frame_result =
+  | Frame of t * int  (* decoded record, offset just past its frame *)
+  | Torn of string
+
+let read_u32 s pos =
+  Char.code (String.unsafe_get s pos)
+  lor (Char.code (String.unsafe_get s (pos + 1)) lsl 8)
+  lor (Char.code (String.unsafe_get s (pos + 2)) lsl 16)
+  lor (Char.code (String.unsafe_get s (pos + 3)) lsl 24)
+
+let read_frame src ~pos =
+  let total = String.length src in
+  if pos >= total then None
+  else if pos + header_size > total then Some (Torn "short frame header")
+  else if not (src.[pos] = 'E' && src.[pos + 1] = 'J') then
+    Some (Torn "bad frame magic")
+  else if Char.code src.[pos + 2] <> version then
+    Some (Torn (Printf.sprintf "unknown format version %d" (Char.code src.[pos + 2])))
+  else begin
+    let len = read_u32 src (pos + 3) in
+    let crc = read_u32 src (pos + 7) in
+    let payload_start = pos + header_size in
+    if len < 0 || len > total - payload_start then Some (Torn "short payload")
+    else if checksum_sub src ~pos:payload_start ~len <> crc then
+      Some (Torn "frame checksum mismatch")
+    else
+      let r = { src; pos = payload_start; limit = payload_start + len } in
+      match read_payload r with
+      | record ->
+        if r.pos <> r.limit then Some (Torn "trailing payload bytes")
+        else Some (Frame (record, r.limit))
+      | exception Corrupt reason -> Some (Torn reason)
+  end
+
+(* Group-commit policy hook: every record but [Action_started] is a
+   commit point — the journal must be durable past it before the caller
+   learns the outcome. Started records may batch: losing one re-runs an
+   idempotent action on resume, losing a terminal record would let a
+   completion callback act on state the journal never saw. *)
+let commit_point = function
+  | Action_started _ -> false
+  | Switch_begin _ | Action_done _ | Action_failed _ | Pool_committed _
+  | Switch_end _ -> true
 
 (* -- equality & printing ------------------------------------------------------ *)
 

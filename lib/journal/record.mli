@@ -7,9 +7,13 @@
     {!Switch_end} closes the switch. After a crash, {!Recovery} replays
     the records to reconstruct the in-flight state.
 
-    The durable form is one checksummed JSON line per record
-    ({!to_line} / {!of_line}); a torn or corrupted tail is detected by
-    the checksum and dropped by {!Journal.load}. *)
+    The durable form is a length-prefixed binary frame ({!write_frame} /
+    {!read_frame}): an 11-byte header (magic, version, payload length,
+    FNV-1a checksum) followed by a compact binary payload. A torn or
+    corrupted frame is detected by the header checks and checksum and
+    ends the durable prefix in {!Journal.load}. The checksummed JSON
+    line form ({!to_line} / {!of_line}) remains as the debug export and
+    as the decoder for journals written before the binary format. *)
 
 open Entropy_core
 
@@ -58,6 +62,42 @@ val to_line : t -> string
 
 val of_line : string -> t
 (** Raises {!Corrupt} on a parse error or a checksum mismatch. *)
+
+(** {2 Binary frame form (the durable format)} *)
+
+val magic : string
+(** Frame magic, ["EJ"]. The first byte of a journal file selects its
+    codec: ['{'] means legacy JSON lines, anything else binary frames. *)
+
+val version : int
+(** Format version carried in every frame header; readers reject frames
+    with a version they do not know. *)
+
+val header_size : int
+(** Bytes of frame header preceding the payload (11). *)
+
+val write_frame : Buffer.t -> t -> unit
+(** Append one binary frame (header + payload) to the buffer. *)
+
+val to_frame : t -> string
+(** [write_frame] into a fresh string. *)
+
+type frame_result =
+  | Frame of t * int
+      (** Decoded record and the offset just past its frame. *)
+  | Torn of string
+      (** The bytes at this offset are not a valid frame (short header
+          or payload, bad magic or version, checksum mismatch, payload
+          decode failure); this ends the journal's durable prefix. *)
+
+val read_frame : string -> pos:int -> frame_result option
+(** Decode the frame starting at [pos]; [None] at a clean end of
+    input ([pos >= length]). Never raises. *)
+
+val commit_point : t -> bool
+(** Whether a group-committing backend must flush immediately after
+    this record: true for every kind except [Action_started], whose
+    loss on crash only re-runs an idempotent action on resume. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -45,6 +45,7 @@ type t = {
   programs : Vm.id -> Program.t;  (* original programs, for resubmission *)
   local_ops : int array;        (* per-node running local operations *)
   remote_ops : int array;
+  totals : int array;           (* recompute scratch: per-node demand *)
   alive : bool array;           (* per-node; false after a crash *)
   storage : Storage.t option;   (* NFS bandwidth sharing, when modelled *)
   completions : (Vjob.id, float) Hashtbl.t;
@@ -174,6 +175,20 @@ let rec advance_phase t vm_id epoch () =
     recompute t
   end
 
+(* Set a VM's progress rate and reschedule its phase-completion event. *)
+and set_rate t vm_id rt rate =
+  rt.rate <- rate;
+  if rate > 0. then begin
+    let remaining =
+      match rt.phases with
+      | Program.Compute w :: _ -> w
+      | Program.Idle d :: _ -> d
+      | [] -> 0.
+    in
+    let delay = if remaining > 0. then remaining /. rate else 0. in
+    ignore (Engine.schedule_after t.engine ~delay (advance_phase t vm_id rt.epoch))
+  end
+
 (* Recompute every running VM's rate and reschedule its phase end. *)
 and recompute t =
   let nvm = Array.length t.rts in
@@ -181,9 +196,9 @@ and recompute t =
   for vm_id = 0 to nvm - 1 do
     sync_vm t t.rts.(vm_id)
   done;
-  (* per-node demand totals *)
-  let nnodes = Configuration.node_count t.config in
-  let totals = Array.make nnodes 0 in
+  (* per-node demand totals, into the preallocated scratch array *)
+  let totals = t.totals in
+  Array.fill totals 0 (Array.length totals) 0;
   for vm_id = 0 to nvm - 1 do
     match Configuration.state t.config vm_id with
     | Configuration.Running node -> totals.(node) <- totals.(node) + vm_demand t vm_id
@@ -192,28 +207,12 @@ and recompute t =
   for vm_id = 0 to nvm - 1 do
     let rt = t.rts.(vm_id) in
     rt.epoch <- rt.epoch + 1;
-    let set_rate rate =
-      rt.rate <- rate;
-      if rate > 0. then begin
-        let remaining =
-          match rt.phases with
-          | Program.Compute w :: _ -> w
-          | Program.Idle d :: _ -> d
-          | [] -> 0.
-        in
-        if remaining > 0. then
-          ignore
-            (Engine.schedule_after t.engine ~delay:(remaining /. rate)
-               (advance_phase t vm_id rt.epoch))
-        else ignore (Engine.schedule_after t.engine ~delay:0. (advance_phase t vm_id rt.epoch))
-      end
-    in
     if rt.finished || not rt.launched then rt.rate <- 0.
     else
       match Configuration.state t.config vm_id with
       | Configuration.Running node -> (
         match rt.phases with
-        | Program.Idle _ :: _ -> set_rate 1.
+        | Program.Idle _ :: _ -> set_rate t vm_id rt 1.
         | Program.Compute _ :: _ ->
           let cap = float_of_int (Node.cpu_capacity (Configuration.node t.config node)) in
           let total = float_of_int (max totals.(node) 1) in
@@ -222,7 +221,7 @@ and recompute t =
             float_of_int (vm_demand t vm_id) *. scale /. 100.
           in
           let rate = alloc /. node_decel t node in
-          set_rate rate
+          set_rate t vm_id rt rate
         | [] -> rt.rate <- 0.)
       | Configuration.Waiting | Configuration.Sleeping _
       | Configuration.Sleeping_ram _ | Configuration.Terminated ->
@@ -362,6 +361,7 @@ let create ?(params = Perf_model.defaults) ?storage ~engine ~config ~vjobs
       programs;
       local_ops = Array.make n 0;
       remote_ops = Array.make n 0;
+      totals = Array.make n 0;
       alive = Array.make n true;
       storage;
       completions = Hashtbl.create 16;

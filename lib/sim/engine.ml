@@ -54,10 +54,11 @@ let cancel (ev : handle) =
   | Cancelled | Done -> ()
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some (time, ev) ->
-    t.now <- max t.now time;
+  if Heap.is_empty t.queue then false
+  else begin
+    let time = Heap.top_prio t.queue in
+    let ev = Heap.pop_top t.queue in
+    if time > t.now then t.now <- time;
     (match ev.state with
     | Cancelled -> decr t.queued_cancelled  (* drained *)
     | Done -> ()
@@ -67,16 +68,17 @@ let step t =
       if !Obs.enabled then Metrics.incr (Lazy.force m_events);
       ev.run ());
     true
+  end
 
 let run ?(until = infinity) ?(max_events = max_int) t =
   let rec go n =
-    if n >= max_events then ()
-    else
-      match Heap.peek t.queue with
-      | None -> ()
-      | Some entry when entry.Heap.prio > until -> ()
-      | Some _ ->
-        ignore (step t);
-        go (n + 1)
+    if
+      n < max_events
+      && (not (Heap.is_empty t.queue))
+      && Heap.top_prio t.queue <= until
+    then begin
+      ignore (step t);
+      go (n + 1)
+    end
   in
   go 0

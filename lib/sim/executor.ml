@@ -84,6 +84,14 @@ let involved_nodes = function
   | Action.Suspend_ram { host; _ } | Action.Resume_ram { host; _ } -> [ host ]
   | a -> touched_nodes a
 
+(* First crashed node in the list, or -1 when all are alive: avoids the
+   [List.find_opt] closure + option that the supervised path would
+   otherwise allocate twice per attempt. *)
+let rec first_dead cluster = function
+  | [] -> -1
+  | nd :: rest ->
+    if Cluster.node_alive cluster nd then first_dead cluster rest else nd
+
 let is_pipelined = function
   | Action.Suspend _ | Action.Resume _ | Action.Suspend_ram _
   | Action.Resume_ram _ -> true
@@ -178,20 +186,28 @@ let run_action ?emit ?(switch = 0) ?(pool = 0) cluster ~injector ~policy
   let all_nodes = involved_nodes action in
   let local = Action.is_local action in
   let kind = kind_name action in
-  let journal mk =
-    match emit with
-    | Some f -> f (mk ~at_s:(Engine.now engine))
-    | None -> ()
-  in
+  (* journal emission is inlined per case so the [emit = None] hot path
+     allocates neither a record nor an intermediate closure *)
   let emit_started n =
-    journal (fun ~at_s ->
-        Jrecord.Action_started { switch; pool; attempt = n; at_s; action })
+    match emit with
+    | None -> ()
+    | Some f ->
+      f
+        (Jrecord.Action_started
+           { switch; pool; attempt = n; at_s = Engine.now engine; action })
   in
   let emit_done () =
-    journal (fun ~at_s -> Jrecord.Action_done { switch; pool; at_s; action })
+    match emit with
+    | None -> ()
+    | Some f ->
+      f (Jrecord.Action_done { switch; pool; at_s = Engine.now engine; action })
   in
   let emit_failed () =
-    journal (fun ~at_s -> Jrecord.Action_failed { switch; pool; at_s; action })
+    match emit with
+    | None -> ()
+    | Some f ->
+      f
+        (Jrecord.Action_failed { switch; pool; at_s = Engine.now engine; action })
   in
   let terminal_node_loss node =
     note_node_lost tally node;
@@ -202,11 +218,9 @@ let run_action ?emit ?(switch = 0) ?(pool = 0) cluster ~injector ~policy
     on_complete false
   in
   let rec attempt n =
-    match
-      List.find_opt (fun nd -> not (Cluster.node_alive cluster nd)) all_nodes
-    with
-    | Some node -> terminal_node_loss node
-    | None ->
+    match first_dead cluster all_nodes with
+    | node when node >= 0 -> terminal_node_loss node
+    | _ ->
       emit_started n;
       let config = Cluster.config cluster in
       let busy node = Cluster.busy ~except:vm cluster node in
@@ -253,15 +267,11 @@ let run_action ?emit ?(switch = 0) ?(pool = 0) cluster ~injector ~policy
              | Some st -> Storage.end_transfer st vm
              | None -> ());
              Cluster.unregister_op cluster ~nodes ~local;
-             match
-               List.find_opt
-                 (fun nd -> not (Cluster.node_alive cluster nd))
-                 all_nodes
-             with
-             | Some node ->
+             match first_dead cluster all_nodes with
+             | node when node >= 0 ->
                Cluster.recompute cluster;
                terminal_node_loss node
-             | None ->
+             | _ ->
                if timed_out then begin
                  tally.t_timeouts <- tally.t_timeouts + 1;
                  if !Obs.enabled then Ometrics.incr (Lazy.force m_timeouts);

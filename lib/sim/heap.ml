@@ -1,71 +1,99 @@
 (* Array-based binary min-heap keyed by (priority, sequence number); the
    sequence number makes the pop order of equal-priority entries
-   deterministic (FIFO). *)
+   deterministic (FIFO).
 
-type 'a entry = { prio : float; seq : int; value : 'a }
+   Priorities, sequence numbers, and values live in parallel arrays so
+   the priority array stays an unboxed float array: pushing and popping
+   allocate nothing (no per-entry record, no boxed key), which matters
+   because the simulation engine goes through here for every event. *)
 
 type 'a t = {
-  mutable entries : 'a entry array;
+  mutable prios : float array;
+  mutable seqs : int array;
+  mutable values : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { entries = [||]; size = 0; next_seq = 0 }
+let create () =
+  { prios = [||]; seqs = [||]; values = [||]; size = 0; next_seq = 0 }
 
 let length t = t.size
 let is_empty t = t.size = 0
 
-let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+let less t i j =
+  t.prios.(i) < t.prios.(j)
+  || (t.prios.(i) = t.prios.(j) && t.seqs.(i) < t.seqs.(j))
 
-let grow t entry =
-  let cap = Array.length t.entries in
+let swap t i j =
+  let p = t.prios.(i) in
+  t.prios.(i) <- t.prios.(j);
+  t.prios.(j) <- p;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
+  let v = t.values.(i) in
+  t.values.(i) <- t.values.(j);
+  t.values.(j) <- v
+
+let grow t value =
+  let cap = Array.length t.values in
   if t.size = cap then begin
-    let bigger = Array.make (max 16 (2 * cap)) entry in
-    Array.blit t.entries 0 bigger 0 t.size;
-    t.entries <- bigger
+    let ncap = max 16 (2 * cap) in
+    let prios = Array.make ncap 0. in
+    Array.blit t.prios 0 prios 0 t.size;
+    t.prios <- prios;
+    let seqs = Array.make ncap 0 in
+    Array.blit t.seqs 0 seqs 0 t.size;
+    t.seqs <- seqs;
+    let values = Array.make ncap value in
+    Array.blit t.values 0 values 0 t.size;
+    t.values <- values
   end
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less t.entries.(i) t.entries.(parent) then begin
-      let tmp = t.entries.(i) in
-      t.entries.(i) <- t.entries.(parent);
-      t.entries.(parent) <- tmp;
+    if less t i parent then begin
+      swap t i parent;
       sift_up t parent
     end
   end
 
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && less t.entries.(l) t.entries.(!smallest) then smallest := l;
-  if r < t.size && less t.entries.(r) t.entries.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = t.entries.(i) in
-    t.entries.(i) <- t.entries.(!smallest);
-    t.entries.(!smallest) <- tmp;
-    sift_down t !smallest
+  let smallest = if l < t.size && less t l i then l else i in
+  let smallest = if r < t.size && less t r smallest then r else smallest in
+  if smallest <> i then begin
+    swap t i smallest;
+    sift_down t smallest
   end
 
 let push t prio value =
-  let entry = { prio; seq = t.next_seq; value } in
+  grow t value;
+  let i = t.size in
+  t.prios.(i) <- prio;
+  t.seqs.(i) <- t.next_seq;
+  t.values.(i) <- value;
   t.next_seq <- t.next_seq + 1;
-  grow t entry;
-  t.entries.(t.size) <- entry;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  sift_up t i
 
-let peek t = if t.size = 0 then None else Some t.entries.(0)
+let top_prio t = t.prios.(0)
+
+let pop_top t =
+  let top = t.values.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.prios.(0) <- t.prios.(t.size);
+    t.seqs.(0) <- t.seqs.(t.size);
+    t.values.(0) <- t.values.(t.size);
+    sift_down t 0
+  end;
+  top
 
 let pop t =
   if t.size = 0 then None
-  else begin
-    let top = t.entries.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.entries.(0) <- t.entries.(t.size);
-      sift_down t 0
-    end;
-    Some (top.prio, top.value)
-  end
+  else
+    let prio = top_prio t in
+    Some (prio, pop_top t)

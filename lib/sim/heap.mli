@@ -1,4 +1,8 @@
-(** Binary min-heap with FIFO tie-breaking on equal priorities. *)
+(** Binary min-heap with FIFO tie-breaking on equal priorities.
+
+    Backed by parallel arrays (unboxed float priorities); {!push},
+    {!top_prio} and {!pop_top} allocate nothing, which keeps the
+    per-event cost of the simulation engine flat. *)
 
 type 'a t
 
@@ -6,9 +10,14 @@ val create : unit -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 val push : 'a t -> float -> 'a -> unit
+
+val top_prio : 'a t -> float
+(** Priority of the smallest entry. Undefined when the heap is empty —
+    callers must check {!is_empty} first. *)
+
+val pop_top : 'a t -> 'a
+(** Remove and return the smallest entry (earliest inserted among
+    ties). Undefined when the heap is empty. *)
+
 val pop : 'a t -> (float * 'a) option
-(** Smallest priority (earliest inserted among ties). *)
-
-type 'a entry = { prio : float; seq : int; value : 'a }
-
-val peek : 'a t -> 'a entry option
+(** Option-returning convenience over {!top_prio} + {!pop_top}. *)

@@ -177,8 +177,12 @@ let run_custom ?(params = Perf_model.defaults) ?(period = 30.)
       in
       let obs = { Decision.config; demand; queue; finished } in
       let result =
-        Obs.span ~cat:"loop" ~name:"loop.decide" (fun () ->
-            decision.Decision.decide obs)
+        (* skip span construction entirely when tracing is off: this is
+           the per-iteration hot path of the control loop *)
+        if !Obs.enabled then
+          Obs.span ~cat:"loop" ~name:"loop.decide" (fun () ->
+              decision.Decision.decide obs)
+        else decision.Decision.decide obs
       in
       if Plan.is_empty result.Optimizer.plan then
         ignore (Engine.schedule_after engine ~delay:period iterate)

@@ -208,6 +208,369 @@ let test_torn_tail () =
     dropped;
   Sys.remove path
 
+(* -- binary frame form -------------------------------------------------------- *)
+
+let test_binary_round_trip () =
+  List.iter
+    (fun r ->
+      let frame = Record.to_frame r in
+      check_bool "frame starts with the magic" true
+        (String.length frame >= Record.header_size
+        && String.sub frame 0 2 = Record.magic);
+      match Record.read_frame frame ~pos:0 with
+      | Some (Record.Frame (r', next)) ->
+        check_bool
+          (Format.asprintf "binary round trip: %a" Record.pp r)
+          true (Record.equal r r');
+        check_int "frame consumed whole" (String.length frame) next
+      | Some (Record.Torn reason) ->
+        Alcotest.fail ("fresh frame read as torn: " ^ reason)
+      | None -> Alcotest.fail "fresh frame read as end of input")
+    all_records
+
+let test_binary_crc_every_offset () =
+  (* corrupt every single byte of a mid-journal frame in turn: wherever
+     the flip lands (magic, version, length, crc, payload) the decoded
+     prefix must stop exactly before the corrupted frame *)
+  let path = temp_journal () in
+  let first = List.nth all_records 1 in
+  let frame_a = Record.to_frame first in
+  let frame_b = Record.to_frame rich_begin in
+  let frame_c = Record.to_frame (List.nth all_records 5) in
+  let base = frame_a ^ frame_b ^ frame_c in
+  let a_len = String.length frame_a in
+  for k = 0 to String.length frame_b - 1 do
+    let corrupted = Bytes.of_string base in
+    Bytes.set corrupted (a_len + k)
+      (Char.chr (Char.code (Bytes.get corrupted (a_len + k)) lxor 0x5a));
+    let oc = open_out_bin path in
+    output_bytes oc corrupted;
+    close_out oc;
+    let loaded, dropped = Journal.load path in
+    check_bool
+      (Printf.sprintf "offset %d: prefix ends before the corrupt frame" k)
+      true
+      (match loaded with [ r ] -> Record.equal r first | _ -> false);
+    check_bool (Printf.sprintf "offset %d: tail dropped" k) true (dropped >= 1)
+  done;
+  Sys.remove path
+
+let test_binary_torn_tail_cuts () =
+  (* a crash mid-append can cut anywhere: mid-header, mid-payload, one
+     byte in — the valid prefix must survive, the cut frame must not *)
+  let path = temp_journal () in
+  let frame_a = Record.to_frame (List.nth all_records 4) in
+  let frame_b = Record.to_frame rich_begin in
+  List.iter
+    (fun cut ->
+      let oc = open_out_bin path in
+      output_string oc frame_a;
+      output_string oc (String.sub frame_b 0 cut);
+      close_out oc;
+      let loaded, dropped = Journal.load path in
+      check_int (Printf.sprintf "cut %d: valid prefix kept" cut) 1
+        (List.length loaded);
+      check_int (Printf.sprintf "cut %d: torn tail dropped" cut) 1 dropped)
+    [
+      1;
+      Record.header_size - 3;
+      Record.header_size + 3;
+      String.length frame_b - 1;
+    ];
+  Sys.remove path
+
+let test_reopen_after_torn_tail () =
+  let path = temp_journal () in
+  let j = Journal.open_file path in
+  Journal.append j (Record.Switch_end { switch = 0; at_s = 1.; aborted = false });
+  Journal.close j;
+  (* crash mid-append: garbage bytes after the durable record *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "EJ\x01torn-mid-frame";
+  close_out oc;
+  let recs, dropped = Journal.load path in
+  check_int "one valid record" 1 (List.length recs);
+  check_int "tail dropped" 1 dropped;
+  (* reopening truncates the torn tail so post-crash appends land inside
+     the durable prefix and are read back *)
+  let j2 = Journal.open_file path in
+  check_int "reopen counts the valid prefix" 1 (Journal.length j2);
+  Journal.append j2 (Record.Switch_end { switch = 1; at_s = 2.; aborted = false });
+  Journal.append j2 (Record.Switch_end { switch = 2; at_s = 3.; aborted = false });
+  Journal.close j2;
+  let recs2, dropped2 = Journal.load path in
+  check_int "post-crash appends durable" 3 (List.length recs2);
+  check_int "file clean again" 0 dropped2;
+  Sys.remove path
+
+let test_json_auto_detect () =
+  (* a journal written by the pre-binary format: one JSON line/record *)
+  let path = temp_journal () in
+  let oc = open_out path in
+  List.iter
+    (fun r ->
+      output_string oc (Record.to_line r);
+      output_char oc '\n')
+    all_records;
+  close_out oc;
+  let loaded, dropped = Journal.load path in
+  check_int "no drops" 0 dropped;
+  check_bool "legacy journal loads" true
+    (List.for_all2 Record.equal all_records loaded);
+  (* appends to a legacy journal stay in its line format *)
+  let j = Journal.open_file path in
+  check_int "length counts legacy records" (List.length all_records)
+    (Journal.length j);
+  Journal.append j (Record.Switch_end { switch = 9; at_s = 99.; aborted = false });
+  Journal.close j;
+  let ic = open_in path in
+  let c = input_char ic in
+  close_in ic;
+  check_bool "file still JSON lines" true (c = '{');
+  check_int "append readable" (List.length all_records + 1)
+    (List.length (fst (Journal.load path)));
+  Sys.remove path
+
+let test_group_commit_flush_rules () =
+  let path = temp_journal () in
+  let j = Journal.open_file path in
+  let started n =
+    Record.Action_started
+      {
+        switch = 0;
+        pool = 0;
+        attempt = 1;
+        at_s = float_of_int n;
+        action = Action.Migrate { vm = n; src = 0; dst = 1 };
+      }
+  in
+  Journal.append j (started 0);
+  (* a non-terminal record batches: nothing on disk yet *)
+  check_int "started buffered, not durable" 0
+    (List.length (fst (Journal.load path)));
+  (* a terminal record is a commit point: the whole batch flushes
+     before append returns *)
+  Journal.append j
+    (Record.Action_done
+       {
+         switch = 0;
+         pool = 0;
+         at_s = 1.;
+         action = Action.Migrate { vm = 0; src = 0; dst = 1 };
+       });
+  check_int "commit point flushes the batch" 2
+    (List.length (fst (Journal.load path)));
+  Journal.append j (started 1);
+  check_int "next started batches again" 2
+    (List.length (fst (Journal.load path)));
+  Journal.flush j;
+  check_int "explicit flush drains the buffer" 3
+    (List.length (fst (Journal.load path)));
+  Journal.close j;
+  (* the record-count threshold also forces a flush *)
+  let j2 = Journal.open_file ~flush_records:2 path in
+  Journal.append j2 (started 2);
+  check_int "below threshold: buffered" 3
+    (List.length (fst (Journal.load path)));
+  Journal.append j2 (started 3);
+  check_int "threshold reached: flushed" 5
+    (List.length (fst (Journal.load path)));
+  Journal.close j2;
+  Sys.remove path
+
+(* binary and JSON journals of the same run must replay and reconcile
+   identically — the debug export is a faithful view of the WAL *)
+let test_binary_json_parity () =
+  let mig vm = Action.Migrate { vm; src = 0; dst = 1 } in
+  let records =
+    [
+      Record.Switch_begin
+        {
+          switch = 0;
+          at_s = 1.;
+          source =
+            mk_config ~nodes:3 ~vm_count:2
+              Configuration.[ Running 0; Running 0 ];
+          target =
+            mk_config ~nodes:3 ~vm_count:2
+              Configuration.[ Running 1; Running 1 ];
+          plan = Plan.make [ [ mig 0; mig 1 ] ];
+          demand = Demand.uniform ~vm_count:2 40;
+          seed = Some 7;
+        };
+      Record.Action_started
+        { switch = 0; pool = 0; attempt = 1; at_s = 2.; action = mig 0 };
+      Record.Action_done { switch = 0; pool = 0; at_s = 3.; action = mig 0 };
+      Record.Action_started
+        { switch = 0; pool = 0; attempt = 1; at_s = 2.5; action = mig 1 };
+    ]
+  in
+  let bin_path = temp_journal () and json_path = temp_journal () in
+  let j = Journal.open_file bin_path in
+  List.iter (Journal.append j) records;
+  Journal.close j;
+  let oc = open_out json_path in
+  List.iter
+    (fun r ->
+      output_string oc (Record.to_line r);
+      output_char oc '\n')
+    records;
+  close_out oc;
+  let bin_records = fst (Journal.load bin_path) in
+  let json_records = fst (Journal.load json_path) in
+  check_bool "same records from both codecs" true
+    (List.length bin_records = List.length json_records
+    && List.for_all2 Record.equal bin_records json_records);
+  let observed =
+    mk_config ~nodes:3 ~vm_count:2 Configuration.[ Running 1; Running 0 ]
+  in
+  (match (Recovery.replay bin_records, Recovery.replay json_records) with
+  | Some sb, Some sj ->
+    let rb = Recovery.reconcile ~state:sb ~observed () in
+    let rj = Recovery.reconcile ~state:sj ~observed () in
+    Alcotest.(check (list int))
+      "same done VMs" rj.Recovery.done_vms rb.Recovery.done_vms;
+    Alcotest.(check (list int))
+      "same pending VMs" rj.Recovery.pending_vms rb.Recovery.pending_vms;
+    Alcotest.(check (list int))
+      "same frozen VMs" rj.Recovery.frozen_vms rb.Recovery.frozen_vms;
+    check_bool "same salvaged target" true
+      (Configuration.equal rb.Recovery.target rj.Recovery.target)
+  | _ -> Alcotest.fail "replay lost the switch on one codec");
+  Sys.remove bin_path;
+  Sys.remove json_path
+
+(* -- randomized codec properties ---------------------------------------------- *)
+
+module Gen = QCheck.Gen
+
+let gen_action =
+  let open Gen in
+  let vm = int_bound 40 and node = int_bound 7 in
+  oneof
+    [
+      map2 (fun vm dst -> Action.Run { vm; dst }) vm node;
+      map2 (fun vm host -> Action.Stop { vm; host }) vm node;
+      map3 (fun vm src dst -> Action.Migrate { vm; src; dst }) vm node node;
+      map2 (fun vm host -> Action.Suspend { vm; host }) vm node;
+      map3 (fun vm src dst -> Action.Resume { vm; src; dst }) vm node node;
+      map2 (fun vm host -> Action.Suspend_ram { vm; host }) vm node;
+      map2 (fun vm host -> Action.Resume_ram { vm; host }) vm node;
+    ]
+
+(* a random config over [nnodes] nodes of which the last may be crashed;
+   VM states only reference the alive ones *)
+let gen_config =
+  let open Gen in
+  int_range 2 4 >>= fun nnodes ->
+  bool >>= fun crash_last ->
+  int_range 1 6 >>= fun nvms ->
+  let alive = if crash_last then nnodes - 1 else nnodes in
+  let gen_state =
+    oneof
+      [
+        return Configuration.Waiting;
+        return Configuration.Terminated;
+        map (fun n -> Configuration.Running n) (int_bound (alive - 1));
+        map (fun n -> Configuration.Sleeping n) (int_bound (alive - 1));
+        map (fun n -> Configuration.Sleeping_ram n) (int_bound (alive - 1));
+      ]
+  in
+  list_size (return nvms) gen_state >>= fun states ->
+  return
+    (mk_config
+       ~crashed:(if crash_last then [ nnodes - 1 ] else [])
+       ~nodes:nnodes ~vm_count:nvms states)
+
+let gen_record =
+  let open Gen in
+  let at_s = map (fun f -> Float.abs f) (float_bound_inclusive 1e6) in
+  oneof
+    [
+      ( gen_config >>= fun source ->
+        gen_config >>= fun target ->
+        int_range 1 3 >>= fun npools ->
+        list_size (return npools) (list_size (int_bound 4) gen_action)
+        >>= fun pools ->
+        int_range 0 6 >>= fun nd ->
+        list_size (return nd) (int_bound 100) >>= fun cpus ->
+        let arr = Array.of_list cpus in
+        opt (int_bound 1000) >>= fun seed ->
+        int_bound 50 >>= fun switch ->
+        at_s >>= fun at ->
+        return
+          (Record.Switch_begin
+             {
+               switch;
+               at_s = at;
+               source;
+               target;
+               plan = Plan.make pools;
+               demand =
+                 Demand.of_fn ~vm_count:(Array.length arr) (fun vm -> arr.(vm));
+               seed;
+             }) );
+      ( int_bound 50 >>= fun switch ->
+        int_bound 5 >>= fun pool ->
+        int_range 1 4 >>= fun attempt ->
+        at_s >>= fun at ->
+        gen_action >>= fun action ->
+        return
+          (Record.Action_started { switch; pool; attempt; at_s = at; action })
+      );
+      ( int_bound 50 >>= fun switch ->
+        int_bound 5 >>= fun pool ->
+        at_s >>= fun at ->
+        gen_action >>= fun action ->
+        return (Record.Action_done { switch; pool; at_s = at; action }) );
+      ( int_bound 50 >>= fun switch ->
+        int_bound 5 >>= fun pool ->
+        at_s >>= fun at ->
+        gen_action >>= fun action ->
+        return (Record.Action_failed { switch; pool; at_s = at; action }) );
+      ( int_bound 50 >>= fun switch ->
+        int_bound 5 >>= fun pool ->
+        at_s >>= fun at ->
+        return (Record.Pool_committed { switch; pool; at_s = at }) );
+      ( int_bound 50 >>= fun switch ->
+        at_s >>= fun at ->
+        bool >>= fun aborted ->
+        return (Record.Switch_end { switch; at_s = at; aborted }) );
+    ]
+
+let arb_record = QCheck.make ~print:(Format.asprintf "%a" Record.pp) gen_record
+
+let prop_binary_round_trip =
+  QCheck.Test.make ~name:"binary codec round-trips any record" ~count:300
+    arb_record (fun r ->
+      match Record.read_frame (Record.to_frame r) ~pos:0 with
+      | Some (Record.Frame (r', _)) -> Record.equal r r'
+      | _ -> false)
+
+let prop_sequence_with_torn_suffix =
+  QCheck.Test.make
+    ~name:"frame sequence + garbage suffix decodes to the exact prefix"
+    ~count:100
+    QCheck.(
+      make
+        Gen.(
+          pair (list_size (int_range 0 6) gen_record)
+            (small_string ~gen:printable)))
+    (fun (records, garbage) ->
+      let b = Buffer.create 1024 in
+      List.iter (Record.write_frame b) records;
+      (* prefix the garbage so it can never fake a frame magic *)
+      if garbage <> "" then Buffer.add_string b ("X" ^ garbage);
+      let path = temp_journal () in
+      let oc = open_out_bin path in
+      Buffer.output_buffer oc b;
+      close_out oc;
+      let loaded, dropped = Journal.load path in
+      Sys.remove path;
+      List.length loaded = List.length records
+      && List.for_all2 Record.equal records loaded
+      && dropped = (if garbage = "" then 0 else 1))
+
 (* -- replay ------------------------------------------------------------------- *)
 
 let source2 =
@@ -440,6 +803,23 @@ let () =
           Alcotest.test_case "of_records" `Quick test_of_records;
           Alcotest.test_case "file" `Quick test_file_backend;
           Alcotest.test_case "torn tail" `Quick test_torn_tail;
+        ] );
+      ( "binary",
+        [
+          Alcotest.test_case "round trip" `Quick test_binary_round_trip;
+          Alcotest.test_case "crc corruption at every offset" `Quick
+            test_binary_crc_every_offset;
+          Alcotest.test_case "torn tail cuts" `Quick test_binary_torn_tail_cuts;
+          Alcotest.test_case "reopen after torn tail" `Quick
+            test_reopen_after_torn_tail;
+          Alcotest.test_case "legacy json auto-detect" `Quick
+            test_json_auto_detect;
+          Alcotest.test_case "group commit flush rules" `Quick
+            test_group_commit_flush_rules;
+          Alcotest.test_case "binary/json parity" `Quick
+            test_binary_json_parity;
+          QCheck_alcotest.to_alcotest prop_binary_round_trip;
+          QCheck_alcotest.to_alcotest prop_sequence_with_torn_suffix;
         ] );
       ( "replay",
         [
