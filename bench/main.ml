@@ -257,6 +257,41 @@ let bench_ablation_online_rms () =
   Test.make ~name:"ablation/online_rms_8jobs"
     (Staged.stage (fun () -> ignore (Batch.Rms.simulate ~capacity:11 jobs)))
 
+(* Model-checker throughput probe: bounded exploration of the canonical
+   6-VM/3-node instance (fixed state count, so ns_per_run is the inverse
+   of check/states_per_sec). A pruning or dedup regression shows up here
+   directly as a slower run. *)
+let bench_check_states () =
+  let instance =
+    lazy
+      (let { Generator.config = source; demand; vjobs } =
+         Generator.generate
+           { Generator.default_spec with node_count = 3; vm_target = 6; seed = 42 }
+       in
+       let outcome = Rjsp.solve ~rules:[] ~config:source ~demand ~queue:vjobs () in
+       let target =
+         Rgraph.normalize_sleeping ~current:source outcome.Rjsp.ffd_config
+       in
+       let plan = Planner.build_plan ~vjobs ~current:source ~target ~demand () in
+       (source, target, demand, vjobs, plan))
+  in
+  let limits =
+    {
+      Entropy_check.Checker.default_limits with
+      depth = 4;
+      sim_runs = 0;
+      crash = false;
+    }
+  in
+  Test.make ~name:"check/states_per_sec"
+    (Staged.stage (fun () ->
+         let source, target, demand, vjobs, plan = Lazy.force instance in
+         let r =
+           Entropy_check.Checker.check ~vjobs ~limits ~source ~target ~demand
+             plan
+         in
+         assert (r.Entropy_check.Checker.violations = [])))
+
 let all_tests : (string * (unit -> Test.t)) list =
   [
     mk "fig3/duration_model" (fun () -> ignore (Vsim.Perf_model.figure3_rows ()));
@@ -274,6 +309,7 @@ let all_tests : (string * (unit -> Test.t)) list =
     ("journal/sim_binary_2vjobs", bench_journal_binary_sim);
     ("journal/flush_batched", bench_journal_flush ~batched:true);
     ("journal/flush_unbatched", bench_journal_flush ~batched:false);
+    ("check/states_per_sec", bench_check_states);
     ("fig12/static_fcfs_8vjobs", bench_fig12_static);
     ("fig13/utilization_series", bench_fig13_series);
     ( "ablation/rjsp_first_fit",

@@ -1,11 +1,13 @@
 (* entropyctl — inspect a cluster description and plan cluster-wide
    context switches against it.
 
-     entropyctl check   cluster.ecl        viability + rule report
+     entropyctl status  cluster.ecl        viability + rule report
      entropyctl plan    cluster.ecl        one decision iteration + plan
      entropyctl actions cur.ecl new.ecl    raw plan between two specs
      entropyctl lint    cluster.ecl        static analysis of the CP
                                            model and the planned switch
+     entropyctl check   [cluster.ecl]      model-check the planned switch:
+                                           interleavings + crash states
      entropyctl profile                    one optimisation on a Fig. 10
                                            instance, per-phase timings *)
 
@@ -62,9 +64,9 @@ let load_or_exit path =
     Printf.eprintf "%s\n" e;
     exit 2
 
-(* -- check ---------------------------------------------------------------- *)
+(* -- status --------------------------------------------------------------- *)
 
-let check path =
+let status path =
   let spec = load_or_exit path in
   let { Spec.config; demand; vjobs; rules; _ } = spec in
   let cpu, mem = Configuration.loads config demand in
@@ -370,6 +372,114 @@ let write_json_file path json =
   output_string oc (Entropy_obs.Json.to_string json);
   output_char oc '\n';
   close_out oc
+
+(* -- check (model checker) ---------------------------------------------------
+
+   Derive the (source, target, plan) switch — from a cluster
+   description, or a generated Fig. 10-style instance — and hand it to
+   the model checker: every interleaving the pool barriers admit (up to
+   trace equivalence), every crash cut of the journal trace, plus
+   conformance runs of the real executor under enumerated tie-breaks. *)
+
+let derived_switch ~source ~demand ~vjobs ~rules =
+  let outcome = Rjsp.solve ~rules ~config:source ~demand ~queue:vjobs () in
+  let target =
+    Rgraph.normalize_sleeping ~current:source outcome.Rjsp.ffd_config
+  in
+  match Planner.build_plan ~vjobs ~current:source ~target ~demand () with
+  | plan -> (target, plan)
+  | exception Planner.Stuck reason ->
+    Printf.eprintf "check: planner stuck (%s), nothing to check\n" reason;
+    exit 2
+
+let model_check cluster vms nodes seed depth max_states max_crash
+    max_violations exhaustive no_crash no_torn sim_runs invariant_names
+    json_path seed_file replay_path =
+  let module C = Entropy_check.Checker in
+  let module I = Entropy_check.Invariant in
+  let module W = Entropy_check.Witness in
+  let invariants =
+    match invariant_names with
+    | [] -> I.all
+    | names ->
+      List.map
+        (fun n ->
+          match I.of_string n with
+          | Some i -> i
+          | None ->
+            Printf.eprintf "check: unknown invariant %S (known: %s)\n" n
+              (String.concat ", " (List.map I.to_string I.all));
+            exit 2)
+        names
+  in
+  let source, demand, vjobs, rules =
+    match cluster with
+    | Some path ->
+      let { Spec.config; demand; vjobs; rules; _ } = load_or_exit path in
+      (config, demand, vjobs, rules)
+    | None ->
+      let { Vworkload.Generator.config; demand; vjobs } =
+        Vworkload.Generator.generate
+          {
+            Vworkload.Generator.default_spec with
+            node_count = nodes;
+            vm_target = vms;
+            seed;
+          }
+      in
+      (config, demand, vjobs, [])
+  in
+  let target, plan = derived_switch ~source ~demand ~vjobs ~rules in
+  Printf.printf "check: %d VMs / %d nodes, plan of %d actions in %d pools\n"
+    (Configuration.vm_count source)
+    (Configuration.node_count source)
+    (Plan.action_count plan) (Plan.pool_count plan);
+  match replay_path with
+  | Some path -> (
+    let witness =
+      try W.of_file path with
+      | W.Malformed m | Sys_error m ->
+        Printf.eprintf "check: %s\n" m;
+        exit 2
+    in
+    let ctx = C.make_ctx ~vjobs ~invariants ~source ~target ~demand plan in
+    match C.replay ctx witness with
+    | None ->
+      Printf.printf "replay: schedule not executable against this plan\n";
+      exit 1
+    | Some [] -> Printf.printf "replay: no violation\n"
+    | Some vs ->
+      Printf.printf "replay: %d violation(s)\n" (List.length vs);
+      List.iter
+        (fun v -> Fmt.pr "  %a@." Entropy_check.Invariant.pp_violation v)
+        vs;
+      exit 1)
+  | None ->
+    let limits =
+      {
+        C.depth;
+        max_states;
+        max_crash_checks = max_crash;
+        max_violations;
+        exhaustive;
+        crash = not no_crash;
+        torn = not no_torn;
+        sim_runs;
+      }
+    in
+    let report =
+      C.check ~vjobs ~invariants ~limits ~source ~target ~demand plan
+    in
+    Fmt.pr "%a" C.pp_report report;
+    Option.iter
+      (fun p -> write_json_file p (C.report_to_json report))
+      json_path;
+    (match (report.C.counterexample, seed_file) with
+    | Some c, Some p ->
+      W.to_file p c.C.minimized;
+      Printf.printf "minimized counterexample written to %s\n" p
+    | _ -> ());
+    if report.C.violations <> [] then exit 1
 
 let chaos vms nodes seed fail_rate crashes timeout_factor retries cp_timeout
     max_time kill_at journal_path json trace metrics =
@@ -728,10 +838,142 @@ let metrics_arg =
           "Write the metrics registry: Prometheus text format when FILE \
            ends in $(b,.prom), JSON otherwise.")
 
-let check_cmd =
+let status_cmd =
   Cmd.v
-    (Cmd.info "check" ~doc:"Report loads, viability and rule violations")
-    Term.(const (fun () p -> check p) $ logs_term $ file_arg 0 "CLUSTER")
+    (Cmd.info "status" ~doc:"Report loads, viability and rule violations")
+    Term.(const (fun () p -> status p) $ logs_term $ file_arg 0 "CLUSTER")
+
+let check_cmd =
+  let cluster_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"CLUSTER"
+          ~doc:
+            "Cluster description to check; omitted, a Fig. 10-style \
+             instance is generated from $(b,--vms)/$(b,--nodes)/$(b,--seed).")
+  in
+  let vms_arg =
+    Arg.(
+      value & opt int 54
+      & info [ "vms" ] ~docv:"N"
+          ~doc:"Number of VMs in the generated instance.")
+  in
+  let nodes_arg =
+    Arg.(
+      value & opt int 15
+      & info [ "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Instance generator seed.")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "depth" ] ~docv:"N"
+          ~doc:
+            "Branching depth of the bounded exploration: all interleavings \
+             for the first $(i,N) steps, the canonical schedule beyond. \
+             Ignored with $(b,--exhaustive).")
+  in
+  let max_states_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-states" ] ~docv:"N" ~doc:"Explored-state budget.")
+  in
+  let max_crash_arg =
+    Arg.(
+      value & opt int 4_000
+      & info [ "max-crash-checks" ] ~docv:"N"
+          ~doc:
+            "Crash-recovery re-check budget (unbounded with \
+             $(b,--exhaustive)).")
+  in
+  let max_violations_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "max-violations" ] ~docv:"N"
+          ~doc:"Stop exploring after this many distinct violations.")
+  in
+  let exhaustive_arg =
+    Arg.(
+      value & flag
+      & info [ "exhaustive" ]
+          ~doc:
+            "Explore the whole state space: no depth bound, no sleep-set \
+             pruning, no crash budget, every torn-frame byte offset. Only \
+             trace-equivalent duplicate states are skipped.")
+  in
+  let no_crash_arg =
+    Arg.(
+      value & flag
+      & info [ "no-crash" ] ~doc:"Skip crash-state exploration.")
+  in
+  let no_torn_arg =
+    Arg.(
+      value & flag
+      & info [ "no-torn" ] ~doc:"Skip torn-frame byte-cut checks.")
+  in
+  let sim_runs_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "sim-runs" ] ~docv:"N"
+          ~doc:
+            "Conformance runs of the real discrete-event executor under \
+             enumerated tie-break schedules (0 disables).")
+  in
+  let invariant_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "invariant" ] ~docv:"NAME"
+          ~doc:
+            "Check only this invariant (repeatable): $(b,capacity), \
+             $(b,lifecycle), $(b,precedence), $(b,write-ahead), \
+             $(b,resume-equiv), $(b,cost-monotone), $(b,termination). \
+             Default: all.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the machine-readable report to $(i,FILE).")
+  in
+  let seed_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "seed-file" ] ~docv:"FILE"
+          ~doc:
+            "Write the minimized counterexample witness to $(i,FILE) \
+             (replay it with $(b,--replay)).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a witness seed file against the derived plan instead \
+             of exploring.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Model-check the planned switch: explore executor interleavings \
+          and journal crash states, checking capacity, lifecycle, \
+          precedence, write-ahead, resume-equivalence, cost and \
+          termination invariants")
+    Term.(
+      const (fun () c v n s d ms mc mv ex nc nt sr inv j sf rp ->
+          model_check c v n s d ms mc mv ex nc nt sr inv j sf rp)
+      $ logs_term $ cluster_arg $ vms_arg $ nodes_arg $ seed_arg $ depth_arg
+      $ max_states_arg $ max_crash_arg $ max_violations_arg $ exhaustive_arg
+      $ no_crash_arg $ no_torn_arg $ sim_runs_arg $ invariant_arg $ json_arg
+      $ seed_file_arg $ replay_arg)
 
 let plan_cmd =
   Cmd.v
@@ -971,7 +1213,7 @@ let resume_cmd =
    stdout. Torn-tail diagnostics go to stderr so the output stays
    pipeable. *)
 
-let journal_dump journal_path =
+let journal_dump journal_path strict =
   let records, dropped =
     try Entropy_journal.Journal.load journal_path
     with Sys_error e ->
@@ -983,12 +1225,22 @@ let journal_dump journal_path =
       print_endline
         (Entropy_obs.Json.to_string (Entropy_journal.Record.to_json r)))
     records;
-  if dropped > 0 then
-    Printf.eprintf "journal dump: %d torn record(s) dropped at tail\n" dropped
+  if dropped > 0 then begin
+    Printf.eprintf "journal dump: %d torn record(s) dropped at tail%s\n"
+      dropped
+    (if strict then " (failing: --strict)" else "");
+    if strict then exit 1
+  end
 
 let journal_cmd =
   let journal_pos =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"JOURNAL")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit non-zero when a torn tail was detected and dropped.")
   in
   let dump_cmd =
     Cmd.v
@@ -997,7 +1249,9 @@ let journal_cmd =
            "Decode a write-ahead journal (binary frames or legacy JSON \
             lines, auto-detected) and print each record as one JSON line \
             on stdout")
-      Term.(const (fun () p -> journal_dump p) $ logs_term $ journal_pos)
+      Term.(
+        const (fun () p s -> journal_dump p s)
+        $ logs_term $ journal_pos $ strict_arg)
   in
   Cmd.group
     (Cmd.info "journal" ~doc:"Inspect write-ahead switch journals")
@@ -1012,6 +1266,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            check_cmd; plan_cmd; lint_cmd; actions_cmd; simulate_cmd;
-            profile_cmd; chaos_cmd; resume_cmd; journal_cmd;
+            status_cmd; check_cmd; plan_cmd; lint_cmd; actions_cmd;
+            simulate_cmd; profile_cmd; chaos_cmd; resume_cmd; journal_cmd;
           ]))

@@ -1,5 +1,5 @@
 # Sample cluster description for entropyctl.
-#   dune exec bin/entropyctl.exe -- check examples/cluster.ecl
+#   dune exec bin/entropyctl.exe -- status examples/cluster.ecl
 #   dune exec bin/entropyctl.exe -- plan  examples/cluster.ecl
 # Nodes: cpu in cores, memory in MB. VM demand in hundredths of a core.
 

@@ -1,0 +1,27 @@
+(** Crash-state exploration: every commit-point boundary × group-commit
+    buffer state × torn-frame byte cut of an explored state's journal
+    trace, each resumed via {!Entropy_journal.Recovery} and re-checked.
+
+    The group-commit rules fix what can be durable: everything up to
+    the last commit-point record, plus any whole-frame prefix of the
+    buffered [Action_started] tail ([kept]), plus optionally a torn cut
+    partway into the next frame. Each durable cut is replayed
+    ([Write_ahead]: the journal projection must equal the reached
+    configuration), reconciled, and its rebuilt resume plan checked for
+    equivalence with the original switch ([Resume_equiv]); torn cuts
+    additionally exercise the codec's torn-tail rule. *)
+
+val explore :
+  Model.ctx -> Model.state -> torn:bool -> exhaustive:bool ->
+  seen:(string, unit) Hashtbl.t -> budget:int ref -> crash_checks:int ref ->
+  torn_cuts:int ref ->
+  (Witness.crash * Invariant.violation) list
+(** All crash cuts of one state. [seen] dedups identical durable cuts
+    across states; [budget] bounds the recovery re-checks (decremented
+    per fresh cut — torn decoder checks are cheap and uncounted).
+    [exhaustive] checks every byte offset of a torn frame instead of a
+    boundary sample. *)
+
+val check_spec :
+  Model.ctx -> Model.state -> Witness.crash -> Invariant.violation list
+(** Replay one crash spec (out-of-range [kept]/[torn] are clamped). *)

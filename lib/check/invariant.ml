@@ -1,0 +1,50 @@
+(* The pluggable invariant catalogue. Each id names one paper-level
+   property the checker evaluates at every explored state (or crash
+   state); a violation carries the step index of the witness trace it
+   was observed at and a human-readable detail line. *)
+
+type id =
+  | Capacity
+  | Lifecycle
+  | Precedence
+  | Write_ahead
+  | Resume_equiv
+  | Cost_monotone
+  | Termination
+
+let all =
+  [
+    Capacity;
+    Lifecycle;
+    Precedence;
+    Write_ahead;
+    Resume_equiv;
+    Cost_monotone;
+    Termination;
+  ]
+
+let to_string = function
+  | Capacity -> "capacity"
+  | Lifecycle -> "lifecycle"
+  | Precedence -> "precedence"
+  | Write_ahead -> "write-ahead"
+  | Resume_equiv -> "resume-equiv"
+  | Cost_monotone -> "cost-monotone"
+  | Termination -> "termination"
+
+let of_string = function
+  | "capacity" -> Some Capacity
+  | "lifecycle" -> Some Lifecycle
+  | "precedence" -> Some Precedence
+  | "write-ahead" | "write_ahead" -> Some Write_ahead
+  | "resume-equiv" | "resume_equiv" | "resume" -> Some Resume_equiv
+  | "cost-monotone" | "cost_monotone" | "cost" -> Some Cost_monotone
+  | "termination" -> Some Termination
+  | _ -> None
+
+let pp ppf id = Format.pp_print_string ppf (to_string id)
+
+type violation = { invariant : id; step : int; detail : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%a] step %d: %s" pp v.invariant v.step v.detail

@@ -1,0 +1,7 @@
+(* Log source for the model checker. Enable with e.g.
+   [Logs.set_reporter (Logs_fmt.reporter ()); Logs.Src.set_level
+   Log.src (Some Logs.Debug)]. *)
+
+let src = Logs.Src.create "entropy.check" ~doc:"Switch model checker"
+
+include (val Logs.src_log src : Logs.LOG)

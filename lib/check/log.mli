@@ -1,0 +1,5 @@
+(** Log source for the model checker ([entropy.check]). *)
+
+val src : Logs.Src.t
+
+include Logs.LOG

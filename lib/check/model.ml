@@ -1,0 +1,334 @@
+(* The abstract transition system the checker explores: the pool-based
+   executor under adversarial timing. A state maps every plan action to
+   Idle / In_flight / Done over a configuration; the two transition
+   kinds mirror the executor's observable commit points — starting an
+   action (its claim becomes visible, an [Action_started] record is
+   appended) and finishing it (its effect is applied *after* the
+   terminal record, preserving the write-ahead order). Pools are
+   barriers: only the current pool's actions may start, and draining a
+   pool appends [Pool_committed] (then [Switch_end] after the last).
+
+   Durations are abstracted away entirely — any interleaving of starts
+   and finishes the barrier structure admits is reachable, which covers
+   every timing the discrete-event executor (contention, slowdowns,
+   pipelining) could produce and more. *)
+
+open Entropy_core
+module Record = Entropy_journal.Record
+module Verifier = Entropy_analysis.Verifier
+
+type ctx = {
+  source : Configuration.t;
+  target : Configuration.t;  (* sleeping locations normalized *)
+  demand : Demand.t;
+  vjobs : Vjob.t list;
+  plan : Plan.t;
+  actions : Action.t array;  (* pools flattened, global index *)
+  pool_of : int array;
+  n_pools : int;
+  allowed_cpu : int array;
+      (* capacity, or the source's own load where it already exceeded
+         capacity: the relative-overload allowance *)
+  allowed_mem : int array;
+  costs : int array;  (* Table 1 local cost per action *)
+  total_cost : int;
+  invariants : Invariant.id list;
+  switch : int;
+}
+
+type status = Idle | In_flight | Done_ok
+
+type state = {
+  config : Configuration.t;
+  status : status array;
+  pool : int;  (* current pool; [n_pools] once the switch completed *)
+  cost : int;  (* cumulative Table 1 cost of finished actions *)
+  nsteps : int;
+  rev_steps : Witness.step list;
+  rev_records : Record.t list;  (* newest first, [Switch_begin] last *)
+}
+
+let make_ctx ?(vjobs = []) ?(invariants = Invariant.all) ~source ~target
+    ~demand plan =
+  let target = Rgraph.normalize_sleeping ~current:source target in
+  let pools = Plan.pools plan in
+  let actions = Array.of_list (Plan.actions plan) in
+  let pool_of = Array.make (Array.length actions) 0 in
+  let n_pools = List.length pools in
+  let i = ref 0 in
+  List.iteri
+    (fun p pool ->
+      List.iter
+        (fun _ ->
+          pool_of.(!i) <- p;
+          incr i)
+        pool)
+    pools;
+  let n = Configuration.node_count source in
+  let cpu, mem = Configuration.loads source demand in
+  let allowed_cpu =
+    Array.init n (fun i ->
+        max (Node.cpu_capacity (Configuration.node source i)) cpu.(i))
+  in
+  let allowed_mem =
+    Array.init n (fun i ->
+        max (Node.memory_mb (Configuration.node source i)) mem.(i))
+  in
+  let costs = Array.map (Verifier.table1_action_cost source) actions in
+  {
+    source;
+    target;
+    demand;
+    vjobs;
+    plan;
+    actions;
+    pool_of;
+    n_pools;
+    allowed_cpu;
+    allowed_mem;
+    costs;
+    total_cost = Array.fold_left ( + ) 0 costs;
+    invariants;
+    switch = 0;
+  }
+
+let want ctx inv = List.mem inv ctx.invariants
+
+let begin_record ctx =
+  Record.Switch_begin
+    {
+      switch = ctx.switch;
+      at_s = 0.;
+      source = ctx.source;
+      target = ctx.target;
+      plan = ctx.plan;
+      demand = ctx.demand;
+      seed = None;
+    }
+
+let init ctx =
+  {
+    config = ctx.source;
+    status = Array.make (Array.length ctx.actions) Idle;
+    pool = 0;
+    cost = 0;
+    nsteps = 0;
+    rev_steps = [];
+    rev_records = [ begin_record ctx ];
+  }
+
+let finished ctx state = state.pool >= ctx.n_pools
+
+(* Canonical dedup key: per-action status plus the current pool. The
+   configuration and cumulative cost are functions of the done set, so
+   the status vector determines the whole state. *)
+let key state =
+  let n = Array.length state.status in
+  let b = Bytes.create (n + 1) in
+  Array.iteri
+    (fun i s ->
+      Bytes.unsafe_set b i
+        (match s with Idle -> '.' | In_flight -> '+' | Done_ok -> '#'))
+    state.status;
+  Bytes.set b n (Char.chr (state.pool land 0xff));
+  Bytes.unsafe_to_string b
+
+let enabled ctx state =
+  if finished ctx state then []
+  else begin
+    let starts = ref [] and finishes = ref [] in
+    for i = Array.length state.status - 1 downto 0 do
+      match state.status.(i) with
+      | Idle -> if ctx.pool_of.(i) = state.pool then starts := Witness.Start i :: !starts
+      | In_flight -> finishes := Witness.Finish i :: !finishes
+      | Done_ok -> ()
+    done;
+    !starts @ !finishes
+  end
+
+(* Two steps commute when they involve disjoint VMs and disjoint nodes:
+   neither affects the other's enabledness, legality, or any per-node
+   quantity the invariants read. Exploring one order of such a pair is
+   enough (sleep-set pruning relies on exactly this relation). *)
+let independent ctx a b =
+  let ia = Witness.step_index a and ib = Witness.step_index b in
+  ia <> ib
+  &&
+  let aa = ctx.actions.(ia) and ab = ctx.actions.(ib) in
+  Action.vm aa <> Action.vm ab
+  &&
+  let nodes x =
+    List.filter_map Fun.id [ Action.source x; Action.destination x ]
+  in
+  List.for_all (fun n -> not (List.mem n (nodes ab))) (nodes aa)
+
+let violation invariant step detail = { Invariant.invariant; step; detail }
+
+let fmt = Printf.sprintf
+let action_str a = Format.asprintf "%a" Action.pp a
+
+(* State invariants: evaluated at every explored state. *)
+let state_violations ctx state =
+  let vs = ref [] in
+  (if want ctx Capacity then begin
+     let cpu, mem = Configuration.loads state.config ctx.demand in
+     Array.iteri
+       (fun i s ->
+         if s = In_flight then
+           match Action.claim state.config ctx.demand ctx.actions.(i) with
+           | None -> ()
+           | Some (node, c, m) ->
+             cpu.(node) <- cpu.(node) + c;
+             mem.(node) <- mem.(node) + m)
+       state.status;
+     Array.iteri
+       (fun node c ->
+         if c > ctx.allowed_cpu.(node) then
+           vs :=
+             violation Capacity state.nsteps
+               (fmt "node %d cpu load+claims %d exceeds allowance %d" node c
+                  ctx.allowed_cpu.(node))
+             :: !vs;
+         if mem.(node) > ctx.allowed_mem.(node) then
+           vs :=
+             violation Capacity state.nsteps
+               (fmt "node %d mem load+claims %d exceeds allowance %d" node
+                  mem.(node) ctx.allowed_mem.(node))
+             :: !vs)
+       cpu
+   end);
+  if finished ctx state then begin
+    (if want ctx Termination then
+       Array.iteri
+         (fun vm _ ->
+           let got = Configuration.state state.config vm in
+           let wanted = Configuration.state ctx.target vm in
+           if not (Configuration.equal_vm_state got wanted) then
+             vs :=
+               violation Termination state.nsteps
+                 (Format.asprintf "vm %d ended %a, target wants %a" vm
+                    Configuration.pp_vm_state got Configuration.pp_vm_state
+                    wanted)
+               :: !vs)
+         (Configuration.vms state.config));
+    if want ctx Cost_monotone && state.cost <> ctx.total_cost then
+      vs :=
+        violation Cost_monotone state.nsteps
+          (fmt "executed cost %d differs from plan cost %d at switch end"
+             state.cost ctx.total_cost)
+        :: !vs
+  end;
+  List.rev !vs
+
+let apply ctx state step =
+  let vs = ref [] in
+  let nsteps = state.nsteps + 1 in
+  let at_s = float_of_int nsteps in
+  let note inv detail = vs := violation inv state.nsteps detail :: !vs in
+  let status = Array.copy state.status in
+  let state' =
+    match step with
+    | Witness.Start i ->
+      let a = ctx.actions.(i) in
+      let vm = Action.vm a in
+      (if want ctx Precedence then
+         Array.iteri
+           (fun j s ->
+             if j < i && Action.vm ctx.actions.(j) = vm && s <> Done_ok then
+               note Precedence
+                 (fmt "%s started before earlier action %d on vm %d finished"
+                    (action_str a) j vm))
+           state.status);
+      (if want ctx Lifecycle then
+         let lstate = Configuration.lifecycle state.config vm in
+         if not (Lifecycle.can lstate (Action.transition a)) then
+           note Lifecycle
+             (fmt "%s illegal from life-cycle state %s" (action_str a)
+                (Lifecycle.state_to_string lstate)));
+      status.(i) <- In_flight;
+      {
+        state with
+        status;
+        nsteps;
+        rev_steps = step :: state.rev_steps;
+        rev_records =
+          Record.Action_started
+            {
+              switch = ctx.switch;
+              pool = ctx.pool_of.(i);
+              attempt = 1;
+              at_s;
+              action = a;
+            }
+          :: state.rev_records;
+      }
+    | Witness.Finish i ->
+      let a = ctx.actions.(i) in
+      let pool = ctx.pool_of.(i) in
+      status.(i) <- Done_ok;
+      let config, terminal, cost =
+        match Action.apply state.config a with
+        | config ->
+          ( config,
+            Record.Action_done { switch = ctx.switch; pool; at_s; action = a },
+            state.cost + ctx.costs.(i) )
+        | exception Action.Invalid reason ->
+          if want ctx Lifecycle then
+            note Lifecycle (fmt "%s failed to apply: %s" (action_str a) reason);
+          ( state.config,
+            Record.Action_failed { switch = ctx.switch; pool; at_s; action = a },
+            state.cost )
+      in
+      if want ctx Cost_monotone && cost > ctx.total_cost then
+        note Cost_monotone
+          (fmt "executed cost %d overshoots plan cost %d" cost ctx.total_cost);
+      (* the terminal record precedes the configuration change *)
+      let rev_records = terminal :: state.rev_records in
+      let pool_done p =
+        let all = ref true in
+        Array.iteri
+          (fun j s -> if ctx.pool_of.(j) = p && s <> Done_ok then all := false)
+          status;
+        !all
+      in
+      let rec advance p rev_records =
+        if p < ctx.n_pools && pool_done p then
+          advance (p + 1)
+            (Record.Pool_committed { switch = ctx.switch; pool = p; at_s }
+            :: rev_records)
+        else (p, rev_records)
+      in
+      let pool', rev_records =
+        if pool_done state.pool then advance state.pool rev_records
+        else (state.pool, rev_records)
+      in
+      let rev_records =
+        if pool' >= ctx.n_pools then
+          Record.Switch_end { switch = ctx.switch; at_s; aborted = false }
+          :: rev_records
+        else rev_records
+      in
+      {
+        config;
+        status;
+        pool = pool';
+        cost;
+        nsteps;
+        rev_steps = step :: state.rev_steps;
+        rev_records;
+      }
+  in
+  (state', List.rev !vs)
+
+let witness ?crash state =
+  { Witness.steps = List.rev state.rev_steps; crash }
+
+let records state = List.rev state.rev_records
+
+let describe_step ctx step =
+  let i = Witness.step_index step in
+  if i < 0 || i >= Array.length ctx.actions then Witness.step_to_string step
+  else
+    fmt "%s (%s)"
+      (Witness.step_to_string step)
+      (action_str ctx.actions.(i))

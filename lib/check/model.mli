@@ -1,0 +1,81 @@
+(** The abstract transition system the checker explores: pool-based
+    plan execution under adversarial timing.
+
+    A state assigns every plan action a status (idle / in-flight /
+    done) over a configuration. [Start i] makes action [i] in-flight
+    (its destination claim becomes visible, an [Action_started] record
+    is emitted); [Finish i] applies its effect after emitting the
+    terminal record, preserving the executor's write-ahead order.
+    Pools are barriers; draining one emits [Pool_committed], the last
+    also [Switch_end]. Durations are abstracted away, so the reachable
+    interleavings cover every timing the discrete-event executor could
+    produce. *)
+
+open Entropy_core
+
+type ctx = {
+  source : Configuration.t;
+  target : Configuration.t;  (** sleeping locations normalized *)
+  demand : Demand.t;
+  vjobs : Vjob.t list;
+  plan : Plan.t;
+  actions : Action.t array;  (** pools flattened, global index *)
+  pool_of : int array;
+  n_pools : int;
+  allowed_cpu : int array;
+      (** per-node capacity plus the source's relative-overload
+          allowance *)
+  allowed_mem : int array;
+  costs : int array;  (** Table 1 local cost per action *)
+  total_cost : int;
+  invariants : Invariant.id list;
+  switch : int;
+}
+
+type status = Idle | In_flight | Done_ok
+
+type state = {
+  config : Configuration.t;
+  status : status array;
+  pool : int;
+  cost : int;
+  nsteps : int;
+  rev_steps : Witness.step list;
+  rev_records : Entropy_journal.Record.t list;
+      (** newest first, [Switch_begin] at the bottom *)
+}
+
+val make_ctx :
+  ?vjobs:Vjob.t list -> ?invariants:Invariant.id list ->
+  source:Configuration.t -> target:Configuration.t -> demand:Demand.t ->
+  Plan.t -> ctx
+
+val want : ctx -> Invariant.id -> bool
+val init : ctx -> state
+val finished : ctx -> state -> bool
+
+val key : state -> string
+(** Canonical dedup key (the status vector determines the state). *)
+
+val enabled : ctx -> state -> Witness.step list
+(** Enabled steps in canonical order: starts of the current pool by
+    index, then finishes of in-flight actions by index. Empty exactly
+    when the switch completed. *)
+
+val independent : ctx -> Witness.step -> Witness.step -> bool
+(** Steps on disjoint VMs and disjoint nodes commute. *)
+
+val apply : ctx -> state -> Witness.step -> state * Invariant.violation list
+(** Take one step; the violations are those triggered by the transition
+    itself (lifecycle, precedence, cost overshoot). *)
+
+val state_violations : ctx -> state -> Invariant.violation list
+(** Invariants evaluated on a state: capacity with in-flight claims,
+    and termination/cost at switch end. *)
+
+val witness : ?crash:Witness.crash -> state -> Witness.t
+val records : state -> Entropy_journal.Record.t list
+(** The journal trace of the state, oldest first. *)
+
+val begin_record : ctx -> Entropy_journal.Record.t
+val describe_step : ctx -> Witness.step -> string

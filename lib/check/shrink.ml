@@ -1,0 +1,73 @@
+(* Counterexample minimization: classic ddmin delta debugging over the
+   witness's schedule steps, then a shrink of the crash point. The
+   caller supplies the reproduction predicate (a witness replay that
+   checks whether the same invariant still fails); candidates whose
+   schedules are not even executable simply fail the predicate. *)
+
+let chunk lst n =
+  let len = List.length lst in
+  let size = max 1 ((len + n - 1) / n) in
+  let rec go acc cur cnt = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: tl ->
+      if cnt = size then go (List.rev cur :: acc) [ x ] 1 tl
+      else go acc (x :: cur) (cnt + 1) tl
+  in
+  go [] [] 0 lst
+
+let rec ddmin test lst n =
+  let len = List.length lst in
+  if len <= 1 then lst
+  else begin
+    let chunks = chunk lst n in
+    match List.find_opt test chunks with
+    | Some c -> ddmin test c 2
+    | None -> (
+      let complements =
+        List.mapi
+          (fun i _ ->
+            List.concat (List.filteri (fun j _ -> j <> i) chunks))
+          chunks
+      in
+      match List.find_opt test complements with
+      | Some c -> ddmin test c (max (n - 1) 2)
+      | None -> if n < len then ddmin test lst (min len (2 * n)) else lst)
+  end
+
+let minimize ~reproduces (w : Witness.t) =
+  (* drop the crash point when the schedule alone reproduces *)
+  let w =
+    match w.Witness.crash with
+    | Some _ when reproduces { w with Witness.crash = None } ->
+      { w with Witness.crash = None }
+    | _ -> w
+  in
+  let steps =
+    ddmin (fun steps -> reproduces { w with Witness.steps = steps }) w.steps 2
+  in
+  let w = { w with Witness.steps = steps } in
+  match w.crash with
+  | None -> w
+  | Some { kept; torn } -> (
+    (* prefer no torn cut, then the smallest durable buffer *)
+    let w =
+      match torn with
+      | Some _
+        when reproduces
+               { w with Witness.crash = Some { Witness.kept; torn = None } }
+        ->
+        { w with Witness.crash = Some { Witness.kept; torn = None } }
+      | _ -> w
+    in
+    match w.crash with
+    | None -> w
+    | Some crash ->
+      let rec shrink_kept k =
+        if k >= crash.Witness.kept then w
+        else if
+          reproduces
+            { w with Witness.crash = Some { crash with Witness.kept = k } }
+        then { w with Witness.crash = Some { crash with Witness.kept = k } }
+        else shrink_kept (k + 1)
+      in
+      shrink_kept 0)

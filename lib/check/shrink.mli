@@ -1,0 +1,8 @@
+(** Delta-debugged counterexample minimization. *)
+
+val minimize : reproduces:(Witness.t -> bool) -> Witness.t -> Witness.t
+(** 1-minimal witness under the reproduction predicate (classic ddmin
+    over the schedule steps): no single schedule step can be removed,
+    the crash point is dropped when the schedule alone reproduces, and
+    a remaining crash point keeps the smallest durable buffer (torn cut
+    removed when possible). The input witness must itself reproduce. *)

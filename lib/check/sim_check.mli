@@ -1,0 +1,19 @@
+(** CHESS-style conformance runs of the real discrete-event executor.
+
+    The plan executes on a real {!Vsim.Cluster} + {!Vsim.Executor}; the
+    engine's schedule hook ({!Vsim.Engine.set_chooser}) enumerates
+    tie-break orders of simultaneous events depth-first over the choice
+    tree, bounded by [max_runs]. Each run checks mid-switch capacity
+    (against the model's relative-overload allowances), termination in
+    the target, and that the emitted write-ahead journal trace replays
+    whole and projects onto the final configuration. *)
+
+type outcome = {
+  runs : int;
+  decision_points : int;
+  complete : bool;  (** the whole choice tree fit in the run budget *)
+  violations : (Invariant.violation * int list) list;
+      (** violation plus the run's tie-break choices, root first *)
+}
+
+val run : Model.ctx -> max_runs:int -> outcome

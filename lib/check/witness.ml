@@ -1,0 +1,123 @@
+(* Witnesses: a schedule (sequence of start/finish steps over the plan's
+   globally-indexed actions) plus an optional crash point, serializable
+   as a small JSON seed file so a counterexample found by exploration
+   can be replayed deterministically. *)
+
+module Json = Entropy_obs.Json
+
+type step = Start of int | Finish of int
+
+type crash = {
+  kept : int;
+      (* buffered [Action_started] frames that made it to disk before
+         the crash, beyond the last commit-point flush *)
+  torn : int option;
+      (* bytes of the next frame durably written, when the crash tore
+         it mid-write *)
+}
+
+type t = { steps : step list; crash : crash option }
+
+let step_equal a b =
+  match (a, b) with
+  | Start i, Start j | Finish i, Finish j -> i = j
+  | _ -> false
+
+let step_index = function Start i | Finish i -> i
+
+let step_to_string = function
+  | Start i -> Printf.sprintf "start:%d" i
+  | Finish i -> Printf.sprintf "finish:%d" i
+
+let step_of_string s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some c -> (
+    let kind = String.sub s 0 c in
+    match
+      (kind, int_of_string_opt (String.sub s (c + 1) (String.length s - c - 1)))
+    with
+    | "start", Some i when i >= 0 -> Some (Start i)
+    | "finish", Some i when i >= 0 -> Some (Finish i)
+    | _ -> None)
+
+let pp_step ppf s = Format.pp_print_string ppf (step_to_string s)
+
+let pp ppf w =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       pp_step)
+    w.steps;
+  match w.crash with
+  | None -> ()
+  | Some { kept; torn } ->
+    Format.fprintf ppf " crash{kept=%d%s}" kept
+      (match torn with None -> "" | Some b -> Printf.sprintf ";torn=%dB" b)
+
+let to_json w =
+  let crash =
+    match w.crash with
+    | None -> Json.Null
+    | Some { kept; torn } ->
+      Json.Obj
+        [
+          ("kept", Json.Int kept);
+          ("torn", match torn with None -> Json.Null | Some b -> Json.Int b);
+        ]
+  in
+  Json.Obj
+    [
+      ( "steps",
+        Json.List
+          (List.map (fun s -> Json.String (step_to_string s)) w.steps) );
+      ("crash", crash);
+    ]
+
+exception Malformed of string
+
+let of_json json =
+  let fail m = raise (Malformed m) in
+  let steps =
+    match Option.bind (Json.member "steps" json) Json.to_list with
+    | None -> fail "witness: missing steps array"
+    | Some l ->
+      List.map
+        (fun j ->
+          match Option.bind (Json.string_value j) step_of_string with
+          | Some s -> s
+          | None -> fail "witness: bad step (want \"start:N\"/\"finish:N\")")
+        l
+  in
+  let crash =
+    match Json.member "crash" json with
+    | None | Some Json.Null -> None
+    | Some c ->
+      let kept =
+        match Option.bind (Json.member "kept" c) Json.number with
+        | Some f -> int_of_float f
+        | None -> fail "witness: crash without kept count"
+      in
+      let torn =
+        match Json.member "torn" c with
+        | None | Some Json.Null -> None
+        | Some t -> Option.map int_of_float (Json.number t)
+      in
+      Some { kept; torn }
+  in
+  { steps; crash }
+
+let to_file path w =
+  let oc = open_out path in
+  output_string oc (Json.to_string (to_json w));
+  output_char oc '\n';
+  close_out oc
+
+let of_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match Json.parse s with
+  | json -> of_json json
+  | exception Json.Parse_error m -> raise (Malformed ("witness: " ^ m))

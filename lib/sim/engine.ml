@@ -21,10 +21,21 @@ type t = {
   queue : event Heap.t;
   mutable executed : int;
   queued_cancelled : int ref;
+  mutable chooser : (int -> int) option;
+      (* schedule hook: picks which of the n events tied at the next
+         timestamp runs first (insertion order); None = FIFO *)
 }
 
 let create () =
-  { now = 0.; queue = Heap.create (); executed = 0; queued_cancelled = ref 0 }
+  {
+    now = 0.;
+    queue = Heap.create ();
+    executed = 0;
+    queued_cancelled = ref 0;
+    chooser = None;
+  }
+
+let set_chooser t chooser = t.chooser <- chooser
 
 let now t = t.now
 let pending t = Heap.length t.queue - !(t.queued_cancelled)
@@ -57,7 +68,14 @@ let step t =
   if Heap.is_empty t.queue then false
   else begin
     let time = Heap.top_prio t.queue in
-    let ev = Heap.pop_top t.queue in
+    let ev =
+      match t.chooser with
+      | None -> Heap.pop_top t.queue
+      | Some choose ->
+        let n = Heap.tied_count t.queue in
+        if n <= 1 then Heap.pop_top t.queue
+        else Heap.pop_tied t.queue (choose n)
+    in
     if time > t.now then t.now <- time;
     (match ev.state with
     | Cancelled -> decr t.queued_cancelled  (* drained *)

@@ -24,6 +24,14 @@ val schedule_after : t -> delay:float -> (unit -> unit) -> handle
 val cancel : handle -> unit
 (** Idempotent; cancelling an event that already ran is a no-op. *)
 
+val set_chooser : t -> (int -> int) option -> unit
+(** Schedule hook for model checking: when set and [n >= 2] events are
+    tied at the next timestamp, [chooser n] picks which runs first
+    (0-based, insertion order; out-of-range falls back to 0 = FIFO).
+    [None] (the default) keeps the deterministic FIFO tie-break and the
+    allocation-free pop. Cancelled-but-queued events still count as
+    ties (draining one is a no-op). *)
+
 val step : t -> bool
 (** Execute the next event; [false] when the queue is empty. *)
 

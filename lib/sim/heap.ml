@@ -97,3 +97,49 @@ let pop t =
   else
     let prio = top_prio t in
     Some (prio, pop_top t)
+
+(* -- schedule hook support -------------------------------------------------
+
+   The model checker's engine chooser needs to see and pick among the
+   entries tied at the minimum priority. These are O(size) scans plus a
+   positional removal — fine for exploration, never on the
+   deterministic hot path ([pop_top] stays allocation-free). *)
+
+let tied_count t =
+  if t.size = 0 then 0
+  else begin
+    let top = t.prios.(0) in
+    let n = ref 0 in
+    for i = 0 to t.size - 1 do
+      if t.prios.(i) = top then incr n
+    done;
+    !n
+  end
+
+(* Remove the entry at heap slot [i]: move the last entry in, then
+   restore the heap property in whichever direction it was broken. *)
+let remove_at t i =
+  let v = t.values.(i) in
+  t.size <- t.size - 1;
+  if i < t.size then begin
+    t.prios.(i) <- t.prios.(t.size);
+    t.seqs.(i) <- t.seqs.(t.size);
+    t.values.(i) <- t.values.(t.size);
+    sift_down t i;
+    sift_up t i
+  end;
+  v
+
+let pop_tied t k =
+  if t.size = 0 then invalid_arg "Heap.pop_tied: empty heap";
+  let top = t.prios.(0) in
+  let tied = ref [] in
+  for i = t.size - 1 downto 0 do
+    if t.prios.(i) = top then tied := i :: !tied
+  done;
+  let tied =
+    List.sort (fun a b -> compare t.seqs.(a) t.seqs.(b)) !tied
+  in
+  let len = List.length tied in
+  let k = if k < 0 || k >= len then 0 else k in
+  remove_at t (List.nth tied k)

@@ -21,3 +21,13 @@ val pop_top : 'a t -> 'a
 
 val pop : 'a t -> (float * 'a) option
 (** Option-returning convenience over {!top_prio} + {!pop_top}. *)
+
+val tied_count : 'a t -> int
+(** Entries whose priority equals {!top_prio} (0 on an empty heap).
+    O(length) — schedule-hook support, not for the hot path. *)
+
+val pop_tied : 'a t -> int -> 'a
+(** Remove and return the [k]-th entry (in insertion order) among those
+    tied at the minimum priority; out-of-range [k] falls back to the
+    FIFO choice ([pop_top]). Raises [Invalid_argument] on an empty
+    heap. O(length). *)

@@ -1,0 +1,305 @@
+(* Tests for the switch model checker: exhaustive exploration of a
+   derived Fig. 10-style switch, counterexamples on deliberately broken
+   plans with ddmin minimization, witness seed-file round trips, replay,
+   crash-state coverage and executor conformance. *)
+
+open Entropy_core
+module Checker = Entropy_check.Checker
+module Invariant = Entropy_check.Invariant
+module Witness = Entropy_check.Witness
+module Model = Entropy_check.Model
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let testbed_nodes n =
+  Array.init n (fun i -> Node.testbed ~id:i ~name:(Printf.sprintf "N%d" i))
+
+let mk_config ~nodes ~vm_count states =
+  let vms =
+    Array.init vm_count (fun i ->
+        Vm.make ~id:i ~name:(Printf.sprintf "vm%d" i) ~memory_mb:512)
+  in
+  Configuration.with_states
+    (Configuration.make ~nodes:(testbed_nodes nodes) ~vms)
+    (Array.of_list states)
+
+(* The generated instance the CLI and CI use: a small viable cluster,
+   target and plan derived exactly as [entropyctl check] derives them. *)
+let derived ~vms ~nodes ~seed =
+  let { Vworkload.Generator.config = source; demand; vjobs } =
+    Vworkload.Generator.generate
+      {
+        Vworkload.Generator.default_spec with
+        node_count = nodes;
+        vm_target = vms;
+        seed;
+      }
+  in
+  let outcome = Rjsp.solve ~rules:[] ~config:source ~demand ~queue:vjobs () in
+  let target =
+    Rgraph.normalize_sleeping ~current:source outcome.Rjsp.ffd_config
+  in
+  let plan = Planner.build_plan ~vjobs ~current:source ~target ~demand () in
+  (source, target, demand, vjobs, plan)
+
+let has_invariant inv vs =
+  List.exists (fun v -> v.Invariant.invariant = inv) vs
+
+(* -- exhaustive verification of a clean switch ----------------------------- *)
+
+let test_exhaustive_clean () =
+  let source, target, demand, vjobs, plan = derived ~vms:6 ~nodes:3 ~seed:42 in
+  check_bool "plan is non-trivial" true (Plan.action_count plan > 0);
+  let limits = { Checker.default_limits with exhaustive = true } in
+  let r = Checker.check ~vjobs ~limits ~source ~target ~demand plan in
+  check_int "no violations" 0 (List.length r.Checker.violations);
+  check_bool "exploration complete" true r.Checker.complete;
+  (* every action is idle/in-flight/done independently inside a pool,
+     so the reachable state count is exactly 3^pool_size summed over
+     barriers; at minimum it dominates 2^actions *)
+  check_bool "state space actually explored" true
+    (r.Checker.stats.Checker.states > 1 lsl Plan.action_count plan);
+  check_bool "crash cuts explored" true
+    (r.Checker.stats.Checker.crash_checks > 0);
+  check_bool "torn cuts explored" true (r.Checker.stats.Checker.torn_cuts > 0);
+  check_bool "executor conformance ran" true
+    (r.Checker.stats.Checker.sim_runs > 0)
+
+let test_bounded_clean () =
+  let source, target, demand, vjobs, plan = derived ~vms:6 ~nodes:3 ~seed:42 in
+  let limits = { Checker.default_limits with depth = 4; sim_runs = 2 } in
+  let r = Checker.check ~vjobs ~limits ~source ~target ~demand plan in
+  check_int "no violations" 0 (List.length r.Checker.violations)
+
+(* -- counterexamples on broken plans --------------------------------------- *)
+
+(* A migration into a node that cannot hold it: both nodes run one
+   150-cpu VM (capacity 200), the plan moves vm0 onto node 1, pushing
+   it to 300 with no relative-overload excuse. *)
+let overload_instance () =
+  let source =
+    mk_config ~nodes:2 ~vm_count:2 Configuration.[ Running 0; Running 1 ]
+  in
+  let target =
+    mk_config ~nodes:2 ~vm_count:2 Configuration.[ Running 1; Running 1 ]
+  in
+  let demand = Demand.uniform ~vm_count:2 150 in
+  let plan = Plan.make [ [ Action.Migrate { vm = 0; src = 0; dst = 1 } ] ] in
+  (source, target, demand, plan)
+
+let test_capacity_counterexample () =
+  let source, target, demand, plan = overload_instance () in
+  let limits =
+    { Checker.default_limits with exhaustive = true; sim_runs = 0 }
+  in
+  (* the full catalogue flags it too... *)
+  let r = Checker.check ~limits ~source ~target ~demand plan in
+  check_bool "capacity violated" true
+    (has_invariant Invariant.Capacity r.Checker.violations);
+  (* ...and checking capacity alone pins the counterexample to it *)
+  let r =
+    Checker.check ~invariants:[ Invariant.Capacity ] ~limits ~source ~target
+      ~demand plan
+  in
+  match r.Checker.counterexample with
+  | None -> Alcotest.fail "expected a counterexample"
+  | Some c ->
+    check_bool "counterexample is the capacity violation" true
+      (c.Checker.violation.Invariant.invariant = Invariant.Capacity);
+    let steps = List.length c.Checker.minimized.Witness.steps in
+    check_bool "minimized to at most 5 steps" true (steps <= 5);
+    check_bool "minimized witness still reproduces" true
+      (match
+         Checker.replay
+           (Checker.make_ctx ~invariants:[ Invariant.Capacity ] ~source
+              ~target ~demand plan)
+           c.Checker.minimized
+       with
+      | Some vs -> has_invariant Invariant.Capacity vs
+      | None -> false)
+
+let test_lifecycle_counterexample () =
+  (* resuming a VM that is already running is illegal *)
+  let source =
+    mk_config ~nodes:2 ~vm_count:1 Configuration.[ Running 0 ]
+  in
+  let target =
+    mk_config ~nodes:2 ~vm_count:1 Configuration.[ Running 1 ]
+  in
+  let demand = Demand.uniform ~vm_count:1 10 in
+  let plan = Plan.make [ [ Action.Resume { vm = 0; src = 0; dst = 1 } ] ] in
+  let limits =
+    { Checker.default_limits with exhaustive = true; sim_runs = 0 }
+  in
+  let r = Checker.check ~limits ~source ~target ~demand plan in
+  check_bool "lifecycle violated" true
+    (has_invariant Invariant.Lifecycle r.Checker.violations)
+
+let test_invariant_filter () =
+  (* with capacity filtered out, the overloading migration is "clean" *)
+  let source, target, demand, plan = overload_instance () in
+  let limits =
+    { Checker.default_limits with exhaustive = true; sim_runs = 0 }
+  in
+  let r =
+    Checker.check
+      ~invariants:[ Invariant.Termination; Invariant.Precedence ]
+      ~limits ~source ~target ~demand plan
+  in
+  check_int "no violations when capacity is not checked" 0
+    (List.length r.Checker.violations)
+
+(* -- witnesses ------------------------------------------------------------- *)
+
+let test_witness_roundtrip () =
+  let w =
+    {
+      Witness.steps = [ Witness.Start 2; Witness.Finish 2; Witness.Start 0 ];
+      crash = Some { Witness.kept = 1; torn = Some 7 };
+    }
+  in
+  let path = Filename.temp_file "entropy_check" ".json" in
+  Witness.to_file path w;
+  let w' = Witness.of_file path in
+  Sys.remove path;
+  check_bool "round-trips through the seed file" true (w = w');
+  let no_crash = { w with Witness.crash = None } in
+  check_bool "crashless witness round-trips" true
+    (Witness.of_json (Witness.to_json no_crash) = no_crash)
+
+let test_witness_malformed () =
+  let raises =
+    try
+      ignore
+        (Witness.of_json
+           (Entropy_obs.Json.Obj
+              [
+                ( "steps",
+                  Entropy_obs.Json.List
+                    [ Entropy_obs.Json.String "sprint:1" ] );
+                ("crash", Entropy_obs.Json.Null);
+              ]));
+      false
+    with Witness.Malformed _ -> true
+  in
+  check_bool "bad step string raises Malformed" true raises
+
+let test_replay_inexecutable () =
+  let source, target, demand, plan = overload_instance () in
+  let ctx = Checker.make_ctx ~source ~target ~demand plan in
+  (* finishing an action that was never started is not executable *)
+  let w = { Witness.steps = [ Witness.Finish 0 ]; crash = None } in
+  check_bool "inexecutable schedule yields None" true
+    (Checker.replay ctx w = None)
+
+let test_replay_clean () =
+  let source, target, demand, vjobs, plan = derived ~vms:6 ~nodes:3 ~seed:42 in
+  let ctx = Checker.make_ctx ~vjobs ~source ~target ~demand plan in
+  (* the canonical schedule: start then finish every action in order *)
+  let n = Plan.action_count plan in
+  let steps =
+    List.concat
+      (List.init n (fun i -> [ Witness.Start i; Witness.Finish i ]))
+  in
+  match Checker.replay ctx { Witness.steps; crash = None } with
+  | None -> Alcotest.fail "canonical schedule must be executable"
+  | Some vs -> check_int "clean replay" 0 (List.length vs)
+
+(* -- crash exploration ----------------------------------------------------- *)
+
+let test_crash_specs_on_clean_plan () =
+  let source, target, demand, vjobs, plan = derived ~vms:6 ~nodes:3 ~seed:42 in
+  let ctx = Checker.make_ctx ~vjobs ~source ~target ~demand plan in
+  (* run the canonical schedule halfway, then check explicit crash specs *)
+  let n = Plan.action_count plan in
+  let half = n / 2 in
+  let steps =
+    List.concat
+      (List.init half (fun i -> [ Witness.Start i; Witness.Finish i ]))
+    @ [ Witness.Start half ]
+  in
+  List.iter
+    (fun crash ->
+      match Checker.replay ctx { Witness.steps; crash = Some crash } with
+      | None -> Alcotest.fail "schedule must be executable"
+      | Some vs ->
+        check_int
+          (Printf.sprintf "crash kept=%d clean" crash.Witness.kept)
+          0 (List.length vs))
+    [ { Witness.kept = 0; torn = None }; { Witness.kept = 1; torn = None } ]
+
+(* -- the model itself ------------------------------------------------------ *)
+
+let test_model_pool_barrier () =
+  (* two pools: the second pool's action is not enabled until the first
+     pool drains *)
+  let source =
+    mk_config ~nodes:2 ~vm_count:2 Configuration.[ Running 0; Waiting ]
+  in
+  let target =
+    mk_config ~nodes:2 ~vm_count:2 Configuration.[ Running 1; Running 0 ]
+  in
+  let demand = Demand.uniform ~vm_count:2 10 in
+  let plan =
+    Plan.make
+      [
+        [ Action.Migrate { vm = 0; src = 0; dst = 1 } ];
+        [ Action.Run { vm = 1; dst = 0 } ];
+      ]
+  in
+  let ctx = Checker.make_ctx ~source ~target ~demand plan in
+  let st0 = Model.init ctx in
+  check_bool "only pool-0 starts enabled" true
+    (Model.enabled ctx st0 = [ Witness.Start 0 ]);
+  let st1, _ = Model.apply ctx st0 (Witness.Start 0) in
+  let st2, _ = Model.apply ctx st1 (Witness.Finish 0) in
+  check_bool "pool 1 opens after the barrier" true
+    (Model.enabled ctx st2 = [ Witness.Start 1 ]);
+  let st3, _ = Model.apply ctx st2 (Witness.Start 1) in
+  let st4, _ = Model.apply ctx st3 (Witness.Finish 1) in
+  check_bool "switch finished" true (Model.finished ctx st4);
+  check_bool "no steps left" true (Model.enabled ctx st4 = [])
+
+let test_model_independence () =
+  let source, target, demand, plan = overload_instance () in
+  let ctx = Checker.make_ctx ~source ~target ~demand plan in
+  check_bool "same action does not commute with itself" false
+    (Model.independent ctx (Witness.Start 0) (Witness.Finish 0))
+
+(* -- run ------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "exploration",
+        [
+          Alcotest.test_case "exhaustive clean switch" `Quick
+            test_exhaustive_clean;
+          Alcotest.test_case "bounded clean switch" `Quick test_bounded_clean;
+        ] );
+      ( "counterexamples",
+        [
+          Alcotest.test_case "capacity violation minimized" `Quick
+            test_capacity_counterexample;
+          Alcotest.test_case "lifecycle violation" `Quick
+            test_lifecycle_counterexample;
+          Alcotest.test_case "invariant filter" `Quick test_invariant_filter;
+        ] );
+      ( "witness",
+        [
+          Alcotest.test_case "seed-file round trip" `Quick
+            test_witness_roundtrip;
+          Alcotest.test_case "malformed step" `Quick test_witness_malformed;
+          Alcotest.test_case "inexecutable replay" `Quick
+            test_replay_inexecutable;
+          Alcotest.test_case "clean replay" `Quick test_replay_clean;
+          Alcotest.test_case "crash specs on a clean plan" `Quick
+            test_crash_specs_on_clean_plan;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "pool barrier" `Quick test_model_pool_barrier;
+          Alcotest.test_case "independence" `Quick test_model_independence;
+        ] );
+    ]

@@ -538,7 +538,72 @@ let gen_record =
         return (Record.Switch_end { switch; at_s = at; aborted }) );
     ]
 
-let arb_record = QCheck.make ~print:(Format.asprintf "%a" Record.pp) gen_record
+(* Structural shrinker: failing records minimize (fewer pools and
+   actions, smaller ids, zeroed timestamps) instead of dumping the full
+   random record. Every candidate stays well-formed for the codec. *)
+let shrink_record r =
+  let open QCheck.Iter in
+  let shrink_int = QCheck.Shrink.int in
+  match r with
+  | Record.Switch_begin b ->
+    (QCheck.Shrink.list ~shrink:QCheck.Shrink.list (Plan.pools b.plan)
+    >|= fun pools -> Record.Switch_begin { b with plan = Plan.make pools })
+    <+> (shrink_int b.switch >|= fun switch ->
+         Record.Switch_begin { b with switch })
+    <+> (match b.seed with
+        | None -> empty
+        | Some _ -> return (Record.Switch_begin { b with seed = None }))
+    <+> (if b.at_s = 0. then empty
+         else return (Record.Switch_begin { b with at_s = 0. }))
+  | Record.Action_started a ->
+    (shrink_int a.switch >|= fun switch ->
+     Record.Action_started { a with switch })
+    <+> (shrink_int a.pool >|= fun pool ->
+         Record.Action_started { a with pool })
+    <+> (shrink_int a.attempt >|= fun n ->
+         Record.Action_started { a with attempt = max 1 n })
+    <+> (if a.at_s = 0. then empty
+         else return (Record.Action_started { a with at_s = 0. }))
+  | Record.Action_done a ->
+    (shrink_int a.switch >|= fun switch -> Record.Action_done { a with switch })
+    <+> (shrink_int a.pool >|= fun pool -> Record.Action_done { a with pool })
+    <+> (if a.at_s = 0. then empty
+         else return (Record.Action_done { a with at_s = 0. }))
+  | Record.Action_failed a ->
+    (shrink_int a.switch >|= fun switch ->
+     Record.Action_failed { a with switch })
+    <+> (shrink_int a.pool >|= fun pool ->
+         Record.Action_failed { a with pool })
+    <+> (if a.at_s = 0. then empty
+         else return (Record.Action_failed { a with at_s = 0. }))
+  | Record.Pool_committed p ->
+    (shrink_int p.switch >|= fun switch ->
+     Record.Pool_committed { p with switch })
+    <+> (shrink_int p.pool >|= fun pool ->
+         Record.Pool_committed { p with pool })
+    <+> (if p.at_s = 0. then empty
+         else return (Record.Pool_committed { p with at_s = 0. }))
+  | Record.Switch_end e ->
+    (shrink_int e.switch >|= fun switch -> Record.Switch_end { e with switch })
+    <+> (if e.aborted then return (Record.Switch_end { e with aborted = false })
+         else empty)
+    <+> (if e.at_s = 0. then empty
+         else return (Record.Switch_end { e with at_s = 0. }))
+
+let arb_record =
+  QCheck.make
+    ~print:(Format.asprintf "%a" Record.pp)
+    ~shrink:shrink_record gen_record
+
+let prop_shrunk_records_still_round_trip =
+  QCheck.Test.make ~name:"every shrink candidate still round-trips" ~count:60
+    arb_record (fun r ->
+      let ok = ref true in
+      shrink_record r (fun r' ->
+          match Record.read_frame (Record.to_frame r') ~pos:0 with
+          | Some (Record.Frame (r'', _)) -> ok := !ok && Record.equal r' r''
+          | _ -> ok := false);
+      !ok)
 
 let prop_binary_round_trip =
   QCheck.Test.make ~name:"binary codec round-trips any record" ~count:300
@@ -553,6 +618,7 @@ let prop_sequence_with_torn_suffix =
     ~count:100
     QCheck.(
       make
+        ~shrink:(Shrink.pair (Shrink.list ~shrink:shrink_record) Shrink.string)
         Gen.(
           pair (list_size (int_range 0 6) gen_record)
             (small_string ~gen:printable)))
@@ -756,6 +822,91 @@ let test_reconcile_terminated_is_benign () =
   check_bool "target keeps vm1 terminated" true
     (Configuration.state r.Recovery.target 1 = Configuration.Terminated)
 
+let test_reconcile_terminated_by_plan_is_done () =
+  (* when the plan itself stops the VM, observing it Terminated is
+     plain progress — Done, not frozen *)
+  let state =
+    match
+      Recovery.replay
+        [
+          Record.Switch_begin
+            {
+              switch = 0;
+              at_s = 1.;
+              source = source2;
+              target =
+                mk_config ~nodes:3 ~vm_count:2
+                  Configuration.[ Running 1; Terminated ];
+              plan =
+                Plan.make [ [ mig 0; Action.Stop { vm = 1; host = 0 } ] ];
+              demand = demand2;
+              seed = None;
+            };
+        ]
+    with
+    | Some st -> st
+    | None -> Alcotest.fail "replay lost the switch"
+  in
+  let observed =
+    mk_config ~nodes:3 ~vm_count:2 Configuration.[ Running 0; Terminated ]
+  in
+  let r = Recovery.reconcile ~state ~observed () in
+  Alcotest.(check (list int)) "stopped VM is done" [ 1 ] r.Recovery.done_vms;
+  check_bool "nothing frozen" true (r.Recovery.frozen_vms = []);
+  check_bool "clean residue" true (Repair.residue_ok r.Recovery.residue);
+  (match r.Recovery.plan with
+  | None -> Alcotest.fail "clean reconciliation must rebuild a plan"
+  | Some p ->
+    Alcotest.(check (list int))
+      "only the unfinished migration re-runs" [ 0 ]
+      (List.map Action.vm (Plan.actions p)))
+
+let test_reconcile_lost_node_is_residue () =
+  let state = state_mid_switch () in
+  (* the target still needs node 1 for vm1, but node 1 crashed while
+     the controller was down *)
+  let observed =
+    mk_config ~crashed:[ 1 ] ~nodes:3 ~vm_count:2
+      Configuration.[ Running 1; Running 0 ]
+  in
+  let r = Recovery.reconcile ~state ~observed () in
+  Alcotest.(check (list int))
+    "crashed node lands in residue.lost_nodes" [ 1 ]
+    r.Recovery.residue.Repair.lost_nodes;
+  check_bool "lost node is residue" false
+    (Repair.residue_ok r.Recovery.residue);
+  check_bool "no resume plan over a lost node" true (r.Recovery.plan = None)
+
+let test_reconcile_empty_plan_resume () =
+  (* a switch that had nothing to do: begin record only, empty plan,
+     target = source; resume must be a clean no-op *)
+  let state =
+    match
+      Recovery.replay
+        [
+          Record.Switch_begin
+            {
+              switch = 0;
+              at_s = 1.;
+              source = source2;
+              target = source2;
+              plan = Plan.empty;
+              demand = demand2;
+              seed = None;
+            };
+        ]
+    with
+    | Some st -> st
+    | None -> Alcotest.fail "replay lost the switch"
+  in
+  let r = Recovery.reconcile ~state ~observed:source2 () in
+  Alcotest.(check (list int)) "every VM already done" [ 0; 1 ] r.Recovery.done_vms;
+  check_bool "nothing pending" true (r.Recovery.pending_vms = []);
+  check_bool "nothing frozen" true (r.Recovery.frozen_vms = []);
+  check_bool "clean residue" true (Repair.residue_ok r.Recovery.residue);
+  check_bool "resume plan is empty" true
+    (match r.Recovery.plan with Some p -> Plan.is_empty p | None -> false)
+
 let test_reconcile_journaled_failure_is_residue () =
   let state =
     match
@@ -820,6 +971,7 @@ let () =
             test_binary_json_parity;
           QCheck_alcotest.to_alcotest prop_binary_round_trip;
           QCheck_alcotest.to_alcotest prop_sequence_with_torn_suffix;
+          QCheck_alcotest.to_alcotest prop_shrunk_records_still_round_trip;
         ] );
       ( "replay",
         [
@@ -839,6 +991,12 @@ let () =
             test_reconcile_divergence_freezes;
           Alcotest.test_case "terminated is benign" `Quick
             test_reconcile_terminated_is_benign;
+          Alcotest.test_case "terminated by plan is done" `Quick
+            test_reconcile_terminated_by_plan_is_done;
+          Alcotest.test_case "lost node is residue" `Quick
+            test_reconcile_lost_node_is_residue;
+          Alcotest.test_case "empty plan resume" `Quick
+            test_reconcile_empty_plan_resume;
           Alcotest.test_case "journaled failure is residue" `Quick
             test_reconcile_journaled_failure_is_residue;
           Alcotest.test_case "shape mismatch rejected" `Quick

@@ -44,6 +44,60 @@ let heap_pops_sorted =
       in
       drain [] = List.sort Float.compare prios)
 
+let test_heap_tied_count () =
+  let h = Vsim.Heap.create () in
+  check_int "empty heap has no ties" 0 (Vsim.Heap.tied_count h);
+  List.iter (fun v -> Vsim.Heap.push h 1. v) [ "x"; "y" ];
+  Vsim.Heap.push h 2. "later";
+  check_int "two events tied at the top" 2 (Vsim.Heap.tied_count h);
+  ignore (Vsim.Heap.pop h);
+  ignore (Vsim.Heap.pop h);
+  check_int "one left" 1 (Vsim.Heap.tied_count h)
+
+let test_heap_pop_tied () =
+  let h = Vsim.Heap.create () in
+  List.iter (fun v -> Vsim.Heap.push h 1. v) [ "x"; "y"; "z" ];
+  Vsim.Heap.push h 2. "later";
+  (* k indexes the tied events in insertion order *)
+  Alcotest.(check string) "picks the k-th tie" "y" (Vsim.Heap.pop_tied h 1);
+  Alcotest.(check string)
+    "remaining ties keep order" "x" (Vsim.Heap.pop_tied h 0);
+  Alcotest.(check string)
+    "out-of-range clamps to FIFO" "z" (Vsim.Heap.pop_tied h 7);
+  (match Vsim.Heap.pop h with
+  | Some (p, v) ->
+    check_float 1e-9 "non-tied event unharmed" 2. p;
+    Alcotest.(check string) "non-tied value" "later" v
+  | None -> Alcotest.fail "heap lost an event");
+  check_bool "pop_tied on empty raises" true
+    (try
+       ignore (Vsim.Heap.pop_tied h 0);
+       false
+     with Invalid_argument _ -> true)
+
+let heap_pop_tied_is_permutation =
+  QCheck.Test.make ~name:"pop_tied drains a permutation" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 8) (int_bound 3)) (int_bound 7))
+    (fun (prios, k) ->
+      let h = Vsim.Heap.create () in
+      List.iteri (fun i p -> Vsim.Heap.push h (float_of_int p) i) prios;
+      let rec drain acc =
+        if Vsim.Heap.is_empty h then List.rev acc
+        else begin
+          let p = Vsim.Heap.top_prio h in
+          let v = Vsim.Heap.pop_tied h (k mod Vsim.Heap.tied_count h) in
+          drain ((p, v) :: acc)
+        end
+      in
+      let out = drain [] in
+      (* all events come out, in non-decreasing priority order *)
+      List.length out = List.length prios
+      && List.sort compare (List.map snd out)
+         = List.init (List.length prios) Fun.id
+      && fst (List.fold_left
+                (fun (ok, prev) (p, _) -> (ok && p >= prev, p))
+                (true, neg_infinity) out))
+
 (* -- engine ----------------------------------------------------------------- *)
 
 let test_engine_ordering () =
@@ -82,6 +136,38 @@ let test_engine_until () =
   ignore (Vsim.Engine.schedule e ~at:10. (fun () -> incr count));
   Vsim.Engine.run ~until:5. e;
   check_int "only first" 1 !count
+
+let test_engine_chooser () =
+  (* with a chooser installed, tie-breaks among simultaneous events
+     follow its choices instead of FIFO *)
+  let run_with chooser =
+    let e = Vsim.Engine.create () in
+    let log = ref [] in
+    List.iter
+      (fun v -> ignore (Vsim.Engine.schedule e ~at:1. (fun () -> log := v :: !log)))
+      [ "x"; "y"; "z" ];
+    ignore (Vsim.Engine.schedule e ~at:2. (fun () -> log := "later" :: !log));
+    Vsim.Engine.set_chooser e chooser;
+    Vsim.Engine.run e;
+    List.rev !log
+  in
+  Alcotest.(check (list string))
+    "no chooser: FIFO"
+    [ "x"; "y"; "z"; "later" ]
+    (run_with None);
+  (* always pick the last tie: z (of x,y,z), then y (of x,y), then x;
+     the lone event at t=2 never consults the chooser *)
+  let arities = ref [] in
+  Alcotest.(check (list string))
+    "chooser reverses the ties"
+    [ "z"; "y"; "x"; "later" ]
+    (run_with
+       (Some
+          (fun n ->
+            arities := n :: !arities;
+            n - 1)));
+  Alcotest.(check (list int))
+    "chooser consulted only on real ties" [ 3; 2 ] (List.rev !arities)
 
 let test_engine_rejects_past () =
   let e = Vsim.Engine.create () in
@@ -1364,14 +1450,17 @@ let () =
         [
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "tied count" `Quick test_heap_tied_count;
+          Alcotest.test_case "pop tied" `Quick test_heap_pop_tied;
         ]
-        @ qsuite [ heap_pops_sorted ] );
+        @ qsuite [ heap_pops_sorted; heap_pop_tied_is_permutation ] );
       ( "engine",
         [
           Alcotest.test_case "ordering" `Quick test_engine_ordering;
           Alcotest.test_case "cancel" `Quick test_engine_cancel;
           Alcotest.test_case "chained" `Quick test_engine_schedule_in_callback;
           Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "chooser" `Quick test_engine_chooser;
           Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
         ] );
       ( "perf_model",
