@@ -209,6 +209,37 @@ let bench_journal_flush ~batched () =
          List.iter (Entropy_journal.Journal.append j) records;
          Entropy_journal.Journal.close j))
 
+(* Flight-recorder analysis throughput on the acceptance probe: the
+   Fig. 10 54-VM / 15-node seed-42 fault-free run journaled in memory
+   (one simulation, forced lazily), then timeline reconstruction +
+   critical-path attribution over every journaled switch per bench run.
+   Acceptance target: < 10 ms, so [entropyctl explain] stays interactive
+   on real journals. *)
+let flight_records =
+  lazy
+    (let { Generator.config; demand = _; vjobs } =
+       Generator.generate
+         { Generator.default_spec with node_count = 15; vm_target = 54; seed = 42 }
+     in
+     let programs vm =
+       [
+         Vworkload.Program.Compute
+           (240. +. float_of_int (((37 * vm) + 42) mod 480));
+       ]
+     in
+     let journal = Entropy_journal.Journal.mem () in
+     ignore
+       (Vsim.Runner.run_custom ~cp_timeout:0.25 ~max_time:1e6 ~journal ~config
+          ~vjobs ~programs ());
+     Entropy_journal.Journal.records journal)
+
+let bench_flight_explain () =
+  let records = Lazy.force flight_records in
+  Test.make ~name:"flight/explain_54vm"
+    (Staged.stage (fun () ->
+         let analyses = Entropy_flight.Report.analyze_records records in
+         assert (analyses <> [] && List.for_all Entropy_flight.Report.healthy analyses)))
+
 let bench_fig12_static () =
   let traces = Lazy.force section52_traces in
   Test.make ~name:"fig12/static_fcfs_8vjobs"
@@ -310,6 +341,7 @@ let all_tests : (string * (unit -> Test.t)) list =
     ("journal/flush_batched", bench_journal_flush ~batched:true);
     ("journal/flush_unbatched", bench_journal_flush ~batched:false);
     ("check/states_per_sec", bench_check_states);
+    ("flight/explain_54vm", bench_flight_explain);
     ("fig12/static_fcfs_8vjobs", bench_fig12_static);
     ("fig13/utilization_series", bench_fig13_series);
     ( "ablation/rjsp_first_fit",

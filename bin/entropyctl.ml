@@ -9,7 +9,11 @@
      entropyctl check   [cluster.ecl]      model-check the planned switch:
                                            interleavings + crash states
      entropyctl profile                    one optimisation on a Fig. 10
-                                           instance, per-phase timings *)
+                                           instance, per-phase timings
+     entropyctl explain [--journal FILE]   flight-recorder report: causal
+                                           timeline, critical path and
+                                           makespan attribution of every
+                                           journaled switch *)
 
 open Entropy_core
 module Spec = Entropy_cli.Spec
@@ -54,6 +58,23 @@ let obs_setup trace metrics =
 let obs_write trace metrics =
   Option.iter Obs.write_trace trace;
   Option.iter Obs.write_metrics metrics
+
+(* Ring-buffer wrap-around silently truncates traces; surface it
+   wherever spans feed an analysis (profile, explain) so a skewed
+   attribution cannot pass for a complete one. *)
+let warn_dropped_spans () =
+  let dropped = Entropy_obs.Trace.dropped () in
+  if dropped > 0 then
+    Printf.printf
+      "warning: %d trace span(s) dropped by ring-buffer wrap-around — \
+       phase totals and attribution may be incomplete\n"
+      dropped
+
+let write_json_file path json =
+  let oc = open_out path in
+  output_string oc (Entropy_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc
 
 let load_or_exit path =
   try Spec.load path with
@@ -285,7 +306,7 @@ let simulate path cp_timeout ram trace metrics =
    observability layer forced on: prints the plan summary, the per-phase
    wall-time table (from the trace spans) and the counter registry. *)
 
-let profile vms cp_timeout restarts seed trace metrics =
+let profile vms cp_timeout restarts seed json trace metrics =
   Obs.enabled := true;
   Obs.reset ();
   let instance =
@@ -328,6 +349,56 @@ let profile vms cp_timeout restarts seed trace metrics =
   | counters ->
     Printf.printf "\n%-36s%12s\n" "counter" "value";
     List.iter (fun (n, v) -> Printf.printf "%-36s%12d\n" n v) counters);
+  warn_dropped_spans ();
+  (* machine-readable profile, mirroring the [plan --metrics] JSON
+     conventions: one object, snake_case keys, seconds/us suffixes *)
+  Option.iter
+    (fun path ->
+      let open Entropy_obs.Json in
+      write_json_file path
+        (Obj
+           [
+             ( "instance",
+               Obj
+                 [
+                   ("vms", Int vms);
+                   ("nodes", Int (Configuration.node_count config));
+                   ("seed", Int seed);
+                   ("vjobs", Int (List.length vjobs));
+                 ] );
+             ( "plan",
+               Obj
+                 [
+                   ("actions", Int (Plan.action_count result.Optimizer.plan));
+                   ("cost_mb", Int result.Optimizer.cost);
+                   ("improved", Bool result.Optimizer.improved);
+                 ] );
+             ( "phases",
+               List
+                 (List.map
+                    (fun (name, count, total_us) ->
+                      Obj
+                        [
+                          ("name", String name);
+                          ("count", Int count);
+                          ("total_us", Float total_us);
+                          ( "mean_us",
+                            Float (total_us /. float_of_int (max 1 count)) );
+                        ])
+                    (Entropy_obs.Trace.aggregate ())) );
+             ( "counters",
+               Obj
+                 (List.map
+                    (fun (n, v) -> (n, Int v))
+                    (Entropy_obs.Metrics.counters ())) );
+             ( "trace",
+               Obj
+                 [
+                   ("recorded", Int (Entropy_obs.Trace.recorded ()));
+                   ("dropped", Int (Entropy_obs.Trace.dropped ()));
+                 ] );
+           ]))
+    json;
   obs_write trace metrics
 
 (* -- chaos -------------------------------------------------------------------- *)
@@ -366,12 +437,6 @@ let chaos_instance ~vms ~nodes ~seed =
     ]
   in
   (config, vjobs, programs)
-
-let write_json_file path json =
-  let oc = open_out path in
-  output_string oc (Entropy_obs.Json.to_string json);
-  output_char oc '\n';
-  close_out oc
 
 (* -- check (model checker) ---------------------------------------------------
 
@@ -517,7 +582,14 @@ let chaos vms nodes seed fail_rate crashes timeout_factor retries cp_timeout
     Entropy_fault.Supervisor.make_policy ~timeout_factor ~max_retries:retries
       ()
   in
-  let faulty = run ~injector ~policy ?journal ?kill_at () in
+  (* the faulty run always goes through a journal: the flight recorder
+     reconstructs its timeline from the records afterwards (an
+     in-memory journal when no --journal file was asked for) *)
+  let flight_journal =
+    match journal with Some j -> j | None -> Entropy_journal.Journal.mem ()
+  in
+  let faulty = run ~injector ~policy ~journal:flight_journal ?kill_at () in
+  let flight_records = Entropy_journal.Journal.records flight_journal in
   Option.iter Entropy_journal.Journal.close journal;
   obs_write trace metrics;
   let module R = Vsim.Runner in
@@ -581,6 +653,11 @@ let chaos vms nodes seed fail_rate crashes timeout_factor retries cp_timeout
     (List.length faulty.R.completions)
     (List.length vjobs)
     (if final_viable then "viable" else "NOT viable");
+  (* flight attribution: where the inflation went, repair switches
+     charged to recovery *)
+  let analyses = Entropy_flight.Report.analyze_records flight_records in
+  if analyses <> [] then
+    Fmt.pr "flight:@.%a@." Entropy_flight.Report.pp_summary analyses;
   let journal_records =
     match journal_path with
     | Some path -> List.length (fst (Entropy_journal.Journal.load path))
@@ -618,6 +695,7 @@ let chaos vms nodes seed fail_rate crashes timeout_factor retries cp_timeout
              ("journal_records", Int journal_records);
              ( "journal",
                match journal_path with Some p -> String p | None -> Null );
+             ("flight", Entropy_flight.Report.to_json analyses);
            ]))
     json;
   (* a killed run is supposed to be incomplete: the convergence checks
@@ -654,6 +732,11 @@ let resume vms nodes seed fail_rate timeout_factor retries cp_timeout
     journal_path
     (if dropped_lines = 0 then ""
      else Printf.sprintf " (%d torn lines dropped)" dropped_lines);
+  (* flight view of the journal as found: what the interrupted switch
+     was doing when the controller died *)
+  let pre_crash = Entropy_flight.Report.analyze_records records in
+  if pre_crash <> [] then
+    Fmt.pr "pre-crash flight:@.%a@." Entropy_flight.Report.pp_summary pre_crash;
   let state = Entropy_journal.Recovery.replay records in
   (* same fault environment as the chaos run: probabilistic failures
      under the journaled injector seed (falling back to --seed) *)
@@ -689,6 +772,7 @@ let resume vms nodes seed fail_rate timeout_factor retries cp_timeout
         Vsim.Runner.run_custom ~cp_timeout ~max_time ~injector ~policy
           ~journal ~config ~vjobs ~programs () )
   in
+  let all_records = Entropy_journal.Journal.records journal in
   Entropy_journal.Journal.close journal;
   obs_write trace metrics;
   let module R = Vsim.Runner in
@@ -742,6 +826,11 @@ let resume vms nodes seed fail_rate timeout_factor retries cp_timeout
     (List.length result.R.completions)
     (List.length vjobs)
     (if final_viable then "viable" else "NOT viable");
+  (* flight view of the whole episode: interrupted switch + everything
+     the resumed run appended to the same journal *)
+  let episode = Entropy_flight.Report.analyze_records all_records in
+  if episode <> [] then
+    Fmt.pr "flight:@.%a@." Entropy_flight.Report.pp_summary episode;
   Option.iter
     (fun path ->
       let open Entropy_obs.Json in
@@ -780,9 +869,88 @@ let resume vms nodes seed fail_rate timeout_factor retries cp_timeout
              ("completed", Bool completed);
              ("final_viable", Bool final_viable);
              ("makespan_s", Float result.R.makespan);
+             ("flight", Entropy_flight.Report.to_json episode);
            ]))
     json;
   if not (completed && final_viable && findings = []) then exit 1
+
+(* -- explain ------------------------------------------------------------------ *)
+
+(* Post-hoc flight-recorder analysis of executed switches: reconstruct
+   the causal timeline from a write-ahead journal (or from a fresh
+   fault-free run of the generated Fig. 10-style instance when no
+   journal is given), extract the critical path, decompose the makespan
+   into exhaustive attribution buckets and compare against the planner's
+   Table 1 / section 4.2 estimate. Exits non-zero when any analyzed
+   switch fails the exactness invariants (buckets must sum to the
+   makespan; a switch that executed actions must have a critical
+   path). *)
+
+let explain vms nodes seed cp_timeout max_time journal_path switch_sel top
+    json gantt trace metrics =
+  obs_setup trace metrics;
+  let module Flight = Entropy_flight.Report in
+  let records =
+    match journal_path with
+    | Some path ->
+      let records, dropped =
+        try Entropy_journal.Journal.load path
+        with Sys_error e ->
+          Printf.eprintf "%s\n" e;
+          exit 2
+      in
+      Printf.printf "explain: %d journal records from %s%s\n"
+        (List.length records) path
+        (if dropped = 0 then ""
+         else Printf.sprintf " (%d torn record(s) dropped)" dropped);
+      records
+    | None ->
+      let config, vjobs, programs = chaos_instance ~vms ~nodes ~seed in
+      Printf.printf
+        "explain: fault-free run, %d VMs / %d nodes (seed %d), %d vjobs\n"
+        (Configuration.vm_count config)
+        (Configuration.node_count config)
+        seed (List.length vjobs);
+      let journal = Entropy_journal.Journal.mem () in
+      ignore
+        (Vsim.Runner.run_custom ~cp_timeout ~max_time ~journal ~config ~vjobs
+           ~programs ());
+      Entropy_journal.Journal.records journal
+  in
+  let analyses = Flight.analyze_records ~top_k:top records in
+  let analyses =
+    match switch_sel with
+    | None -> analyses
+    | Some id ->
+      List.filter
+        (fun (sw, _) -> sw.Entropy_flight.Timeline.switch = id)
+        analyses
+  in
+  obs_write trace metrics;
+  if analyses = [] then begin
+    Printf.printf "no switches to explain%s\n"
+      (match switch_sel with
+      | Some id -> Printf.sprintf " (switch %d not in journal)" id
+      | None -> "");
+    exit 1
+  end;
+  List.iter (fun a -> Fmt.pr "%a@." Flight.pp a) analyses;
+  if List.length analyses > 1 then Fmt.pr "%a@." Flight.pp_summary analyses;
+  warn_dropped_spans ();
+  Option.iter
+    (fun path ->
+      write_json_file path
+        (Flight.to_json ~trace_dropped:(Entropy_obs.Trace.dropped ())
+           analyses))
+    json;
+  Option.iter (fun path -> Flight.write_gantt path analyses) gantt;
+  let bad = List.filter (fun a -> not (Flight.healthy a)) analyses in
+  if bad <> [] then begin
+    Printf.printf
+      "explain: %d switch(es) failed attribution exactness checks\n"
+      (List.length bad);
+    exit 1
+  end
 
 (* -- cmdliner ---------------------------------------------------------------- *)
 
@@ -1027,15 +1195,24 @@ let profile_cmd =
       value & opt int 0
       & info [ "seed" ] ~docv:"SEED" ~doc:"Instance generator seed.")
   in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the machine-readable profile (instance, plan, per-phase \
+             timings, counters, trace drop count) to $(i,FILE).")
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Time one optimisation over a generated Figure 10-style instance \
           and print the per-phase table")
     Term.(
-      const (fun () vms t r s tr m -> profile vms t r s tr m)
+      const (fun () vms t r s js tr m -> profile vms t r s js tr m)
       $ logs_term $ vms_arg $ timeout_arg $ restarts_arg $ seed_arg
-      $ trace_arg $ metrics_arg)
+      $ json_arg $ trace_arg $ metrics_arg)
 
 let chaos_cmd =
   let vms_arg =
@@ -1206,6 +1383,87 @@ let resume_cmd =
       $ timeout_factor_arg $ retries_arg $ resume_timeout_arg $ max_time_arg
       $ journal_pos $ json_arg $ trace_arg $ metrics_arg)
 
+let explain_cmd =
+  let vms_arg =
+    Arg.(
+      value & opt int 54
+      & info [ "vms" ] ~docv:"N"
+          ~doc:"Number of VMs in the generated instance (no --journal).")
+  in
+  let nodes_arg =
+    Arg.(
+      value & opt int 15
+      & info [ "nodes" ] ~docv:"N" ~doc:"Number of nodes (no --journal).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Instance generator seed (no --journal).")
+  in
+  let explain_timeout_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "cp-timeout" ] ~doc:"CP solving timeout in seconds.")
+  in
+  let max_time_arg =
+    Arg.(
+      value & opt float 1_000_000.
+      & info [ "max-time" ] ~docv:"S"
+          ~doc:"Give up after this much simulated time.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Analyze the switches recorded in this write-ahead journal \
+             instead of running the generated instance.")
+  in
+  let switch_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "switch" ] ~docv:"N"
+          ~doc:"Only explain the switch with this journal id.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "top" ] ~docv:"K"
+          ~doc:"What-if estimates for the top K critical actions.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the machine-readable analysis to $(i,FILE).")
+  in
+  let gantt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "gantt" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event gantt view (one track per node, \
+             barrier and critical-path markers) to $(i,FILE).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Reconstruct executed switches from a write-ahead journal (or a \
+          fresh run), extract the critical path and attribute every second \
+          of the makespan to work, contention, barriers, dependencies, \
+          retries or recovery")
+    Term.(
+      const (fun () v n s t mt jp sw top js g tr m ->
+          explain v n s t mt jp sw top js g tr m)
+      $ logs_term $ vms_arg $ nodes_arg $ seed_arg $ explain_timeout_arg
+      $ max_time_arg $ journal_arg $ switch_arg $ top_arg $ json_arg
+      $ gantt_arg $ trace_arg $ metrics_arg)
+
 (* -- journal ------------------------------------------------------------------- *)
 
 (* Debug export: decode a write-ahead journal (binary frames or legacy
@@ -1267,5 +1525,6 @@ let () =
        (Cmd.group info
           [
             status_cmd; check_cmd; plan_cmd; lint_cmd; actions_cmd;
-            simulate_cmd; profile_cmd; chaos_cmd; resume_cmd; journal_cmd;
+            simulate_cmd; profile_cmd; chaos_cmd; resume_cmd; explain_cmd;
+            journal_cmd;
           ]))

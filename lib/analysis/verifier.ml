@@ -351,6 +351,9 @@ let verify ?(vjobs = []) ~current ~target ~demand plan =
 let is_clean ?vjobs ~current ~target ~demand plan =
   verify ?vjobs ~current ~target ~demand plan = []
 
+let cost_cross_check current plan =
+  (Plan.cost current plan, rederive_cost current (Plan.pools plan))
+
 (* -- crash-resume equivalence ---------------------------------------------- *)
 
 (* Where the original plan would have left every VM, replayed action by

@@ -111,5 +111,10 @@ val table1_action_cost : Configuration.t -> Action.t -> int
 val rederive_cost : Configuration.t -> Action.t list list -> int
 (** Independent restatement of the section 4.2 sequencing cost. *)
 
+val cost_cross_check : Configuration.t -> Plan.t -> int * int
+(** [(reported, derived)]: [Plan.cost] next to the independent Table 1 /
+    section 4.2 re-derivation — the estimate cross-check printed by
+    [entropyctl explain] before comparing against executed time. *)
+
 val pp_finding : Format.formatter -> finding -> unit
 val pp_report : Format.formatter -> finding list -> unit

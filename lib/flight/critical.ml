@@ -1,0 +1,464 @@
+(* Critical-path extraction and exhaustive makespan attribution.
+
+   Both walks run backwards from the action that finished last. At each
+   action the "enabling edge" — the latest of (pool open, same-VM
+   dependency end, switch begin) — decides where the walk goes next:
+
+   - the causal walk follows what actually gated the start: across a
+     barrier it continues through the straggler that closed the
+     previous pool, so consecutive steps abut in time and the chain
+     spans the whole makespan;
+
+   - the attribution walk follows the last finisher's own chain,
+     charging ready-but-blocked time at a barrier to the barrier
+     bucket and continuing through the same-VM dependency (if any), so
+     every instant of the makespan lands in exactly one bucket.
+
+   Per-action time splits are shared: the final attempt is work up to
+   the contention-free estimate and contention beyond it, earlier
+   attempts (and terminally failed actions) are retry/backoff, and the
+   edge-to-first-attempt gap is charged to whichever edge was binding
+   (contention for a bandwidth/pipeline slot inside an open pool,
+   dependency wait, or barrier wait).
+
+   The what-if estimator replays the observed lags and spans forward
+   over the same DAG (pool by pool, dependencies inside), with one
+   action zeroed or all barriers removed — no simulator involved. *)
+
+open Entropy_core
+module T = Timeline
+
+type buckets = {
+  work_s : float;
+  contention_s : float;
+  barrier_s : float;
+  dependency_s : float;
+  retry_s : float;
+  recovery_s : float;
+}
+
+let zero_buckets =
+  {
+    work_s = 0.;
+    contention_s = 0.;
+    barrier_s = 0.;
+    dependency_s = 0.;
+    retry_s = 0.;
+    recovery_s = 0.;
+  }
+
+let bucket_total b =
+  b.work_s +. b.contention_s +. b.barrier_s +. b.dependency_s +. b.retry_s
+  +. b.recovery_s
+
+let add_buckets a b =
+  {
+    work_s = a.work_s +. b.work_s;
+    contention_s = a.contention_s +. b.contention_s;
+    barrier_s = a.barrier_s +. b.barrier_s;
+    dependency_s = a.dependency_s +. b.dependency_s;
+    retry_s = a.retry_s +. b.retry_s;
+    recovery_s = a.recovery_s +. b.recovery_s;
+  }
+
+type edge = Start | Dep of int | Barrier of int
+
+type step = {
+  index : int;
+  action : Action.t;
+  pool : int;
+  edge : edge;
+  start_s : float;
+  finish_s : float;
+  gap_s : float;
+  retry_s : float;
+  work_s : float;
+  contention_s : float;
+}
+
+type t = {
+  switch : int;
+  makespan_s : float;
+  path : step list;
+  path_span_s : float;
+  tail_s : float;
+  buckets : buckets;
+  bucket_sum_s : float;
+  exact : bool;
+  what_if : (int * float) list;
+  no_barrier_makespan_s : float;
+  est_makespan_s : float;
+  est_cost_mb : int;
+  rederived_cost_mb : int;
+  drift : (int * float * float) list;
+}
+
+(* -- per-switch working view ----------------------------------------------- *)
+
+let commit_time sw p = List.assoc_opt p sw.T.commits
+
+let pool_open sw (a : T.action_tl) =
+  if a.T.record_pool <= 0 then sw.T.begun_at
+  else
+    match commit_time sw (a.T.record_pool - 1) with
+    | Some t -> t
+    | None -> sw.T.begun_at
+
+(* Terminal time of the same-VM dependency, when it ran to a terminal. *)
+let dep_end sw (a : T.action_tl) =
+  match a.T.prereq with
+  | None -> None
+  | Some j -> (
+    let d = sw.T.actions.(j) in
+    match d.T.terminal with
+    | Some t -> Some (j, T.terminal_at t)
+    | None -> None)
+
+let bounds sw (a : T.action_tl) =
+  let fin = T.finish_time sw a in
+  match a.T.attempts with
+  | s1 :: _ as l ->
+    let sn = List.fold_left Float.max s1 l in
+    (s1, sn, fin)
+  | [] -> (fin, fin, fin)
+
+(* (work, contention, retry) inside [s1, fin] *)
+let split (a : T.action_tl) ~s1 ~sn ~fin =
+  match a.T.terminal with
+  | Some (T.Failed _) -> (0., 0., Float.max 0. (fin -. s1))
+  | Some (T.Done _) | None ->
+    let dur = Float.max 0. (fin -. sn) in
+    let w = Float.min dur a.T.est_s in
+    (w, dur -. w, Float.max 0. (sn -. s1))
+
+type enabling =
+  | E_start
+  | E_dep of int * float
+  | E_barrier of int * float * (int * float) option
+      (** pool crossed, its commit time, and the dependency (if any)
+          that finished before the barrier opened *)
+
+let enabling sw (a : T.action_tl) =
+  let po = pool_open sw a in
+  let de = dep_end sw a in
+  match de with
+  | Some (j, t) when t >= po && t > sw.T.begun_at -> E_dep (j, t)
+  | _ ->
+    if po > sw.T.begun_at then E_barrier (a.T.record_pool - 1, po, de)
+    else E_start
+
+let enabling_time sw = function
+  | E_start -> sw.T.begun_at
+  | E_dep (_, t) -> t
+  | E_barrier (_, po, _) -> po
+
+(* The action whose terminal closed the given pool. *)
+let straggler sw p =
+  let best = ref None in
+  Array.iter
+    (fun (a : T.action_tl) ->
+      if a.T.record_pool = p then
+        match a.T.terminal with
+        | Some t -> (
+          let ft = T.terminal_at t in
+          match !best with
+          | Some (_, bt) when bt >= ft -> ()
+          | _ -> best := Some (a.T.index, ft))
+        | None -> ())
+    sw.T.actions;
+  Option.map fst !best
+
+(* The observed end of the line: latest finisher, preferring an action
+   still in flight at the horizon (it is the one "currently critical"). *)
+let last_finisher sw =
+  let best = ref None in
+  Array.iter
+    (fun (a : T.action_tl) ->
+      if T.executed a then begin
+        let f = T.finish_time sw a in
+        let in_flight = a.T.terminal = None in
+        match !best with
+        | Some (_, bf, bif)
+          when bf > f || (bf = f && (bif || not in_flight)) ->
+          ()
+        | _ -> best := Some (a.T.index, f, in_flight)
+      end)
+    sw.T.actions;
+  Option.map (fun (i, _, _) -> i) !best
+
+(* -- causal critical path -------------------------------------------------- *)
+
+let causal_path sw =
+  match last_finisher sw with
+  | None -> []
+  | Some entry ->
+    let visited = Array.make (Array.length sw.T.actions) false in
+    let rec walk acc idx =
+      if visited.(idx) then acc
+      else begin
+        visited.(idx) <- true;
+        let a = sw.T.actions.(idx) in
+        let s1, sn, fin = bounds sw a in
+        let w, c, r = split a ~s1 ~sn ~fin in
+        let enab = enabling sw a in
+        let gap = Float.max 0. (s1 -. enabling_time sw enab) in
+        let edge =
+          match enab with
+          | E_start -> Start
+          | E_dep (j, _) -> Dep j
+          | E_barrier (p, _, _) -> Barrier p
+        in
+        let step =
+          {
+            index = idx;
+            action = a.T.action;
+            pool = a.T.record_pool;
+            edge;
+            start_s = s1 -. sw.T.begun_at;
+            finish_s = fin -. sw.T.begun_at;
+            gap_s = gap;
+            retry_s = r;
+            work_s = w;
+            contention_s = c;
+          }
+        in
+        let acc = step :: acc in
+        match enab with
+        | E_start -> acc
+        | E_dep (j, _) -> walk acc j
+        | E_barrier (p, _, _) -> (
+          match straggler sw p with Some j -> walk acc j | None -> acc)
+      end
+    in
+    walk [] entry
+
+(* -- attribution buckets --------------------------------------------------- *)
+
+let attribute sw =
+  let b = ref zero_buckets in
+  let charge f = b := f !b in
+  (match last_finisher sw with
+  | None -> ()
+  | Some entry ->
+    let visited = Array.make (Array.length sw.T.actions) false in
+    let rec walk idx =
+      if not visited.(idx) then begin
+        visited.(idx) <- true;
+        let a = sw.T.actions.(idx) in
+        let s1, sn, fin = bounds sw a in
+        let w, c, r = split a ~s1 ~sn ~fin in
+        charge (fun b ->
+            {
+              b with
+              work_s = b.work_s +. w;
+              contention_s = b.contention_s +. c;
+              retry_s = b.retry_s +. r;
+            });
+        match enabling sw a with
+        | E_start ->
+          (* slot wait inside the first open pool *)
+          charge (fun b ->
+              {
+                b with
+                contention_s =
+                  b.contention_s +. Float.max 0. (s1 -. sw.T.begun_at);
+              })
+        | E_dep (j, t) ->
+          charge (fun b ->
+              {
+                b with
+                dependency_s = b.dependency_s +. Float.max 0. (s1 -. t);
+              });
+          walk j
+        | E_barrier (_, po, de) -> (
+          charge (fun b ->
+              {
+                b with
+                contention_s = b.contention_s +. Float.max 0. (s1 -. po);
+              });
+          let lower =
+            match de with
+            | Some (_, t) -> Float.max sw.T.begun_at t
+            | None -> sw.T.begun_at
+          in
+          charge (fun b ->
+              { b with barrier_s = b.barrier_s +. Float.max 0. (po -. lower) });
+          match de with Some (j, _) -> walk j | None -> ())
+      end
+    in
+    walk entry);
+  !b
+
+(* -- what-if forward replay ------------------------------------------------ *)
+
+(* Replay the observed dispatch lags and running spans over the
+   dependency/barrier DAG. [free] zeroes one action; [barriers:false]
+   removes every pool barrier (continuous execution of the same
+   observations). *)
+let replay ?(free = -1) ?(barriers = true) sw =
+  let n = Array.length sw.T.actions in
+  let fin' = Array.make n nan in
+  let executed =
+    Array.to_list sw.T.actions
+    |> List.filter T.executed
+    |> List.sort (fun (a : T.action_tl) (b : T.action_tl) ->
+           match compare a.T.record_pool b.T.record_pool with
+           | 0 -> (
+             let sa, _, _ = bounds sw a and sb, _, _ = bounds sw b in
+             match Float.compare sa sb with
+             | 0 -> compare a.T.index b.T.index
+             | c -> c)
+           | c -> c)
+  in
+  let horizon = ref sw.T.begun_at in
+  let commit = ref sw.T.begun_at in
+  let current_pool = ref min_int in
+  let pool_max = ref sw.T.begun_at in
+  List.iter
+    (fun (a : T.action_tl) ->
+      if a.T.record_pool <> !current_pool then begin
+        if !current_pool <> min_int then commit := Float.max !commit !pool_max;
+        current_pool := a.T.record_pool;
+        pool_max := sw.T.begun_at
+      end;
+      let s1, _, fin = bounds sw a in
+      let dep' =
+        match a.T.prereq with
+        | Some j when not (Float.is_nan fin'.(j)) -> fin'.(j)
+        | _ -> sw.T.begun_at
+      in
+      let ready' =
+        Float.max (if barriers then !commit else sw.T.begun_at) dep'
+      in
+      let observed_ready = enabling_time sw (enabling sw a) in
+      let lag = Float.max 0. (s1 -. observed_ready) in
+      let span = Float.max 0. (fin -. s1) in
+      let f =
+        if a.T.index = free then ready' else ready' +. lag +. span
+      in
+      fin'.(a.T.index) <- f;
+      if f > !pool_max then pool_max := f;
+      if f > !horizon then horizon := f)
+    executed;
+  Float.max 0. (!horizon -. sw.T.begun_at)
+
+let what_if_free sw idx = replay ~free:idx sw
+
+(* -- estimates ------------------------------------------------------------- *)
+
+let estimated_makespan sw =
+  if T.continuous_mode sw then
+    try
+      Continuous.makespan
+        (Continuous.schedule ~current:sw.T.source ~demand:sw.T.demand
+           ~plan:sw.T.plan ())
+    with Continuous.Stuck _ ->
+      Schedule.makespan (Schedule.of_plan sw.T.source sw.T.plan)
+  else Schedule.makespan (Schedule.of_plan sw.T.source sw.T.plan)
+
+let action_drift sw =
+  Array.to_list sw.T.actions
+  |> List.filter_map (fun (a : T.action_tl) ->
+         match a.T.terminal with
+         | Some (T.Done _) ->
+           let _, sn, fin = bounds sw a in
+           Some (a.T.index, a.T.est_s, Float.max 0. (fin -. sn))
+         | _ -> None)
+
+(* -- entry point ----------------------------------------------------------- *)
+
+let analyze ?(top_k = 3) sw =
+  let makespan = T.makespan sw in
+  let path = causal_path sw in
+  let covered =
+    List.fold_left
+      (fun acc s -> acc +. s.gap_s +. s.retry_s +. s.work_s +. s.contention_s)
+      0. path
+  in
+  let tail =
+    match path with
+    | [] -> makespan
+    | _ ->
+      let last = List.nth path (List.length path - 1) in
+      Float.max 0. (makespan -. last.finish_s)
+  in
+  let path_span = covered +. tail in
+  let buckets = attribute sw in
+  let buckets = { buckets with recovery_s = buckets.recovery_s +. tail } in
+  let bucket_sum = bucket_total buckets in
+  let tol = 1e-6 *. Float.max 1. makespan in
+  let exact =
+    Float.abs (bucket_sum -. makespan) <= tol
+    && Float.abs (path_span -. makespan) <= tol
+  in
+  let ranked =
+    List.sort
+      (fun a b ->
+        Float.compare
+          (b.work_s +. b.contention_s +. b.retry_s)
+          (a.work_s +. a.contention_s +. a.retry_s))
+      path
+  in
+  let what_if =
+    List.filteri (fun i _ -> i < top_k) ranked
+    |> List.map (fun s -> (s.index, replay ~free:s.index sw))
+  in
+  let est_cost, rederived =
+    Entropy_analysis.Verifier.cost_cross_check sw.T.source sw.T.plan
+  in
+  {
+    switch = sw.T.switch;
+    makespan_s = makespan;
+    path;
+    path_span_s = path_span;
+    tail_s = tail;
+    buckets;
+    bucket_sum_s = bucket_sum;
+    exact;
+    what_if;
+    no_barrier_makespan_s = replay ~barriers:false sw;
+    est_makespan_s = estimated_makespan sw;
+    est_cost_mb = est_cost;
+    rederived_cost_mb = rederived;
+    drift = action_drift sw;
+  }
+
+(* -- cross-switch (episode) view ------------------------------------------- *)
+
+(* The runner chases a degraded switch with an immediate repair plan.
+   Degraded means the executor terminally lost actions: either it
+   aborted at a pool boundary, or it ran to the end with [Failed]
+   terminals (a last-pool failure leaves nothing pending, so the
+   journal's aborted flag stays false). The chase is immediate, so the
+   repair begins at the very engine instant its predecessor ended. *)
+let degraded sw =
+  sw.T.aborted
+  || Array.exists
+       (fun a -> match a.T.terminal with Some (T.Failed _) -> true | _ -> false)
+       sw.T.actions
+
+let repair_switches sws =
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+      let acc =
+        match a.T.end_at with
+        | Some e
+          when degraded a && Float.abs (b.T.begun_at -. e) <= 1e-9 ->
+          b.T.switch :: acc
+        | _ -> acc
+      in
+      go acc rest
+    | _ -> List.rev acc
+  in
+  go [] sws
+
+let aggregate pairs =
+  let repairs = repair_switches (List.map fst pairs) in
+  let is_repair sw = List.mem sw.T.switch repairs in
+  List.fold_left
+    (fun (acc, total) (sw, an) ->
+      let m = T.makespan sw in
+      if is_repair sw then
+        ({ acc with recovery_s = acc.recovery_s +. m }, total +. m)
+      else (add_buckets acc an.buckets, total +. m))
+    (zero_buckets, 0.) pairs

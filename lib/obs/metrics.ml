@@ -113,9 +113,14 @@ let observed h = h.n
 let sum h = h.sum
 
 (* Geometric midpoint of the bucket holding the rank, clamped to the
-   exact [vmin, vmax] envelope. *)
+   exact [vmin, vmax] envelope. Degenerate shapes are answered exactly
+   rather than interpolated: an empty histogram reports 0, a
+   single-sample histogram reports the sample, and bucket 0 — which
+   absorbs every observation <= 0 and so has no geometric midpoint on
+   the log scale — reports [vmin]. *)
 let quantile h q =
   if h.n = 0 then 0.
+  else if h.n = 1 then h.vmin
   else begin
     let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.n))) in
     let rec go i cum =
@@ -123,13 +128,18 @@ let quantile h q =
       else begin
         let cum = cum + h.buckets.(i) in
         if cum >= rank then begin
-          let lo =
-            Float.exp2
-              (float_of_int (i - zero_bucket)
-              /. float_of_int buckets_per_doubling)
-          in
-          let mid = lo *. Float.exp2 (0.5 /. float_of_int buckets_per_doubling) in
-          Float.min (Float.max mid h.vmin) h.vmax
+          if i = 0 then h.vmin
+          else begin
+            let lo =
+              Float.exp2
+                (float_of_int (i - zero_bucket)
+                /. float_of_int buckets_per_doubling)
+            in
+            let mid =
+              lo *. Float.exp2 (0.5 /. float_of_int buckets_per_doubling)
+            in
+            Float.min (Float.max mid h.vmin) h.vmax
+          end
         end
         else go (i + 1) cum
       end

@@ -39,8 +39,10 @@ val sum : histogram -> float
 val quantile : histogram -> float -> float
 (** [quantile h 0.99] estimates the p99 from the log-scaled buckets;
     relative error is bounded by the bucket width (~9%), and the result
-    is clamped to the exact [min, max] envelope. 0 on an empty
-    histogram. *)
+    is clamped to the exact [min, max] envelope. Degenerate shapes are
+    exact: 0 on an empty histogram, the sample itself on a single-sample
+    histogram, and [min] when the rank falls in bucket 0 (observations
+    [<= 0], which have no midpoint on the log scale). *)
 
 val reset : unit -> unit
 (** Zero every registered metric (registrations are kept). *)

@@ -64,11 +64,21 @@ let reset () =
 
 let now_us () = (Unix.gettimeofday () -. buf.epoch) *. 1e6
 
+(* Wrap-around overwrites are surfaced as a gauge so downstream
+   consumers (explain, profile) can warn that attribution may be
+   skewed; the handle is resolved once and only touched when an
+   overwrite actually happens, keeping the non-dropping path at one
+   store and one increment. *)
+let drop_gauge = lazy (Metrics.gauge "obs.trace.dropped")
+
 let record ev =
   ensure_ring ();
   buf.ring.(buf.next) <- ev;
   buf.next <- (buf.next + 1) mod Array.length buf.ring;
-  buf.count <- buf.count + 1
+  buf.count <- buf.count + 1;
+  if buf.count > Array.length buf.ring then
+    Metrics.set (Lazy.force drop_gauge)
+      (float_of_int (buf.count - Array.length buf.ring))
 
 let complete ?(cat = "obs") ?(tid = tid_main) ?(args = []) ~name ~ts_us
     ~dur_us () =
@@ -136,7 +146,10 @@ let thread_meta tid name =
       ("args", Json.Obj [ ("name", Json.String name) ]);
     ]
 
-let to_json () =
+(* Chrome trace-event document for an arbitrary event list (the ring
+   buffer's or an externally reconstructed one, e.g. the flight
+   recorder's gantt view). *)
+let export ?(threads = []) evs =
   (* chronological order: trace viewers require parents (recorded at
      span end, so later in the ring) to sort before their children; at
      equal timestamps the longer span is the parent and goes first *)
@@ -146,18 +159,30 @@ let to_json () =
         match Float.compare a.ts_us b.ts_us with
         | 0 -> Float.compare b.dur_us a.dur_us
         | c -> c)
-      (events ())
+      evs
   in
   Json.Obj
     [
       ( "traceEvents",
         Json.List
-          (thread_meta tid_main "control loop (wall clock)"
-          :: thread_meta tid_sim "cluster (simulated time)"
-          :: List.map event_to_json evs) );
+          (List.map (fun (tid, name) -> thread_meta tid name) threads
+          @ List.map event_to_json evs) );
       ("displayTimeUnit", Json.String "ms");
-      ("droppedEvents", Json.Int (dropped ()));
     ]
+
+let to_json () =
+  match
+    export
+      ~threads:
+        [
+          (tid_main, "control loop (wall clock)");
+          (tid_sim, "cluster (simulated time)");
+        ]
+      (events ())
+  with
+  | Json.Obj fields ->
+    Json.Obj (fields @ [ ("droppedEvents", Json.Int (dropped ())) ])
+  | j -> j
 
 let write path =
   let oc = open_out path in

@@ -52,7 +52,14 @@ val recorded : unit -> int
 (** Total events ever recorded since the last reset. *)
 
 val dropped : unit -> int
-(** Events overwritten by ring-buffer wrap-around. *)
+(** Events overwritten by ring-buffer wrap-around. Also published as
+    the gauge [obs.trace.dropped] the first time an overwrite occurs,
+    so exports carry the truncation alongside the data it skews. *)
+
+val export : ?threads:(int * string) list -> event list -> Json.t
+(** Chrome trace-event document for an arbitrary event list, sorted
+    chronologically, with one thread-name metadata record per
+    [(tid, name)] pair. [to_json] is this over the ring buffer. *)
 
 val to_json : unit -> Json.t
 (** [{"traceEvents": [...]}] — spans as ["ph":"X"] complete events,

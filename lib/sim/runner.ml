@@ -26,6 +26,7 @@ module Recovery = Entropy_journal.Recovery
 
 type repair_record = {
   at : float;
+  switch : int;
   source : [ `Salvaged | `Replanned ];
   before : Configuration.t;
   target : Configuration.t;
@@ -257,6 +258,8 @@ let run_custom ?(params = Perf_model.defaults) ?(period = 30.)
       repairs :=
         {
           at = Engine.now engine;
+          (* the id the chased exec below will journal under *)
+          switch = !switch_id;
           source = o.Repair.source;
           before;
           target = o.Repair.target;

@@ -6,6 +6,10 @@ open Entropy_core
 
 type repair_record = {
   at : float;           (** simulated time of the repair decision *)
+  switch : int;
+      (** journal switch id the repair plan executes under (0 when no
+          journal is attached) — lets flight-recorder analyses join a
+          repair back to its journaled switch *)
   source : [ `Salvaged | `Replanned ];
   before : Configuration.t;  (** mid-switch configuration repaired from *)
   target : Configuration.t;  (** where the repaired plan ends *)

@@ -227,6 +227,49 @@ let test_histogram_percentiles () =
       check_bool "p100 <= max" true (Metrics.quantile h 1.0 <= 10_000.);
       check_bool "p0 >= min" true (Metrics.quantile h 0.0 >= 1.))
 
+(* edge cases hardened for flight-recorder reports: an empty histogram
+   answers 0 (not nan), a single sample answers itself, and quantiles
+   never fall below the smallest observed value even when the first
+   log-scale bucket (which absorbs v <= 0) is selected *)
+let test_histogram_quantile_edge_cases () =
+  with_obs (fun () ->
+      let h = Metrics.histogram "test.hist.edge" in
+      Alcotest.(check (float 0.)) "empty -> 0" 0. (Metrics.quantile h 0.5);
+      Metrics.observe h 37.5;
+      Alcotest.(check (float 0.)) "single sample p0" 37.5
+        (Metrics.quantile h 0.0);
+      Alcotest.(check (float 0.)) "single sample p50" 37.5
+        (Metrics.quantile h 0.5);
+      Alcotest.(check (float 0.)) "single sample p100" 37.5
+        (Metrics.quantile h 1.0);
+      let h2 = Metrics.histogram "test.hist.neg" in
+      Metrics.observe h2 (-5.);
+      Metrics.observe h2 10.;
+      (* the negative sample lands in bucket 0; the p50 answer must be
+         the observed minimum, not the bucket's synthetic midpoint *)
+      Alcotest.(check (float 0.)) "negative min p50" (-5.)
+        (Metrics.quantile h2 0.5);
+      check_bool "p100 within envelope" true (Metrics.quantile h2 1.0 <= 10.))
+
+let test_trace_dropped_gauge () =
+  with_obs (fun () ->
+      Trace.set_capacity 4;
+      Fun.protect
+        ~finally:(fun () -> Trace.set_capacity 65536)
+        (fun () ->
+          for i = 0 to 2 do
+            Obs.instant (Printf.sprintf "g%d" i)
+          done;
+          (* under capacity: the gauge stays at zero *)
+          Alcotest.(check (float 0.)) "no drops -> gauge zero" 0.
+            (Metrics.gauge_value (Metrics.gauge "obs.trace.dropped"));
+          for i = 3 to 9 do
+            Obs.instant (Printf.sprintf "g%d" i)
+          done;
+          check_int "dropped" 6 (Trace.dropped ());
+          Alcotest.(check (float 0.)) "gauge tracks drops" 6.
+            (Metrics.gauge_value (Metrics.gauge "obs.trace.dropped"))))
+
 let test_metrics_reset_keeps_handles () =
   with_obs (fun () ->
       let c = Metrics.counter "test.reset" in
@@ -358,6 +401,10 @@ let () =
           Alcotest.test_case "counter monotone" `Quick test_counter_monotone;
           Alcotest.test_case "histogram percentiles" `Quick
             test_histogram_percentiles;
+          Alcotest.test_case "quantile edge cases" `Quick
+            test_histogram_quantile_edge_cases;
+          Alcotest.test_case "trace dropped gauge" `Quick
+            test_trace_dropped_gauge;
           Alcotest.test_case "reset keeps handles" `Quick
             test_metrics_reset_keeps_handles;
           Alcotest.test_case "json + prometheus" `Quick
