@@ -39,6 +39,24 @@ let rjsp_of instance =
 let rjsp54 = lazy (rjsp_of (Lazy.force instance54))
 let rjsp216 = lazy (rjsp_of (Lazy.force instance216))
 
+(* placement-engine probe shapes: the CI smoke instance matches the
+   Fig. 10 probe used everywhere else (54 VMs / 15 nodes, seed 42); the
+   acceptance instance is the dense 216-VM / 54-node cluster at seed 2,
+   where CP alone times out solution-less within a 1 s deadline (0
+   solutions over ~190k search nodes) while the local-search engines
+   improve the FFD plan severalfold *)
+let rjsp54_dense =
+  lazy
+    (rjsp_of
+       (Generator.generate
+          { Generator.default_spec with node_count = 15; vm_target = 54; seed = 42 }))
+
+let rjsp216_dense =
+  lazy
+    (rjsp_of
+       (Generator.generate
+          { Generator.default_spec with node_count = 54; vm_target = 216; seed = 2 }))
+
 let small_traces =
   lazy (List.init 2 (fun i -> Trace.make ~seed:i ~vm_count:4 Nasgrid.Ed Nasgrid.W))
 
@@ -323,6 +341,30 @@ let bench_check_states () =
          in
          assert (r.Entropy_check.Checker.violations = [])))
 
+(* Local-search inner-loop throughput: 2000 annealing steps (propose,
+   delta, Metropolis accept, apply) over the seeded 54-VM state. The
+   JSON probe below derives sa_steps_per_sec from a timed run; this
+   bench pins the per-step cost against regressions in the incremental
+   evaluator. *)
+let place_state_of (config, demand, vjobs, outcome) =
+  ignore vjobs;
+  let placed = List.concat_map Vjob.vms outcome.Rjsp.running in
+  let st =
+    Entropy_place.State.create ~current:config ~demand ~placed
+      ~target_base:outcome.Rjsp.ffd_config ()
+  in
+  Entropy_place.State.seed_from st outcome.Rjsp.ffd_config;
+  st
+
+let bench_place_sa () =
+  let st = lazy (place_state_of (Lazy.force rjsp54_dense)) in
+  Test.make ~name:"place/sa_2k_steps"
+    (Staged.stage (fun () ->
+         let st = Lazy.force st in
+         ignore
+           (Entropy_place.Anneal.run ~seed:7 ~max_steps:2000
+              ~deadline:infinity st)))
+
 let all_tests : (string * (unit -> Test.t)) list =
   [
     mk "fig3/duration_model" (fun () -> ignore (Vsim.Perf_model.figure3_rows ()));
@@ -342,6 +384,7 @@ let all_tests : (string * (unit -> Test.t)) list =
     ("journal/flush_unbatched", bench_journal_flush ~batched:false);
     ("check/states_per_sec", bench_check_states);
     ("flight/explain_54vm", bench_flight_explain);
+    ("place/sa_2k_steps", bench_place_sa);
     ("fig12/static_fcfs_8vjobs", bench_fig12_static);
     ("fig13/utilization_series", bench_fig13_series);
     ( "ablation/rjsp_first_fit",
@@ -428,9 +471,83 @@ let cp_search_stats ~timeout =
     timed_out;
   }
 
+(* -- one-shot placement-engine probes (BENCH_place.json) ----------------- *)
+
+(* One Portfolio.solve per instance, with the resulting plan re-checked
+   by the independent verifier. The 216-VM run also races CP alone under
+   the same deadline, recording that it cannot improve on FFD where the
+   portfolio does; sa_steps_per_sec is measured on the 54-VM state. *)
+
+type place_run = {
+  vms : int;
+  p_nodes : int;
+  ffd_cost : int;
+  best_cost : int;
+  winner : string;
+  viable : bool;
+  run_elapsed_s : float;
+}
+
+type place_probe = {
+  engine : string;
+  deadline_s : float;
+  p216 : place_run;
+  p216_cp_improved : bool;  (* CP alone, same deadline, beat FFD? *)
+  p54 : place_run;
+  sa_steps_per_sec : float;
+}
+
+let place_run ~engine ~deadline inst =
+  let config, demand, vjobs, outcome = inst in
+  let placed = List.concat_map Vjob.vms outcome.Rjsp.running in
+  let report =
+    Entropy_place.Portfolio.solve ~deadline ~engine ~vjobs ~current:config
+      ~demand ~placed ~target_base:outcome.Rjsp.ffd_config
+      ~fallback:outcome.Rjsp.ffd_config ()
+  in
+  let r = report.Entropy_place.Portfolio.result in
+  {
+    vms = List.length placed;
+    p_nodes = Configuration.node_count config;
+    ffd_cost = report.Entropy_place.Portfolio.ffd_cost;
+    best_cost = r.Optimizer.cost;
+    winner = report.Entropy_place.Portfolio.winner;
+    viable =
+      Entropy_analysis.Verifier.is_clean ~vjobs ~current:config
+        ~target:r.Optimizer.target ~demand r.Optimizer.plan;
+    run_elapsed_s = report.Entropy_place.Portfolio.elapsed;
+  }
+
+let place_stats ~engine ~deadline =
+  let p216 = place_run ~engine ~deadline (Lazy.force rjsp216_dense) in
+  let cp216 = place_run ~engine:`Cp ~deadline (Lazy.force rjsp216_dense) in
+  let p54 = place_run ~engine ~deadline (Lazy.force rjsp54_dense) in
+  let st = place_state_of (Lazy.force rjsp54_dense) in
+  let t0 = Unix.gettimeofday () in
+  let sa =
+    Entropy_place.Anneal.run ~seed:7 ~deadline:(t0 +. 0.25) st
+  in
+  let sa_elapsed = Unix.gettimeofday () -. t0 in
+  {
+    engine = Entropy_place.Portfolio.engine_to_string engine;
+    deadline_s = deadline;
+    p216;
+    p216_cp_improved = cp216.best_cost < cp216.ffd_cost;
+    p54;
+    sa_steps_per_sec =
+      float_of_int sa.Entropy_place.Anneal.steps /. Float.max 1e-9 sa_elapsed;
+  }
+
 (* -- JSON trajectory --------------------------------------------------- *)
 
-let json_entry ~label results probe =
+let place_run_json name r =
+  Printf.sprintf
+    "\"%s\": { \"vms\": %d, \"nodes\": %d, \"ffd_cost\": %d, \"cost\": %d, \
+     \"winner\": %S, \"viable\": %b, \"elapsed_s\": %.3f }"
+    name r.vms r.p_nodes r.ffd_cost r.best_cost r.winner r.viable
+    r.run_elapsed_s
+
+let json_entry ~label results probe place =
   let b = Buffer.create 1024 in
   Buffer.add_string b (Printf.sprintf "  { \"label\": %S,\n" label);
   Buffer.add_string b "    \"ns_per_run\": {\n";
@@ -452,6 +569,22 @@ let json_entry ~label results probe =
           \"search_elapsed_s\": %.3f, \"timed_out\": %b }"
          p.timeout_s p.cost p.improved p.nodes p.fails p.solutions
          p.search_elapsed_s p.timed_out));
+  (match place with
+  | None -> ()
+  | Some p ->
+    Buffer.add_string b
+      (Printf.sprintf
+         ",\n\
+         \    \"place\": { \"engine\": %S, \"deadline_s\": %g,\n\
+         \      %s,\n\
+         \      \"cp_alone_216vm_improved\": %b,\n\
+         \      %s,\n\
+         \      \"sa_steps_per_sec\": %.0f }"
+         p.engine p.deadline_s
+         (place_run_json "portfolio_216vm" p.p216)
+         p.p216_cp_improved
+         (place_run_json "portfolio_54vm" p.p54)
+         p.sa_steps_per_sec));
   Buffer.add_string b " }";
   Buffer.contents b
 
@@ -487,6 +620,9 @@ let () =
   let quota = ref 0.8 in
   let cp_stats = ref false in
   let cp_timeout = ref 10. in
+  let place_stats_flag = ref false in
+  let place_deadline = ref 1.0 in
+  let engine = ref "portfolio" in
   let trace = ref "" in
   Arg.parse
     [
@@ -498,6 +634,16 @@ let () =
       ( "--cp-timeout",
         Arg.Set_float cp_timeout,
         "SECONDS CP probe timeout (default 10)" );
+      ( "--place-stats",
+        Arg.Set place_stats_flag,
+        " record placement-engine probes (portfolio vs FFD vs CP alone)" );
+      ( "--place-deadline",
+        Arg.Set_float place_deadline,
+        "SECONDS placement-probe deadline (default 1)" );
+      ( "--engine",
+        Arg.Set_string engine,
+        "ENGINE placement probe engine: cp, anneal or portfolio (default \
+         portfolio)" );
       ( "--trace",
         Arg.Set_string trace,
         "FILE record a Chrome trace of the benchmarked code (adds \
@@ -571,7 +717,29 @@ let () =
     end
     else None
   in
-  if !json <> "" then append_json !json (json_entry ~label:!label results probe);
+  let place =
+    if !place_stats_flag then begin
+      let engine =
+        match Entropy_place.Portfolio.engine_of_string !engine with
+        | Some e -> e
+        | None ->
+          raise (Arg.Bad (Printf.sprintf "unknown engine %S" !engine))
+      in
+      let p = place_stats ~engine ~deadline:!place_deadline in
+      Printf.printf
+        "place probe (%s, %.1fs): 216vm ffd=%d best=%d winner=%s viable=%b \
+         (cp alone improved: %b); 54vm ffd=%d best=%d viable=%b; sa %.0f \
+         steps/s\n\
+         %!"
+        p.engine p.deadline_s p.p216.ffd_cost p.p216.best_cost p.p216.winner
+        p.p216.viable p.p216_cp_improved p.p54.ffd_cost p.p54.best_cost
+        p.p54.viable p.sa_steps_per_sec;
+      Some p
+    end
+    else None
+  in
+  if !json <> "" then
+    append_json !json (json_entry ~label:!label results probe place);
   if !trace <> "" then begin
     Entropy_obs.Obs.write_trace !trace;
     Printf.printf "trace written to %s (%d events, %d dropped)\n" !trace

@@ -18,6 +18,7 @@
 open Entropy_core
 module Spec = Entropy_cli.Spec
 module Obs = Entropy_obs.Obs
+module Portfolio = Entropy_place.Portfolio
 
 (* -- logging ---------------------------------------------------------------- *)
 
@@ -120,14 +121,15 @@ let status path =
 
 (* -- plan ----------------------------------------------------------------- *)
 
-let plan path cp_timeout ram trace metrics =
+let plan path cp_timeout engine ram trace metrics =
   obs_setup trace metrics;
   let spec =
     Obs.span ~cat:"loop" ~name:"loop.observe" (fun () -> load_or_exit path)
   in
   let { Spec.config; demand; vjobs; rules; _ } = spec in
   let decision =
-    Decision.consolidation ~cp_timeout ~rules ~suspend_to_ram:ram ()
+    Portfolio.decision ~engine ~deadline:cp_timeout ~rules ~suspend_to_ram:ram
+      ()
   in
   let observation = { Decision.config; demand; queue = vjobs; finished = [] } in
   let result =
@@ -306,7 +308,7 @@ let simulate path cp_timeout ram trace metrics =
    observability layer forced on: prints the plan summary, the per-phase
    wall-time table (from the trace spans) and the counter registry. *)
 
-let profile vms cp_timeout restarts seed json trace metrics =
+let profile vms cp_timeout engine restarts seed json trace metrics =
   Obs.enabled := true;
   Obs.reset ();
   let instance =
@@ -320,21 +322,47 @@ let profile vms cp_timeout restarts seed json trace metrics =
         Rjsp.solve ~config ~demand ~queue:vjobs ())
   in
   let restarts = if restarts = 0 then None else Some restarts in
-  let result =
+  let placed = List.concat_map Vjob.vms outcome.Rjsp.running in
+  (* [--engine cp] keeps the historical direct-optimiser probe (the
+     BENCH_cp trajectory depends on its restart behaviour); the other
+     engines go through the portfolio *)
+  let report =
     Obs.span ~cat:"loop" ~name:"loop.decide" (fun () ->
-        Optimizer.optimize ~timeout:cp_timeout ?restarts ~vjobs
-          ~current:config ~demand
-          ~placed:(List.concat_map Vjob.vms outcome.Rjsp.running)
-          ~target_base:outcome.Rjsp.ffd_config
-          ~fallback:outcome.Rjsp.ffd_config ())
+        match engine with
+        | `Cp ->
+          let result =
+            Optimizer.optimize ~timeout:cp_timeout ?restarts ~vjobs
+              ~current:config ~demand ~placed
+              ~target_base:outcome.Rjsp.ffd_config
+              ~fallback:outcome.Rjsp.ffd_config ()
+          in
+          None, result
+        | (`Anneal | `Portfolio) as engine ->
+          let report =
+            Portfolio.solve ~deadline:cp_timeout ~engine ~vjobs
+              ~current:config ~demand ~placed
+              ~target_base:outcome.Rjsp.ffd_config
+              ~fallback:outcome.Rjsp.ffd_config ()
+          in
+          Some report, report.Portfolio.result)
   in
+  let portfolio_report, result = report in
   Printf.printf "instance: %d VMs over %d nodes (seed %d), %d vjobs\n" vms
     (Configuration.node_count config)
     seed (List.length vjobs);
   Printf.printf "plan: %d actions, cost %d%s\n"
     (Plan.action_count result.Optimizer.plan)
     result.Optimizer.cost
-    (if result.Optimizer.improved then " (CP beat the heuristic)" else "");
+    (if result.Optimizer.improved then " (beat the heuristic)" else "");
+  Option.iter
+    (fun r ->
+      Printf.printf "engine: %s, winner %s, ffd cost %d%s\n"
+        (Portfolio.engine_to_string engine)
+        r.Portfolio.winner r.Portfolio.ffd_cost
+        (match r.Portfolio.local_cost with
+        | Some c -> Printf.sprintf ", best local-search cost %d" c
+        | None -> ""))
+    portfolio_report;
   (match result.Optimizer.stats with
   | Some st -> Fmt.pr "search: %a@." Fdcp.Search.pp_stats st
   | None -> ());
@@ -373,6 +401,22 @@ let profile vms cp_timeout restarts seed json trace metrics =
                    ("cost_mb", Int result.Optimizer.cost);
                    ("improved", Bool result.Optimizer.improved);
                  ] );
+             ( "engine",
+               Obj
+                 (("name", String (Portfolio.engine_to_string engine))
+                 ::
+                 (match portfolio_report with
+                 | None -> []
+                 | Some r ->
+                   [
+                     ("winner", String r.Portfolio.winner);
+                     ("ffd_cost_mb", Int r.Portfolio.ffd_cost);
+                     ( "local_cost_mb",
+                       match r.Portfolio.local_cost with
+                       | Some c -> Int c
+                       | None -> Null );
+                     ("elapsed_s", Float r.Portfolio.elapsed);
+                   ])) );
              ( "phases",
                List
                  (List.map
@@ -969,6 +1013,18 @@ let ram_arg =
     value & flag
     & info [ "ram" ] ~doc:"Prefer suspend-to-RAM when memory allows.")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("cp", `Cp); ("anneal", `Anneal); ("portfolio", `Portfolio) ])
+        `Cp
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Placement engine: $(b,cp) (the paper's CP branch & bound), \
+           $(b,anneal) (anytime local search: simulated annealing + LNS) or \
+           $(b,portfolio) (local search, then CP warm-started with the \
+           incumbent, under one deadline).")
+
 let logs_term =
   let verbose =
     Arg.(
@@ -1147,9 +1203,9 @@ let plan_cmd =
   Cmd.v
     (Cmd.info "plan" ~doc:"Run one decision iteration and print the plan")
     Term.(
-      const (fun () p t r tr m -> plan p t r tr m)
-      $ logs_term $ file_arg 0 "CLUSTER" $ timeout_arg $ ram_arg $ trace_arg
-      $ metrics_arg)
+      const (fun () p t e r tr m -> plan p t e r tr m)
+      $ logs_term $ file_arg 0 "CLUSTER" $ timeout_arg $ engine_arg $ ram_arg
+      $ trace_arg $ metrics_arg)
 
 let lint_cmd =
   Cmd.v
@@ -1210,9 +1266,9 @@ let profile_cmd =
          "Time one optimisation over a generated Figure 10-style instance \
           and print the per-phase table")
     Term.(
-      const (fun () vms t r s js tr m -> profile vms t r s js tr m)
-      $ logs_term $ vms_arg $ timeout_arg $ restarts_arg $ seed_arg
-      $ json_arg $ trace_arg $ metrics_arg)
+      const (fun () vms t e r s js tr m -> profile vms t e r s js tr m)
+      $ logs_term $ vms_arg $ timeout_arg $ engine_arg $ restarts_arg
+      $ seed_arg $ json_arg $ trace_arg $ metrics_arg)
 
 let chaos_cmd =
   let vms_arg =

@@ -35,7 +35,100 @@ let move_actions pools pred ~to_pool =
     pools;
   pools.(to_pool) <- pools.(to_pool) @ !moved
 
-let enforce ~config ~vjobs plan =
+(* -- cycle-break re-validation (ROADMAP open item 4) ---------------------- *)
+
+(* A disk-route cycle break materialises as a Suspend at pool [i] paired
+   with a Resume of the same VM at a later pool [j]: the suspend stood in
+   for a migration that was infeasible when the planner reached it. The
+   regrouping above can move a same-vjob resume to a later pool, leaving
+   the migration's destination emptier at pool [i] — the direct migration
+   becomes feasible there and the verifier (rightly) treats the detour as
+   an unjustified extra hop. Drop it: replace the suspend with the direct
+   migration and delete the paired resume, keeping the substitution only
+   when the whole plan still validates (sibling claims in pool [i] or in
+   the pools between [i] and [j] could otherwise overflow). *)
+let revalidate_cycle_breaks ~config ~demand plan =
+  let final_config plan =
+    List.fold_left
+      (fun c pool -> List.fold_left Action.apply c pool)
+      config (Plan.pools plan)
+  in
+  let target = try Some (final_config plan) with Action.Invalid _ -> None in
+  match target with
+  | None -> plan
+  | Some target ->
+    let valid p = Plan.validate ~current:config ~target ~demand p = [] in
+    let rec fix plan budget =
+      if budget <= 0 then plan
+      else
+        let pools = Array.of_list (Plan.pools plan) in
+        let n = Array.length pools in
+        let starts = Array.make n config in
+        let c = ref config in
+        Array.iteri
+          (fun i pool ->
+            starts.(i) <- !c;
+            c := List.fold_left Action.apply !c pool)
+          pools;
+        (* first detour whose direct migration fits at its pool start *)
+        let detour = ref None in
+        for i = n - 1 downto 0 do
+          List.iter
+            (function
+              | Action.Suspend { vm; host } ->
+                for j = i + 1 to n - 1 do
+                  List.iter
+                    (function
+                      | Action.Resume { vm = vm'; src; dst }
+                        when vm' = vm && src = host && dst <> host ->
+                        let direct = Action.Migrate { vm; src = host; dst } in
+                        if Action.feasible starts.(i) demand direct then
+                          detour := Some (i, j, vm, direct)
+                      | _ -> ())
+                    pools.(j)
+                done
+              | _ -> ())
+            pools.(i)
+        done;
+        (match !detour with
+        | None -> plan
+        | Some (i, j, vm, direct) ->
+          let without_pair keep_direct =
+            let pools' = Array.copy pools in
+            pools'.(i) <-
+              List.concat_map
+                (function
+                  | Action.Suspend { vm = v; _ } when v = vm ->
+                    if keep_direct then [ direct ] else []
+                  | a -> [ a ])
+                pools.(i);
+            pools'.(j) <-
+              List.filter
+                (function
+                  | Action.Resume { vm = v; _ } -> v <> vm
+                  | _ -> true)
+                pools'.(j);
+            pools'
+          in
+          (* in-place substitution first (fewer pools), then the claim-safe
+             variant that gives the migration its own pool before [i] *)
+          let in_place = Plan.make (Array.to_list (without_pair true)) in
+          let own_pool =
+            let pools' = Array.to_list (without_pair false) in
+            let rec insert k = function
+              | rest when k = 0 -> [ direct ] :: rest
+              | p :: rest -> p :: insert (k - 1) rest
+              | [] -> [ [ direct ] ]
+            in
+            Plan.make (insert i pools')
+          in
+          if valid in_place then fix in_place (budget - 1)
+          else if valid own_pool then fix own_pool (budget - 1)
+          else plan)
+    in
+    fix plan (Plan.action_count plan)
+
+let enforce ~config ~demand ~vjobs plan =
   let pools = Array.of_list (Plan.pools plan) in
   if Array.length pools = 0 then plan
   else begin
@@ -72,7 +165,7 @@ let enforce ~config ~vjobs plan =
       | c -> c
     in
     Array.iteri (fun i pool -> pools.(i) <- List.sort by_vm_name pool) pools;
-    Plan.make (Array.to_list pools)
+    revalidate_cycle_breaks ~config ~demand (Plan.make (Array.to_list pools))
   end
 
 (* Suspends and resumes of one vjob that ended up in the same pool: used

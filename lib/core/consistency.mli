@@ -3,10 +3,13 @@
     the executor can run them within a short, ordered window. *)
 
 val enforce :
-  config:Configuration.t -> vjobs:Vjob.t list -> Plan.t -> Plan.t
+  config:Configuration.t -> demand:Demand.t -> vjobs:Vjob.t list ->
+  Plan.t -> Plan.t
 (** Move each vjob's suspends to the earliest pool containing one and its
     resumes to the latest; sort every pool by VM name for deterministic
-    pipelining. Feasibility of the plan is preserved. *)
+    pipelining. Feasibility of the plan is preserved. Disk-route cycle
+    breaks whose direct migration became feasible after the regrouping
+    (ROADMAP open item 4) are replaced by that migration. *)
 
 val grouped_in_same_pool :
   Plan.t -> Vjob.t -> [ `Suspend | `Resume ] -> bool

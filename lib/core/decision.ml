@@ -65,8 +65,12 @@ let prefer_ram_suspends ~current target =
   in
   convert target 0
 
-let consolidation ?(cp_timeout = Optimizer.default_timeout) ?cp_node_limit
-    ?(heuristic = Ffd.First_fit) ?(rules = []) ?(suspend_to_ram = false) () =
+(* The consolidation skeleton with a pluggable placement optimiser, so
+   alternative engines (the lib/place local-search portfolio) can reuse
+   the whole decision flow — stops, RJSP, suspend-to-RAM preference —
+   without lib/core depending on them. *)
+let consolidation_with ~name ?(heuristic = Ffd.First_fit) ?(rules = [])
+    ?(suspend_to_ram = false) optimize_fn =
   let decide obs =
     let live_queue = List.filter (fun v -> not (is_finished obs v)) obs.queue in
     (* finished vjobs disappear before the trial packing *)
@@ -77,9 +81,8 @@ let consolidation ?(cp_timeout = Optimizer.default_timeout) ?cp_node_limit
     in
     let placed = List.concat_map Vjob.vms outcome.Rjsp.running in
     let optimize target_base =
-      Optimizer.optimize ~timeout:cp_timeout ?node_limit:cp_node_limit
-        ~vjobs:live_queue ~rules ~current:obs.config ~demand:obs.demand
-        ~placed ~target_base ~fallback:target_base ()
+      optimize_fn ~current:obs.config ~demand:obs.demand ~vjobs:live_queue
+        ~placed ~target_base
     in
     if not suspend_to_ram then optimize outcome.Rjsp.ffd_config
     else
@@ -93,11 +96,19 @@ let consolidation ?(cp_timeout = Optimizer.default_timeout) ?cp_node_limit
       | result -> result
       | exception Planner.Stuck _ -> optimize outcome.Rjsp.ffd_config
   in
+  { name; decide }
+
+let consolidation ?(cp_timeout = Optimizer.default_timeout) ?cp_node_limit
+    ?(heuristic = Ffd.First_fit) ?(rules = []) ?(suspend_to_ram = false) () =
   let name =
     if suspend_to_ram then "dynamic-consolidation+ram"
     else "dynamic-consolidation"
   in
-  { name; decide }
+  consolidation_with ~name ~heuristic ~rules ~suspend_to_ram
+    (fun ~current ~demand ~vjobs ~placed ~target_base ->
+      Optimizer.optimize ~timeout:cp_timeout ?node_limit:cp_node_limit
+        ~vjobs ~rules ~current ~demand ~placed ~target_base
+        ~fallback:target_base ())
 
 (* Weighted variant: the queue is ordered by decreasing vjob weight
    (ties FCFS) before the RJSP scan — the "vjob weights or priority

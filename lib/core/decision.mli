@@ -22,6 +22,19 @@ val prefer_ram_suspends :
 (** Flip disk suspends to RAM suspends wherever the target leaves enough
     memory on the VM's host (paper, section 7 future work). *)
 
+val consolidation_with :
+  name:string -> ?heuristic:Ffd.heuristic ->
+  ?rules:Placement_rules.t list -> ?suspend_to_ram:bool ->
+  (current:Configuration.t -> demand:Demand.t -> vjobs:Vjob.t list ->
+   placed:Vm.id list -> target_base:Configuration.t -> Optimizer.result) ->
+  t
+(** The consolidation flow (stops, RJSP trial packing, optional
+    suspend-to-RAM preference) around a pluggable placement optimiser:
+    the callback receives the RJSP outcome ([placed] VMs to re-place on
+    top of [target_base]) and returns the chosen target and plan.
+    Lets alternative engines — e.g. the lib/place portfolio — reuse the
+    whole decision flow. *)
+
 val consolidation :
   ?cp_timeout:float -> ?cp_node_limit:int -> ?heuristic:Ffd.heuristic ->
   ?rules:Placement_rules.t list -> ?suspend_to_ram:bool -> unit -> t

@@ -286,7 +286,8 @@ let build_model ?(rules = []) ~current ~demand ~placed ~target_base () =
       build_model_impl ~rules ~current ~demand ~placed ~target_base ())
 
 let optimize ?(timeout = default_timeout) ?node_limit ?restarts ?vjobs
-    ?(rules = []) ~current ~demand ~placed ~target_base ~fallback () =
+    ?(rules = []) ?incumbent_cost ~current ~demand ~placed ~target_base
+    ~fallback () =
   let fallback_plan, fallback_cost = plan_for ?vjobs ~current ~demand fallback in
   let fallback_result improved stats =
     {
@@ -379,14 +380,30 @@ let optimize ?(timeout = default_timeout) ?node_limit ?restarts ?vjobs
         pref :: List.filter (fun x -> x <> pref) values
       else values
     in
-    (* seed branch & bound with the fallback's movement cost: only
+    (* seed branch & bound with the fallback's movement cost and any
+       caller-supplied incumbent (true plan cost, e.g. a local-search
+       solution): the objective is an admissible lower bound of the true
+       plan cost, so bounding it below either is sound pruning — only
        strictly better placements are explored. When the fallback
-       violates the placement rules it is not a usable incumbent, so no
-       bound is seeded: any rule-satisfying solution is acceptable. *)
+       violates the placement rules it is not a usable incumbent, so its
+       bound is not seeded: any rule-satisfying solution is acceptable. *)
     let seed_failed = ref false in
-    if rules = [] || Placement_rules.check_all fallback rules then (
-      try Store.remove_above store obj (max 0 (!fallback_obj - 1))
-      with Store.Inconsistent _ -> seed_failed := true);
+    let seed_bound =
+      let fb =
+        if rules = [] || Placement_rules.check_all fallback rules then
+          Some !fallback_obj
+        else None
+      in
+      match (fb, incumbent_cost) with
+      | Some a, Some b -> Some (min a b)
+      | Some a, None -> Some a
+      | None, b -> b
+    in
+    (match seed_bound with
+    | Some b -> (
+      try Store.remove_above store obj (max 0 (b - 1))
+      with Store.Inconsistent _ -> seed_failed := true)
+    | None -> ());
     let best, stats =
       if !seed_failed || not !rules_postable then
         (None, Search.fresh_stats ())

@@ -19,6 +19,12 @@ val cost_table : Configuration.t -> Vm.id -> node_count:int -> int array
 (** Local action cost of running the VM on each node next iteration,
     given its current state (0 / Dm / 2Dm, Table 1). *)
 
+val residual_capacities :
+  Configuration.t -> Demand.t -> placed:Vm.id list -> int array * int array
+(** Per-node [(cpu, mem)] capacities left once the VMs of the base
+    configuration that are {e not} being re-placed are accounted for.
+    Shared by the CP model and the local-search engines (lib/place). *)
+
 type model = {
   store : Fdcp.Store.t;
   hvars : Fdcp.Var.t array;
@@ -44,6 +50,7 @@ val build_model :
 val optimize :
   ?timeout:float -> ?node_limit:int -> ?restarts:int ->
   ?vjobs:Vjob.t list -> ?rules:Placement_rules.t list ->
+  ?incumbent_cost:int ->
   current:Configuration.t -> demand:Demand.t -> placed:Vm.id list ->
   target_base:Configuration.t -> fallback:Configuration.t -> unit -> result
 (** [optimize ~current ~demand ~placed ~target_base ~fallback ()]
@@ -54,4 +61,13 @@ val optimize :
     nothing better within the timeout; a rule-satisfying CP solution is
     preferred over a rule-violating fallback whatever the cost. The
     returned plan includes vjob consistency grouping when [vjobs] is
-    given. *)
+    given.
+
+    [incumbent_cost] warm-starts branch & bound by posting an upper
+    bound on the objective: the search only explores placements with a
+    strictly smaller objective. Passing an incumbent plan's true cost
+    preserves true-cost optimality (the objective is an admissible lower
+    bound of the true cost, so no true-cost-better plan is pruned);
+    passing an incumbent placement's objective value prunes harder but
+    restricts the search to objective-better placements, which may
+    exclude plans that win on sequencing penalties alone. *)

@@ -212,4 +212,4 @@ let build_plan ?vjobs ~current ~target ~demand () =
   let pools = build ~current ~target ~demand () in
   match vjobs with
   | None -> pools
-  | Some vjobs -> Consistency.enforce ~config:current ~vjobs pools
+  | Some vjobs -> Consistency.enforce ~config:current ~demand ~vjobs pools

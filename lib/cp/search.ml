@@ -235,11 +235,13 @@ let shuffle rng l =
   Array.to_list a
 
 let minimize store ~vars ~obj ?(var_select = first_fail)
-    ?(val_select = min_value) ?val_iter ?timeout ?node_limit
+    ?(val_select = min_value) ?val_iter ?timeout ?node_limit ?incumbent_obj
     ?(on_improve = fun _ -> ()) () =
   let stats = fresh_stats () in
   let val_iter = resolve_val_iter val_select val_iter in
-  let best = ref max_int in
+  (* warm start: only assignments strictly better than a caller-supplied
+     incumbent are explored (and reported) *)
+  let best = ref (Option.value incumbent_obj ~default:max_int) in
   let best_snapshot = ref None in
   let on_node () =
     (* branch & bound: require strict improvement over the incumbent *)
@@ -274,7 +276,7 @@ let minimize store ~vars ~obj ?(var_select = first_fail)
    incumbent is then proven optimal). *)
 let minimize_restarts store ~vars ~obj ?(var_select = first_fail)
     ?(val_select = min_value) ?(base_node_limit = 1000) ?(restarts = 8)
-    ?(seed = 0x5eed) ?timeout () =
+    ?(seed = 0x5eed) ?timeout ?incumbent_obj () =
   let rng = Random.State.make [| seed |] in
   let best = ref None in
   let total = fresh_stats () in
@@ -298,9 +300,16 @@ let minimize_restarts store ~vars ~obj ?(var_select = first_fail)
   (try
      for i = 0 to restarts - 1 do
        if out_of_time () then raise Done;
-       (* tighten with the incumbent: restarts only look for better *)
-       (match !best with
-       | Some (v, _) -> (
+       (* tighten with the incumbent (ours, or the caller-supplied warm
+          start): restarts only look for better *)
+       let bound =
+         match (!best, incumbent_obj) with
+         | Some (v, _), Some b -> Some (min v b)
+         | Some (v, _), None -> Some v
+         | None, b -> b
+       in
+       (match bound with
+       | Some v -> (
          try
            Store.remove_above store obj (v - 1);
            Store.propagate store

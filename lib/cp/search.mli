@@ -65,11 +65,12 @@ val find_first :
 val minimize :
   Store.t -> vars:Var.t array -> obj:Var.t -> ?var_select:var_select ->
   ?val_select:val_select -> ?val_iter:val_iter -> ?timeout:float ->
-  ?node_limit:int -> ?on_improve:(int -> unit) -> unit ->
-  (int * int array) option * stats
+  ?node_limit:int -> ?incumbent_obj:int -> ?on_improve:(int -> unit) ->
+  unit -> (int * int array) option * stats
 (** Branch & bound on [obj]. Returns the best objective value with the
     snapshot of [vars] at that solution (the incumbent at timeout if the
-    search did not complete). *)
+    search did not complete). [incumbent_obj] warm-starts the bound: only
+    assignments with [obj] strictly below it are explored or returned. *)
 
 val luby : int -> int
 (** The Luby restart sequence (1-indexed): 1 1 2 1 1 2 4 ... *)
@@ -77,7 +78,8 @@ val luby : int -> int
 val minimize_restarts :
   Store.t -> vars:Var.t array -> obj:Var.t -> ?var_select:var_select ->
   ?val_select:val_select -> ?base_node_limit:int -> ?restarts:int ->
-  ?seed:int -> ?timeout:float -> unit -> (int * int array) option * stats
+  ?seed:int -> ?timeout:float -> ?incumbent_obj:int -> unit ->
+  (int * int array) option * stats
 (** Restart-based branch & bound: Luby-bounded runs, shuffled value-order
     tails after the first run, incumbent carried across restarts. Note
     the store's objective domain is tightened in place across runs (use

@@ -1,0 +1,34 @@
+(** Simulated annealing over a placement state: Metropolis acceptance,
+    geometric cooling, deadline- and step-bounded, monotone incumbent
+    stream. *)
+
+type params = {
+  t0 : float;  (** initial temperature, in objective (MB) units *)
+  cooling : float;  (** geometric cooling factor, applied every step *)
+  tenure : int;
+  candidates : int;
+  swap_bias : int;
+  check_every : int;  (** steps between wall-clock reads *)
+}
+
+val default_params : params
+
+type outcome = {
+  best_cost : int;
+      (** best objective (estimator) value seen — not the plan cost *)
+  best_hosts : int array;
+  steps : int;
+  accepted : int;
+  incumbents : int;
+}
+
+val run :
+  ?params:params -> ?max_steps:int -> ?seed:int ->
+  ?on_incumbent:(cost:int -> int array -> unit) ->
+  deadline:float -> State.t -> outcome
+(** Anneal the (complete) state until the absolute [deadline]
+    (Unix time) or the step budget. [on_incumbent] fires on each strict
+    improvement of the best cost with a host snapshot (owned by the
+    annealer until the next improvement — copy to keep). On return the
+    state is loaded with the best placement seen. Deterministic in
+    [seed] apart from the wall-clock cutoff. *)

@@ -1,0 +1,30 @@
+(** Large-neighbourhood search: eject a node's VMs, a vjob's VMs or a
+    random handful, repair FFD-style against the Table 1 cost tables,
+    roll back non-improving rounds. The state never degrades. *)
+
+open Entropy_core
+
+type params = {
+  destroy_max : int;  (** VMs ejected by the random neighbourhood *)
+  check_every : int;  (** rounds between wall-clock reads *)
+}
+
+val default_params : params
+
+type outcome = {
+  best_cost : int;
+      (** best objective (estimator) value seen — not the plan cost *)
+  best_hosts : int array;
+  rounds : int;
+  improved_rounds : int;
+  incumbents : int;
+}
+
+val run :
+  ?params:params -> ?max_rounds:int -> ?seed:int -> ?vjobs:Vjob.t list ->
+  ?on_incumbent:(cost:int -> int array -> unit) ->
+  deadline:float -> State.t -> outcome
+(** Destroy/repair until the absolute [deadline] (Unix time) or the
+    round budget. [vjobs] enables the vjob-eject neighbourhood.
+    [on_incumbent] as in {!Anneal.run}. On return the state holds the
+    best placement seen. *)

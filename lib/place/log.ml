@@ -1,0 +1,7 @@
+(* Log source for the local-search placement engines. Enable with e.g.
+   [Logs.Src.set_level Log.src (Some Logs.Debug)]. *)
+
+let src =
+  Logs.Src.create "entropy.place" ~doc:"Local-search placement engines"
+
+include (val Logs.src_log src : Logs.LOG)

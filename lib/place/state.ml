@@ -1,0 +1,197 @@
+(* Mutable placement state with O(1) move evaluation.
+
+   The CP optimiser (section 4.3) re-derives feasibility and cost through
+   constraint propagation; a local-search engine cannot afford that per
+   candidate move. This module keeps the placement of the re-placed VMs
+   as flat arrays — host per VM, residual CPU/memory per node, Table 1
+   cost table per VM — so that evaluating or applying a migrate/swap is
+   a handful of array reads.
+
+   The maintained objective is the sum of per-VM local action costs
+   (exactly the CP objective): an admissible lower bound of the true
+   plan cost, which adds the section 4.2 sequencing penalties only once
+   a concrete plan is built. Incumbents are therefore re-ranked by
+   [Plan.cost] when they are materialised (see {!Portfolio}). *)
+
+open Entropy_core
+
+type t = {
+  current : Configuration.t;
+  target_base : Configuration.t;
+  demand : Demand.t;
+  placed : Vm.id array;
+  index_of : (Vm.id, int) Hashtbl.t;
+  host : int array;  (* host.(i): node of placed.(i), -1 = unassigned *)
+  free_cpu : int array;  (* per-node residuals, placed VMs deducted *)
+  free_mem : int array;
+  base_cpu : int array;  (* residuals with no placed VM assigned *)
+  base_mem : int array;
+  cpu : int array;  (* demands of placed.(i) *)
+  mem : int array;
+  tables : int array array;  (* tables.(i).(node): Table 1 local cost *)
+  allowed : bool array option array;  (* Ban/Fence + RAM pinning *)
+  mutable assigned : int;
+  mutable cost : int;  (* sum of tables.(i).(host.(i)) over assigned *)
+}
+
+let create ?(rules = []) ~current ~demand ~placed ~target_base () =
+  let placed_arr = Array.of_list placed in
+  let k = Array.length placed_arr in
+  let n = Configuration.node_count target_base in
+  let base_cpu, base_mem =
+    Optimizer.residual_capacities target_base demand ~placed
+  in
+  let index_of = Hashtbl.create (max 16 k) in
+  Array.iteri (fun i vm -> Hashtbl.replace index_of vm i) placed_arr;
+  let allowed =
+    Array.map
+      (fun vm ->
+        match Configuration.state current vm with
+        | Configuration.Sleeping_ram h ->
+          (* a RAM image can only resume on the node holding it *)
+          let m = Array.make n false in
+          m.(h) <- true;
+          Some m
+        | _ -> (
+          match Placement_rules.allowed_nodes rules ~node_count:n vm with
+          | None -> None
+          | Some nodes ->
+            let m = Array.make n false in
+            List.iter (fun j -> m.(j) <- true) nodes;
+            Some m))
+      placed_arr
+  in
+  {
+    current;
+    target_base;
+    demand;
+    placed = placed_arr;
+    index_of;
+    host = Array.make k (-1);
+    free_cpu = Array.copy base_cpu;
+    free_mem = Array.copy base_mem;
+    base_cpu;
+    base_mem;
+    cpu = Array.map (fun vm -> Demand.cpu demand vm) placed_arr;
+    mem =
+      Array.map
+        (fun vm -> Vm.memory_mb (Configuration.vm current vm))
+        placed_arr;
+    tables =
+      Array.map
+        (fun vm -> Optimizer.cost_table current vm ~node_count:n)
+        placed_arr;
+    allowed;
+    assigned = 0;
+    cost = 0;
+  }
+
+let vm_count t = Array.length t.placed
+let node_count t = Array.length t.free_cpu
+let host t i = t.host.(i)
+let vm t i = t.placed.(i)
+let index_of t vm = Hashtbl.find_opt t.index_of vm
+let cost t = t.cost
+let complete t = t.assigned = vm_count t
+let vm_cpu t i = t.cpu.(i)
+let vm_mem t i = t.mem.(i)
+let table_cost t i j = t.tables.(i).(j)
+
+let allowed t i j =
+  match t.allowed.(i) with None -> true | Some m -> m.(j)
+
+let fits t i j =
+  allowed t i j && t.free_cpu.(j) >= t.cpu.(i) && t.free_mem.(j) >= t.mem.(i)
+
+let assign t i j =
+  t.host.(i) <- j;
+  t.free_cpu.(j) <- t.free_cpu.(j) - t.cpu.(i);
+  t.free_mem.(j) <- t.free_mem.(j) - t.mem.(i);
+  t.assigned <- t.assigned + 1;
+  t.cost <- t.cost + t.tables.(i).(j)
+
+let unassign t i =
+  let j = t.host.(i) in
+  if j >= 0 then begin
+    t.host.(i) <- -1;
+    t.free_cpu.(j) <- t.free_cpu.(j) + t.cpu.(i);
+    t.free_mem.(j) <- t.free_mem.(j) + t.mem.(i);
+    t.assigned <- t.assigned - 1;
+    t.cost <- t.cost - t.tables.(i).(j)
+  end
+
+let move_delta t i j = t.tables.(i).(j) - t.tables.(i).(t.host.(i))
+
+let move t i j =
+  unassign t i;
+  assign t i j
+
+let swap_delta t a b =
+  let na = t.host.(a) and nb = t.host.(b) in
+  t.tables.(a).(nb) - t.tables.(a).(na)
+  + t.tables.(b).(na) - t.tables.(b).(nb)
+
+let can_swap t a b =
+  let na = t.host.(a) and nb = t.host.(b) in
+  a <> b && na >= 0 && nb >= 0 && na <> nb
+  && allowed t a nb && allowed t b na
+  && t.free_cpu.(nb) + t.cpu.(b) >= t.cpu.(a)
+  && t.free_mem.(nb) + t.mem.(b) >= t.mem.(a)
+  && t.free_cpu.(na) + t.cpu.(a) >= t.cpu.(b)
+  && t.free_mem.(na) + t.mem.(a) >= t.mem.(b)
+
+let swap t a b =
+  let na = t.host.(a) and nb = t.host.(b) in
+  unassign t a;
+  unassign t b;
+  assign t a nb;
+  assign t b na
+
+let recompute_cost t =
+  let c = ref 0 in
+  Array.iteri (fun i j -> if j >= 0 then c := !c + t.tables.(i).(j)) t.host;
+  !c
+
+let copy_hosts t = Array.copy t.host
+
+let load_hosts t hosts =
+  Array.blit t.base_cpu 0 t.free_cpu 0 (Array.length t.base_cpu);
+  Array.blit t.base_mem 0 t.free_mem 0 (Array.length t.base_mem);
+  Array.blit hosts 0 t.host 0 (Array.length hosts);
+  t.assigned <- 0;
+  t.cost <- 0;
+  Array.iteri
+    (fun i j ->
+      if j >= 0 then begin
+        t.free_cpu.(j) <- t.free_cpu.(j) - t.cpu.(i);
+        t.free_mem.(j) <- t.free_mem.(j) - t.mem.(i);
+        t.assigned <- t.assigned + 1;
+        t.cost <- t.cost + t.tables.(i).(j)
+      end)
+    t.host
+
+let seed_from t config =
+  let hosts =
+    Array.map
+      (fun vm ->
+        match Configuration.host config vm with Some j -> j | None -> -1)
+      t.placed
+  in
+  load_hosts t hosts
+
+let to_config t =
+  let cfg = ref t.target_base in
+  Array.iteri
+    (fun i j ->
+      if j >= 0 then
+        cfg :=
+          Configuration.set_state !cfg t.placed.(i) (Configuration.Running j))
+    t.host;
+  !cfg
+
+let placed_on t node =
+  let acc = ref [] in
+  for i = vm_count t - 1 downto 0 do
+    if t.host.(i) = node then acc := i :: !acc
+  done;
+  !acc

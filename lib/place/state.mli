@@ -1,0 +1,81 @@
+(** Mutable placement state with O(1) move evaluation.
+
+    Holds the placement of the re-placed VMs as flat arrays (host per
+    VM, residual capacities per node, Table 1 cost table per VM) so the
+    local-search engines can evaluate and apply moves without rebuilding
+    a configuration or a plan. The maintained objective is the sum of
+    per-VM local action costs — the CP objective, an admissible lower
+    bound of the true plan cost. *)
+
+open Entropy_core
+
+type t
+
+val create :
+  ?rules:Placement_rules.t list ->
+  current:Configuration.t -> demand:Demand.t -> placed:Vm.id list ->
+  target_base:Configuration.t -> unit -> t
+(** Empty state (every placed VM unassigned) over the residual
+    capacities of [target_base]. Only Ban/Fence rules are captured (as
+    per-VM allowed-node masks); relational rules must be handled by the
+    caller (the portfolio falls back to CP-only when any are present).
+    RAM-suspended VMs are pinned to the node holding their image. *)
+
+val vm_count : t -> int
+val node_count : t -> int
+
+val host : t -> int -> int
+(** Node of the i-th placed VM, [-1] when unassigned. *)
+
+val vm : t -> int -> Vm.id
+val index_of : t -> Vm.id -> int option
+val vm_cpu : t -> int -> int
+val vm_mem : t -> int -> int
+val table_cost : t -> int -> int -> int
+(** [table_cost t i j]: Table 1 local cost of running VM [i] on node [j]. *)
+
+val cost : t -> int
+(** Incrementally-maintained objective (sum of assigned VMs' local
+    action costs). *)
+
+val recompute_cost : t -> int
+(** From-scratch recomputation of {!cost} — the parity oracle. *)
+
+val complete : t -> bool
+val allowed : t -> int -> int -> bool
+val fits : t -> int -> int -> bool
+(** Whether VM [i] fits on node [j] under the current residuals and its
+    allowed-node mask. *)
+
+val assign : t -> int -> int -> unit
+(** Assign an unassigned VM (caller checks {!fits}). *)
+
+val unassign : t -> int -> unit
+
+val move : t -> int -> int -> unit
+(** Reassign an assigned VM; [move_delta] is its cost change. *)
+
+val move_delta : t -> int -> int -> int
+
+val can_swap : t -> int -> int -> bool
+(** Whether exchanging the hosts of two assigned VMs keeps both fitting
+    (each other's resources counted as freed). *)
+
+val swap : t -> int -> int -> unit
+val swap_delta : t -> int -> int -> int
+
+val copy_hosts : t -> int array
+val load_hosts : t -> int array -> unit
+(** Restore a host snapshot ([copy_hosts]); rebuilds residuals in
+    O(vms + nodes). *)
+
+val seed_from : t -> Configuration.t -> unit
+(** Load every placed VM's host from a (viable) configuration, e.g. the
+    FFD solution. *)
+
+val to_config : t -> Configuration.t
+(** Target configuration: the placed VMs Running on their hosts, on top
+    of the target base. Meaningful when {!complete}. *)
+
+val placed_on : t -> int -> int list
+(** Indices of the placed VMs currently assigned to the node. *)
