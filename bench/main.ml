@@ -365,6 +365,29 @@ let bench_place_sa () =
            (Entropy_place.Anneal.run ~seed:7 ~max_steps:2000
               ~deadline:infinity st)))
 
+(* Daemon control-plane overhead: one simulated hour of the
+   overload-tolerant event loop — open arrivals with bursts, fault
+   injection, the full admission/trigger/ladder machinery — in
+   deterministic mode, so the probe measures daemon bookkeeping rather
+   than solver wall-clock. ns_per_run is wall time per simulated hour
+   of daemon operation. *)
+let bench_daemon_soak () =
+  let config =
+    {
+      Entropy_daemon.Daemon.default_config with
+      seed = 11;
+      nodes = 12;
+      submissions = 60;
+      fail_rate = 0.05;
+      deterministic = true;
+      max_time = 3600.;
+    }
+  in
+  Test.make ~name:"daemon/soak_1h"
+    (Staged.stage (fun () ->
+         let r = Entropy_daemon.Daemon.run config in
+         assert r.Entropy_daemon.Daemon.queue_bounded))
+
 let all_tests : (string * (unit -> Test.t)) list =
   [
     mk "fig3/duration_model" (fun () -> ignore (Vsim.Perf_model.figure3_rows ()));
@@ -385,6 +408,7 @@ let all_tests : (string * (unit -> Test.t)) list =
     ("check/states_per_sec", bench_check_states);
     ("flight/explain_54vm", bench_flight_explain);
     ("place/sa_2k_steps", bench_place_sa);
+    ("daemon/soak_1h", bench_daemon_soak);
     ("fig12/static_fcfs_8vjobs", bench_fig12_static);
     ("fig13/utilization_series", bench_fig13_series);
     ( "ablation/rjsp_first_fit",

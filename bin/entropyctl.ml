@@ -996,6 +996,89 @@ let explain vms nodes seed cp_timeout max_time journal_path switch_sel top
     exit 1
   end
 
+(* -- daemon -------------------------------------------------------------------- *)
+
+(* entropyd in the simulator: the overload-tolerant event-driven control
+   plane of lib/daemon. [daemon run] cold-starts an episode of open
+   arrivals under admission control, trigger coalescing and the
+   degradation ladder; with [--kill-at] it dies mid-storm leaving only
+   the write-ahead journal, and [daemon resume] picks the same episode
+   up from that journal. *)
+
+module Daemon = Entropy_daemon.Daemon
+
+let daemon_report_out (report : Daemon.report) json trace metrics =
+  Fmt.pr "%a@." Daemon.pp_report report;
+  obs_write trace metrics;
+  Option.iter (fun p -> write_json_file p (Daemon.to_json report)) json;
+  if report.Daemon.killed then ()
+    (* a killed run is supposed to be incomplete: the soak checks move
+       to the resume *)
+  else if
+    not
+      (report.Daemon.all_terminated && report.Daemon.final_viable
+     && report.Daemon.queue_bounded && report.Daemon.degradation_bounded)
+  then exit 1
+
+let daemon_config subs nodes seed cap batch arrivals burst debounce fail_rate
+    crashes deterministic kill_at max_time =
+  {
+    Daemon.default_config with
+    seed;
+    nodes;
+    submissions = subs;
+    base_rate = arrivals;
+    burst_rate = burst;
+    admission_cap = cap;
+    admit_batch = batch;
+    debounce_s = debounce;
+    deterministic;
+    fail_rate;
+    crashes;
+    kill_at;
+    max_time;
+  }
+
+let daemon_run subs nodes seed cap batch arrivals burst debounce fail_rate
+    crashes deterministic kill_at max_time journal_path json trace metrics =
+  obs_setup trace metrics;
+  let c =
+    daemon_config subs nodes seed cap batch arrivals burst debounce fail_rate
+      crashes deterministic kill_at max_time
+  in
+  let journal =
+    Option.map
+      (fun path ->
+        (* a daemon run starts a fresh episode: truncate any stale journal *)
+        (try Sys.remove path with Sys_error _ -> ());
+        Entropy_journal.Journal.open_file path)
+      journal_path
+  in
+  let report = Daemon.run ?journal c in
+  Option.iter Entropy_journal.Journal.close journal;
+  daemon_report_out report json trace metrics
+
+let daemon_resume subs nodes seed cap batch arrivals burst debounce fail_rate
+    crashes deterministic max_time journal_path json trace metrics =
+  obs_setup trace metrics;
+  let c =
+    daemon_config subs nodes seed cap batch arrivals burst debounce fail_rate
+      crashes deterministic None max_time
+  in
+  let records, dropped =
+    try Entropy_journal.Journal.load journal_path
+    with Sys_error e ->
+      Printf.eprintf "%s\n" e;
+      exit 2
+  in
+  Printf.printf "daemon resume: %d journal records from %s%s\n"
+    (List.length records) journal_path
+    (if dropped > 0 then Printf.sprintf " (%d torn dropped)" dropped else "");
+  let journal = Entropy_journal.Journal.open_file journal_path in
+  let report = Daemon.resume ~journal ~records c in
+  Entropy_journal.Journal.close journal;
+  daemon_report_out report json trace metrics
+
 (* -- cmdliner ---------------------------------------------------------------- *)
 
 open Cmdliner
@@ -1571,6 +1654,152 @@ let journal_cmd =
     (Cmd.info "journal" ~doc:"Inspect write-ahead switch journals")
     [ dump_cmd ]
 
+let daemon_cmd =
+  let subs_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "subs" ] ~docv:"N"
+          ~doc:"Open-arrival vjob submissions to generate.")
+  in
+  let nodes_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed for the instance, the arrival schedule, the crash \
+             script and the fault injector.")
+  in
+  let cap_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "cap" ] ~docv:"N"
+          ~doc:
+            "Admission-queue bound: submissions past it are rejected, \
+             never queued.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "batch" ] ~docv:"N" ~doc:"Admissions per decision round.")
+  in
+  let arrivals_arg =
+    Arg.(
+      value
+      & opt float (1. /. 60.)
+      & info [ "arrivals" ] ~docv:"RATE"
+          ~doc:"Calm-phase arrival rate, submissions per second.")
+  in
+  let burst_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "burst" ] ~docv:"RATE"
+          ~doc:"Burst-phase arrival rate, submissions per second.")
+  in
+  let debounce_arg =
+    Arg.(
+      value & opt float 5.
+      & info [ "debounce" ] ~docv:"S"
+          ~doc:"Trigger coalescing window in simulated seconds.")
+  in
+  let fail_rate_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "fail-rate" ] ~docv:"P"
+          ~doc:"Per-attempt action failure probability, in [0,1].")
+  in
+  let crashes_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "crashes" ] ~docv:"N"
+          ~doc:
+            "Scripted permanent node crashes spread over the arrival \
+             span (seeded).")
+  in
+  let deterministic_arg =
+    Arg.(
+      value & flag
+      & info [ "deterministic" ]
+          ~doc:
+            "Replace the wall-clock-bounded solver portfolio with the \
+             FFD incumbent at every ladder rung: the whole episode \
+             becomes a pure function of $(b,--seed).")
+  in
+  let max_time_arg =
+    Arg.(
+      value & opt float 1_000_000.
+      & info [ "max-time" ] ~docv:"S"
+          ~doc:"Give up after this much simulated time.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write a machine-readable soak report to $(i,FILE).")
+  in
+  let run_cmd =
+    let kill_at_arg =
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "kill-at" ] ~docv:"S"
+            ~doc:
+              "Kill the daemon at simulated time $(i,S), leaving only \
+               the write-ahead journal for $(b,daemon resume).")
+    in
+    let journal_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "journal" ] ~docv:"FILE"
+            ~doc:
+              "Write the write-ahead journal (switches, admissions, \
+               ladder transitions) to $(i,FILE), truncated first.")
+    in
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Cold-start one daemon episode: open-arrival submissions \
+            under admission control, trigger coalescing and the \
+            graceful-degradation ladder")
+      Term.(
+        const (fun () su n se c b a bu d fr cr det ka mt jp js tr m ->
+            daemon_run su n se c b a bu d fr cr det ka mt jp js tr m)
+        $ logs_term $ subs_arg $ nodes_arg $ seed_arg $ cap_arg $ batch_arg
+        $ arrivals_arg $ burst_arg $ debounce_arg $ fail_rate_arg
+        $ crashes_arg $ deterministic_arg $ kill_at_arg $ max_time_arg
+        $ journal_arg $ json_arg $ trace_arg $ metrics_arg)
+  in
+  let resume_cmd =
+    let journal_pos =
+      Arg.(required & pos 0 (some file) None & info [] ~docv:"JOURNAL")
+    in
+    Cmd.v
+      (Cmd.info "resume"
+         ~doc:
+           "Pick a killed daemon up from its journal: settled admissions \
+            and ladder rung replay, the in-flight switch reconciles, \
+            missed arrivals re-submit (flags must match the killed run)")
+      Term.(
+        const (fun () su n se c b a bu d fr cr det mt jp js tr m ->
+            daemon_resume su n se c b a bu d fr cr det mt jp js tr m)
+        $ logs_term $ subs_arg $ nodes_arg $ seed_arg $ cap_arg $ batch_arg
+        $ arrivals_arg $ burst_arg $ debounce_arg $ fail_rate_arg
+        $ crashes_arg $ deterministic_arg $ max_time_arg $ journal_pos
+        $ json_arg $ trace_arg $ metrics_arg)
+  in
+  Cmd.group
+    (Cmd.info "daemon"
+       ~doc:
+         "The online control-plane daemon: overload-tolerant event loop \
+          with admission control, backpressure and graceful degradation")
+    [ run_cmd; resume_cmd ]
+
 let () =
   let info =
     Cmd.info "entropyctl"
@@ -1582,5 +1811,5 @@ let () =
           [
             status_cmd; check_cmd; plan_cmd; lint_cmd; actions_cmd;
             simulate_cmd; profile_cmd; chaos_cmd; resume_cmd; explain_cmd;
-            journal_cmd;
+            journal_cmd; daemon_cmd;
           ]))

@@ -35,6 +35,7 @@ let decode_all s =
     match Record.read_frame s ~pos with
     | None -> (List.rev acc, 0)
     | Some (Record.Frame (r, next)) -> go next (r :: acc)
+    | Some (Record.Skipped (_, next)) -> go next acc
     | Some (Record.Torn _) -> (List.rev acc, 1)
   in
   go 0 []
@@ -170,7 +171,8 @@ let explore ctx state ~torn ~exhaustive ~seen ~budget ~crash_checks
               | Record.Pool_committed { pool; _ } ->
                 tagged := fmt "p%d" pool :: !tagged
               | Record.Switch_end _ -> tagged := "e" :: !tagged
-              | Record.Switch_begin _ -> ())
+              | Record.Switch_begin _ | Record.Submission _ | Record.Ladder _
+                -> ())
           arr;
         List.iter
           (fun s ->

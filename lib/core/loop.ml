@@ -19,6 +19,7 @@ module Metrics = Entropy_obs.Metrics
 let m_iterations = lazy (Metrics.counter "loop.iterations")
 let m_switches = lazy (Metrics.counter "loop.switches")
 let m_recoveries = lazy (Metrics.counter "loop.recoveries")
+let m_degraded = lazy (Metrics.counter "loop.degraded")
 
 type exec_report = {
   failed_vms : Vm.id list;  (* actions terminally failed; state unchanged *)
@@ -60,6 +61,17 @@ type iteration = {
   executed : bool;
   recoveries : int;
 }
+
+(* Livelock guard: a step whose recovery budget runs out with damage
+   still unrepaired must be distinguishable from one that converged —
+   callers (the daemon's ladder, repair chains) escalate on [Degraded]
+   instead of silently iterating on a cluster that never settles. *)
+type outcome =
+  | Converged of iteration
+  | Degraded of iteration * exec_report
+
+let iteration_of = function Converged it | Degraded (it, _) -> it
+let converged = function Converged _ -> true | Degraded _ -> false
 
 let default_period = 30.
 let default_max_recoveries = 3
@@ -120,8 +132,19 @@ let step_aux ?(max_recoveries = default_max_recoveries) ?(hooks = no_hooks)
       end
       else clean
     in
-    if report_ok report || round >= max_recoveries then
-      { index; observation; result; executed; recoveries = round }
+    if report_ok report then
+      Converged { index; observation; result; executed; recoveries = round }
+    else if round >= max_recoveries then begin
+      if !Obs.enabled then Metrics.incr (Lazy.force m_degraded);
+      Log.warn (fun m ->
+          m "iteration %d: recovery budget exhausted with %d failed VMs and \
+             %d lost nodes outstanding"
+            index
+            (List.length report.failed_vms)
+            (List.length report.lost_nodes));
+      Degraded
+        ({ index; observation; result; executed; recoveries = round }, report)
+    end
     else begin
       if !Obs.enabled then begin
         Metrics.incr (Lazy.force m_recoveries);
@@ -140,6 +163,17 @@ let step_aux ?(max_recoveries = default_max_recoveries) ?(hooks = no_hooks)
   go 0 first
 
 let step ?max_recoveries ?hooks decision driver index =
+  step_aux ?max_recoveries ?hooks decision driver index
+
+(* Event-driven entry point: identical decision semantics to [step],
+   but invoked by a trigger (arrival, completion, crash, load spike)
+   rather than a period tick. [reason] names the coalesced trigger for
+   the log and trace stream. *)
+let decide_event ?max_recoveries ?hooks ~reason decision driver index =
+  Log.info (fun m -> m "iteration %d: event-driven decision (%s)" index reason);
+  if !Obs.enabled then
+    Obs.instant ~cat:"loop" ~args:[ ("reason", Entropy_obs.Trace.S reason) ]
+      "loop.event";
   step_aux ?max_recoveries ?hooks decision driver index
 
 let resume ?max_recoveries ?hooks ~target ~plan decision driver index =
@@ -163,7 +197,7 @@ let run ?(period = default_period) ?(max_iterations = max_int)
   let rec go index history =
     if index >= max_iterations || driver.finished () then List.rev history
     else begin
-      let it = step ?max_recoveries ?hooks decision driver index in
+      let it = iteration_of (step ?max_recoveries ?hooks decision driver index) in
       driver.wait period;
       go (index + 1) (it :: history)
     end

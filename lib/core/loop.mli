@@ -46,6 +46,20 @@ type iteration = {
       (** immediate replans performed after degraded switches *)
 }
 
+type outcome =
+  | Converged of iteration
+      (** the last round's switch completed with a clean report (or
+          needed no switch at all) *)
+  | Degraded of iteration * exec_report
+      (** the recovery budget ran out with failed VMs or lost nodes
+          still outstanding — the residue is in the report. Callers
+          must not simply iterate again with the same inputs (that is
+          the livelock this variant guards against): escalate, repair,
+          or back off. *)
+
+val iteration_of : outcome -> iteration
+val converged : outcome -> bool
+
 val default_period : float
 (** 30 s, as in the paper's sample policy. *)
 
@@ -56,16 +70,25 @@ val default_max_recoveries : int
 
 val step :
   ?max_recoveries:int -> ?hooks:hooks -> Decision.t -> driver -> int ->
-  iteration
+  outcome
 (** One iteration. When the driver reports a degraded switch (failed VMs
     or lost nodes), the loop immediately re-observes the post-failure
     state, re-decides, and re-executes — at most [max_recoveries] times —
-    instead of waiting for the next period. The returned [iteration]
-    carries the last round's observation and result. *)
+    instead of waiting for the next period. [Converged] carries the last
+    round's observation and result; [Degraded] additionally carries the
+    unrepaired residue. *)
+
+val decide_event :
+  ?max_recoveries:int -> ?hooks:hooks -> reason:string -> Decision.t ->
+  driver -> int -> outcome
+(** Event-driven entry point for reactive controllers (the daemon):
+    identical decision semantics to {!step}, but invoked because a
+    trigger fired — [reason] names the coalesced trigger for the log
+    and the trace stream — rather than because a period elapsed. *)
 
 val resume :
   ?max_recoveries:int -> ?hooks:hooks -> target:Configuration.t ->
-  plan:Plan.t -> Decision.t -> driver -> int -> iteration
+  plan:Plan.t -> Decision.t -> driver -> int -> outcome
 (** Crash-recovery entry point: like {!step}, but the first round
     executes the given recovery-derived plan towards [target] instead of
     consulting the decision module (the synthesized result has

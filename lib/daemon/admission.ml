@@ -1,0 +1,67 @@
+(* Bounded FIFO submission queue. The invariant the rest of the daemon
+   (and the soak acceptance test) leans on: [depth < cap] at all times —
+   [submit] rejects the entry that would reach the cap, so the queue can
+   never grow without bound however fast arrivals come in. *)
+
+type entry = { vjob : int; vms : int; submitted_at : float }
+
+type t = {
+  cap : int;
+  q : entry Queue.t;
+  mutable peak : int;
+  mutable queued_total : int;
+  mutable rejected_total : int;
+}
+
+let create ?(cap = 64) () =
+  if cap < 2 then invalid_arg "Admission.create: cap < 2";
+  { cap; q = Queue.create (); peak = 0; queued_total = 0; rejected_total = 0 }
+
+let cap t = t.cap
+let depth t = Queue.length t.q
+let fill t = float_of_int (depth t) /. float_of_int t.cap
+
+let oldest_age t ~now =
+  match Queue.peek_opt t.q with
+  | None -> 0.
+  | Some e -> Float.max 0. (now -. e.submitted_at)
+
+let note_depth t =
+  let d = depth t in
+  if d > t.peak then t.peak <- d
+
+let submit t ~now ~vjob ~vms =
+  if depth t + 1 >= t.cap then begin
+    t.rejected_total <- t.rejected_total + 1;
+    Log.info (fun m ->
+        m "vjob %d rejected at %.0fs: queue full (%d/%d)" vjob now (depth t)
+          t.cap);
+    `Rejected (Printf.sprintf "queue full (%d/%d)" (depth t) t.cap)
+  end
+  else begin
+    Queue.add { vjob; vms; submitted_at = now } t.q;
+    t.queued_total <- t.queued_total + 1;
+    note_depth t;
+    `Queued
+  end
+
+let requeue t e =
+  if depth t + 1 >= t.cap then
+    invalid_arg "Admission.requeue: recovered entries overflow the cap";
+  Queue.add e t.q;
+  t.queued_total <- t.queued_total + 1;
+  note_depth t
+
+let take t ~max =
+  let rec go n acc =
+    if n >= max then List.rev acc
+    else
+      match Queue.take_opt t.q with
+      | None -> List.rev acc
+      | Some e -> go (n + 1) (e :: acc)
+  in
+  go 0 []
+
+let peak t = t.peak
+let queued_total t = t.queued_total
+let rejected_total t = t.rejected_total

@@ -1,0 +1,58 @@
+(** Bounded submission queue with admission control.
+
+    Open-arrival submissions land here before the placement loop sees
+    them. The queue is hard-bounded: a submission that would fill the
+    queue to its cap is rejected with a reason instead of enqueued, so
+    the daemon's memory footprint and decision latency stay bounded
+    under any arrival storm — the observed depth never reaches [cap].
+
+    The queue is FIFO: admission drains from the head, preserving
+    submission order (the paper's FCFS job queue). Backpressure is
+    exposed as {!fill} (fraction of the cap in use) and {!oldest_age}
+    (how long the head entry has been waiting) — the two pressure
+    signals the degradation ladder reads. *)
+
+type entry = {
+  vjob : int;           (** submitted vjob id *)
+  vms : int;            (** its VM count *)
+  submitted_at : float; (** simulated submission instant *)
+}
+
+type t
+
+val create : ?cap:int -> unit -> t
+(** Raises [Invalid_argument] when [cap < 2] (a cap of 1 could never
+    admit anything: the bound is [depth < cap]). Default cap 64. *)
+
+val cap : t -> int
+val depth : t -> int
+
+val fill : t -> float
+(** [depth / cap], in [0, 1). *)
+
+val oldest_age : t -> now:float -> float
+(** Age of the head (oldest queued) entry; [0.] when empty. *)
+
+val submit :
+  t -> now:float -> vjob:int -> vms:int -> [ `Queued | `Rejected of string ]
+(** Enqueue one submission, or reject it when the queue would reach its
+    cap. Rejection is permanent: the daemon journals it and the
+    submitter is expected to resubmit as a new vjob if it cares. *)
+
+val requeue : t -> entry -> unit
+(** Put a recovered entry back (resume path: journaled [Queued] with no
+    later disposition). Bypasses the cap check — the entry was already
+    admitted to the queue before the crash — but still raises
+    [Invalid_argument] if it would overflow the cap, which would mean
+    the journal and the cap disagree. *)
+
+val take : t -> max:int -> entry list
+(** Dequeue up to [max] entries from the head, FIFO order. *)
+
+val peak : t -> int
+(** High-water mark of {!depth} over the queue's lifetime. *)
+
+val queued_total : t -> int
+(** Submissions ever enqueued (admitted to the queue, not the cluster). *)
+
+val rejected_total : t -> int

@@ -1,0 +1,996 @@
+(* entropyd: the overload-tolerant online control plane.
+
+   One discrete-event episode: open-arrival submissions stream in
+   (Vworkload.Arrivals), every event — arrival, completion, load spike,
+   node crash — raises a debounced trigger (Triggers), each trigger fire
+   runs one decision round at the degradation ladder's current rung
+   (Ladder), admitting at most a batch from the bounded submission
+   queue (Admission) and re-placing the admitted, still-live vjobs
+   through the usual decision/executor/repair machinery of the
+   simulator. Admission decisions and ladder transitions ride the
+   write-ahead journal next to the switch records, so a killed daemon
+   resumes mid-storm: settled dispositions are replayed, the in-flight
+   switch is reconciled and completed idempotently, missed arrivals are
+   re-submitted, and the ladder restarts on its journaled rung.
+
+   Determinism: the instance, the arrival schedule and the crash script
+   all derive from [config.seed]; with [deterministic = true] the
+   wall-clock-bounded solver portfolio is replaced by the FFD incumbent
+   at every rung and the whole episode is a pure function of the
+   config. *)
+
+module Obs = Entropy_obs.Obs
+module Trace = Entropy_obs.Trace
+module Metrics = Entropy_obs.Metrics
+module Json = Entropy_obs.Json
+module Journal = Entropy_journal.Journal
+module Jrecord = Entropy_journal.Record
+module Recovery = Entropy_journal.Recovery
+module Injector = Entropy_fault.Injector
+module Supervisor = Entropy_fault.Supervisor
+module Repair = Entropy_fault.Repair
+module Arrivals = Vworkload.Arrivals
+module Engine = Vsim.Engine
+module Cluster = Vsim.Cluster
+module Executor = Vsim.Executor
+module Collector = Vmonitor.Collector
+open Entropy_core
+
+type config = {
+  seed : int;
+  nodes : int;
+  node_cpu : int;
+  node_mem : int;
+  submissions : int;
+  base_rate : float;
+  burst_rate : float;
+  mean_calm_s : float;
+  mean_burst_s : float;
+  admission_cap : int;
+  admit_batch : int;
+  debounce_s : float;
+  ladder : Ladder.config;
+  full_deadline : float;
+  shrunk_deadline : float;
+  deterministic : bool;
+  fail_rate : float;
+  crashes : int;
+  timeout_factor : float;
+  retries : int;
+  max_repairs : int;
+  poll_period : float;
+  kill_at : float option;
+  max_time : float;
+}
+
+let default_config =
+  {
+    seed = 0;
+    nodes = 24;
+    node_cpu = 400;
+    node_mem = 4096;
+    submissions = 200;
+    base_rate = 1. /. 60.;
+    burst_rate = 0.25;
+    mean_calm_s = 900.;
+    mean_burst_s = 120.;
+    admission_cap = 64;
+    admit_batch = 8;
+    debounce_s = 5.;
+    ladder = Ladder.default_config;
+    full_deadline = 0.02;
+    shrunk_deadline = 0.005;
+    deterministic = false;
+    fail_rate = 0.1;
+    crashes = 0;
+    timeout_factor = 3.;
+    retries = 2;
+    max_repairs = 4;
+    poll_period = 5.;
+    kill_at = None;
+    max_time = 1_000_000.;
+  }
+
+type report = {
+  submissions : int;
+  admitted : int;
+  rejected : int;
+  completed : int;
+  all_terminated : bool;
+  final_viable : bool;
+  max_queue_depth : int;
+  admission_cap : int;
+  queue_bounded : bool;
+  decision_rounds : int;
+  deferred_rounds : int;
+  max_defer_streak : int;
+  defer_round_bound : int;
+  livelock_episodes : int;
+  degradation_bounded : bool;
+  ladder_ups : int;
+  ladder_downs : int;
+  transitions : Ladder.transition list;
+  final_level : Ladder.level;
+  triggers_raised : int;
+  triggers_coalesced : int;
+  switches : int;
+  repairs : int;
+  action_failures : int;
+  crashes : (Node.id * float) list;
+  killed : bool;
+  resumed : bool;
+  makespan : float;
+  final_config : Configuration.t;
+}
+
+(* -- metrics (registered once, registry is process-wide) ------------------- *)
+
+let m_depth = lazy (Metrics.gauge "daemon.queue.depth")
+let m_peak = lazy (Metrics.gauge "daemon.queue.depth.peak")
+let m_age = lazy (Metrics.gauge "daemon.queue.oldest_age_s")
+let m_lag = lazy (Metrics.histogram "daemon.decision.lag_s")
+let m_level = lazy (Metrics.gauge "daemon.ladder.level")
+let m_subs = lazy (Metrics.counter "daemon.submissions")
+let m_admitted = lazy (Metrics.counter "daemon.admitted")
+let m_rejected = lazy (Metrics.counter "daemon.rejected")
+let m_rounds = lazy (Metrics.counter "daemon.rounds")
+let m_deferred = lazy (Metrics.counter "daemon.rounds.deferred")
+let m_raised = lazy (Metrics.counter "daemon.triggers.raised")
+
+(* -- deterministic instance ------------------------------------------------ *)
+
+type instance = {
+  config0 : Configuration.t;
+  vjobs : Vjob.t array;  (* index = vjob id = arrival index *)
+  programs : Vm.id -> Vworkload.Program.t;
+  arrivals : Arrivals.arrival array;
+  max_node_mem : int;
+}
+
+(* Everything derives from the seed: node fleet, per-vjob VM counts and
+   memories, per-VM programs (a quarter get a mid-life idle phase — the
+   return to compute is the organic load spike), arrival instants. *)
+let build_instance (c : config) =
+  let arrivals =
+    Array.of_list
+      (Arrivals.generate
+         {
+           Arrivals.seed = c.seed;
+           count = c.submissions;
+           base_rate = c.base_rate;
+           burst_rate = c.burst_rate;
+           mean_calm_s = c.mean_calm_s;
+           mean_burst_s = c.mean_burst_s;
+         })
+  in
+  let rng = Random.State.make [| c.seed; 0xdae0 |] in
+  let nodes =
+    Array.init c.nodes (fun i ->
+        Node.make ~id:i
+          ~name:(Printf.sprintf "N%d" i)
+          ~cpu_capacity:c.node_cpu ~memory_mb:c.node_mem)
+  in
+  let vms = ref [] in
+  let progs = ref [] in
+  let next_vm = ref 0 in
+  let jobs = ref [] in
+  Array.iteri
+    (fun j (a : Arrivals.arrival) ->
+      let nv = 1 + Random.State.int rng 2 in
+      let ids = List.init nv (fun k -> !next_vm + k) in
+      next_vm := !next_vm + nv;
+      List.iter
+        (fun id ->
+          let mem = 512 + (256 * Random.State.int rng 3) in
+          let work = 240. +. float_of_int (Random.State.int rng 480) in
+          let prog =
+            if Random.State.int rng 4 = 0 then
+              [
+                Vworkload.Program.Compute (work /. 2.);
+                Vworkload.Program.Idle
+                  (60. +. float_of_int (Random.State.int rng 120));
+                Vworkload.Program.Compute (work /. 2.);
+              ]
+            else [ Vworkload.Program.Compute work ]
+          in
+          vms :=
+            Vm.make ~id
+              ~name:(Printf.sprintf "sub%04d-vm%d" j id)
+              ~memory_mb:mem
+            :: !vms;
+          progs := prog :: !progs)
+        ids;
+      jobs :=
+        Vjob.make ~id:j
+          ~name:(Printf.sprintf "sub%04d" j)
+          ~vms:ids ~submit_time:a.Arrivals.at_s ()
+        :: !jobs)
+    arrivals;
+  let vms = Array.of_list (List.rev !vms) in
+  let progs = Array.of_list (List.rev !progs) in
+  {
+    config0 = Configuration.make ~nodes ~vms;
+    vjobs = Array.of_list (List.rev !jobs);
+    programs = (fun vm -> progs.(vm));
+    arrivals;
+    max_node_mem = c.node_mem;
+  }
+
+let vjob_terminated config vjob =
+  List.for_all
+    (fun vm_id -> Configuration.state config vm_id = Configuration.Terminated)
+    (Vjob.vms vjob)
+
+let last_arrival instance =
+  Array.fold_left
+    (fun acc (a : Arrivals.arrival) -> Float.max acc a.Arrivals.at_s)
+    1. instance.arrivals
+
+let crash_schedule (c : config) instance =
+  if c.crashes = 0 then []
+  else
+    Injector.crash_script ~seed:c.seed ~node_count:c.nodes
+      ~horizon_s:(last_arrival instance) ~count:c.crashes ()
+    |> List.filter_map (function
+         | Injector.Crash_node { node; at_s } -> Some (node, at_s)
+         | Injector.Fail_rate _ | Injector.Fail_nth _ | Injector.Slowdown _
+         | Injector.Predicate _ -> None)
+
+(* -- the event loop -------------------------------------------------------- *)
+
+(* What distinguishes a cold start from a resume: already-settled
+   admission state, arrivals still owed, crashes already enacted, the
+   ladder's rung and a reconciled in-flight plan. *)
+type boot = {
+  instance : instance;
+  journal : Journal.t option;
+  admitted0 : (int, unit) Hashtbl.t;
+  rejected0 : int;
+  requeued : Admission.entry list;
+  missed : int list;  (* arrivals owed immediately (lost to the crash) *)
+  pending : (int * float) list;  (* (vjob id, engine time) future arrivals *)
+  pre_crashes : (Node.id * float) list;
+  future_crashes : (Node.id * float) list;
+  level0 : Ladder.level;
+  initial_config : Configuration.t;
+  initial_plan : (Configuration.t * Plan.t) option;
+  resumed : bool;
+}
+
+let decide_model_s = function
+  (* modeled decision latency per rung, in simulated seconds: the whole
+     point of stepping down the ladder is buying back this time *)
+  | Ladder.Full -> 5.0
+  | Ladder.Shrunk -> 2.0
+  | Ladder.Heuristic -> 0.5
+  | Ladder.Defer -> 0.
+
+let run_core (c : config) (b : boot) =
+  let instance = b.instance in
+  let engine = Engine.create () in
+  let cluster =
+    Cluster.create ~engine ~config:b.initial_config
+      ~vjobs:(Array.to_list instance.vjobs)
+      ~programs:instance.programs ()
+  in
+  let collector =
+    Collector.create (fun () ->
+        (Engine.now engine, Cluster.cpu_readings cluster))
+  in
+  let injector =
+    Injector.create ~seed:c.seed
+      [ Injector.Fail_rate { kind = None; rate = c.fail_rate } ]
+  in
+  let policy =
+    Supervisor.make_policy ~timeout_factor:c.timeout_factor
+      ~max_retries:c.retries ()
+  in
+  let adm = Admission.create ~cap:c.admission_cap () in
+  List.iter (Admission.requeue adm) b.requeued;
+  let trig = Triggers.create ~debounce_s:c.debounce_s () in
+  let ladder = Ladder.create ~config:c.ladder ~level:b.level0 () in
+  let admitted = b.admitted0 in
+  let rejected = ref b.rejected0 in
+  let jappend r = Option.iter (fun j -> Journal.append j r) b.journal in
+  let emit = Option.map (fun j r -> Journal.append j r) b.journal in
+  let switch_id =
+    ref
+      (match b.journal with
+      | Some j -> Recovery.next_switch_id (Journal.records j)
+      | None -> 0)
+  in
+  let ffd = Decision.ffd_only () in
+  let d_full =
+    if c.deterministic then ffd
+    else
+      Entropy_place.Portfolio.decision ~engine:`Portfolio
+        ~deadline:c.full_deadline ()
+  in
+  let d_shrunk =
+    if c.deterministic then ffd
+    else
+      Entropy_place.Portfolio.decision ~engine:`Portfolio
+        ~deadline:c.shrunk_deadline ()
+  in
+  let decision_of = function
+    | Ladder.Full -> d_full
+    | Ladder.Shrunk -> d_shrunk
+    | Ladder.Heuristic | Ladder.Defer -> ffd
+  in
+  let done_flag = ref false in
+  let rounds = ref 0 in
+  let deferred_rounds = ref 0 in
+  let defer_streak = ref 0 in
+  let max_defer_streak = ref 0 in
+  let livelock_episodes = ref 0 in
+  let switches = ref [] in
+  let repairs = ref 0 in
+  let crash_log = ref [] in
+  let transitions = ref [] in
+  let arrivals_left = ref (List.length b.missed + List.length b.pending) in
+  (* deterministic queue order: hashtable fold order is not *)
+  let live_admitted () =
+    let cfg = Cluster.config cluster in
+    Hashtbl.fold
+      (fun id () acc ->
+        let vj = instance.vjobs.(id) in
+        if vjob_terminated cfg vj then acc else vj :: acc)
+      admitted []
+    |> List.sort (fun a b -> compare (Vjob.id a) (Vjob.id b))
+  in
+  let work_done () =
+    !arrivals_left = 0 && Admission.depth adm = 0 && live_admitted () = []
+  in
+  (* a parked vjob (any VM suspended or still waiting) generates no
+     events of its own: only a re-decision can move it *)
+  let parked () =
+    let cfg = Cluster.config cluster in
+    List.exists
+      (fun vj ->
+        List.exists
+          (fun vm ->
+            match Configuration.state cfg vm with
+            | Configuration.Running _ | Configuration.Terminated -> false
+            | Configuration.Sleeping _ | Configuration.Sleeping_ram _
+            | Configuration.Waiting -> true)
+          (Vjob.vms vj))
+      (live_admitted ())
+  in
+  let wake_backoff = ref c.debounce_s in
+  let note_queue_metrics now =
+    if !Obs.enabled then begin
+      let d = float_of_int (Admission.depth adm) in
+      Metrics.set (Lazy.force m_depth) d;
+      Metrics.set_max (Lazy.force m_peak) d;
+      Metrics.set (Lazy.force m_age) (Admission.oldest_age adm ~now)
+    end
+  in
+  let rec on_fire () =
+    if !done_flag then ()
+    else
+      match Triggers.fire trig with
+      | None -> ()
+      | Some p ->
+        let now = Engine.now engine in
+        let lag = Float.max 0. (now -. p.Triggers.first_at) in
+        incr rounds;
+        if !Obs.enabled then begin
+          Metrics.incr (Lazy.force m_rounds);
+          Metrics.observe (Lazy.force m_lag) lag;
+          Obs.instant ~cat:"daemon"
+            ~args:
+              [
+                ("reasons", Trace.S (String.concat "," p.Triggers.reasons));
+                ("events", Trace.I p.Triggers.events);
+              ]
+            "daemon.round"
+        end;
+        let pressure =
+          {
+            Ladder.queue_fill = Admission.fill adm;
+            oldest_age_s = Admission.oldest_age adm ~now;
+            decision_lag_s = lag;
+          }
+        in
+        (match Ladder.observe ladder ~now pressure with
+        | Some tr ->
+          transitions := tr :: !transitions;
+          jappend
+            (Jrecord.Ladder
+               {
+                 at_s = now;
+                 from_level = Ladder.index tr.Ladder.from_level;
+                 to_level = Ladder.index tr.Ladder.to_level;
+                 reason = tr.Ladder.cause;
+               });
+          if !Obs.enabled then
+            Metrics.set (Lazy.force m_level)
+              (float_of_int (Ladder.index tr.Ladder.to_level));
+          if tr.Ladder.to_level = Ladder.Defer then begin
+            (* the hold is the bottom rung's exit ticket: make sure a
+               trigger exists to take it *)
+            let at = Float.max (now +. 0.001) (Ladder.defer_until ladder) in
+            ignore
+              (Engine.schedule engine ~at (fun () ->
+                   trigger_raise "defer hold expired"))
+          end
+        | None -> ());
+        (match Ladder.level ladder with
+        | Ladder.Defer ->
+          (* serve the current configuration: no admission, no decision *)
+          incr deferred_rounds;
+          if !Obs.enabled then Metrics.incr (Lazy.force m_deferred);
+          incr defer_streak;
+          if !defer_streak > !max_defer_streak then
+            max_defer_streak := !defer_streak;
+          Log.debug (fun m ->
+              m "round %d deferred (%a)" !rounds Ladder.pp_pressure pressure);
+          settle_and_rearm ()
+        | level ->
+          defer_streak := 0;
+          let entries = Admission.take adm ~max:c.admit_batch in
+          List.iter
+            (fun (e : Admission.entry) ->
+              Hashtbl.replace admitted e.Admission.vjob ();
+              if !Obs.enabled then Metrics.incr (Lazy.force m_admitted);
+              jappend
+                (Jrecord.Submission
+                   {
+                     at_s = now;
+                     vjob = e.Admission.vjob;
+                     vms = e.Admission.vms;
+                     disposition = Jrecord.Admitted;
+                   }))
+            entries;
+          note_queue_metrics now;
+          let delay = decide_model_s level in
+          if delay <= 0. then decide level
+          else
+            ignore (Engine.schedule_after engine ~delay (fun () -> decide level)))
+  and decide level =
+    if !done_flag then ()
+    else begin
+      Collector.poll collector;
+      let demand = Collector.demand collector in
+      let queue = live_admitted () in
+      if queue = [] then settle_and_rearm ()
+      else begin
+        let cfg = Cluster.config cluster in
+        let finished =
+          List.filter_map
+            (fun vj ->
+              if Cluster.completed cluster vj then Some (Vjob.id vj) else None)
+            queue
+        in
+        let obs = { Decision.config = cfg; demand; queue; finished } in
+        let d = decision_of level in
+        let result =
+          if !Obs.enabled then
+            Obs.span ~cat:"daemon" ~name:"daemon.decide"
+              ~args:[ ("level", Trace.S (Ladder.to_string level)) ]
+              (fun () -> d.Decision.decide obs)
+          else d.Decision.decide obs
+        in
+        if Plan.is_empty result.Optimizer.plan then begin
+          (* an empty plan can still carry state: every current/target
+             difference that derives no action is pure bookkeeping (a
+             finished vjob's suspended image discarded, a waiting VM
+             cancelled). Commit it directly or the vjob never reaches
+             Terminated — there is no action left that ever would. *)
+          let target = result.Optimizer.target in
+          let changed = ref false in
+          let vm_count = Configuration.vm_count cfg in
+          (try
+             for vm = 0 to vm_count - 1 do
+               if Configuration.state cfg vm <> Configuration.state target vm
+               then raise Exit
+             done
+           with Exit -> changed := true);
+          if !changed then begin
+            Log.debug (fun m ->
+                m "empty plan with bookkeeping-only target: committing \
+                   directly (finished [%a])"
+                  Fmt.(list ~sep:sp int)
+                  finished);
+            Cluster.set_config cluster target
+          end;
+          settle_and_rearm ()
+        end
+        else
+          exec ~depth:0 ~demand ~target:result.Optimizer.target
+            result.Optimizer.plan
+      end
+    end
+  and exec ~depth ~demand ~target plan =
+    let sw = !switch_id in
+    incr switch_id;
+    jappend
+      (Jrecord.Switch_begin
+         {
+           switch = sw;
+           at_s = Engine.now engine;
+           source = Cluster.config cluster;
+           target;
+           plan;
+           demand;
+           seed = Some (Injector.seed injector);
+         });
+    let on_done (r : Executor.record) =
+      jappend
+        (Jrecord.Switch_end
+           {
+             switch = sw;
+             at_s = Engine.now engine;
+             aborted = r.Executor.aborted;
+           });
+      switches := r :: !switches;
+      let degraded = r.Executor.failed > 0 in
+      if degraded && depth < c.max_repairs then chase ~depth ~target r
+      else begin
+        if degraded then begin
+          (* repair chain exhausted with residue: the daemon-level
+             analogue of Loop.Degraded — counted, never spun on *)
+          incr livelock_episodes;
+          Log.warn (fun m ->
+              m "switch %d still degraded after %d repairs (%d failed VMs)"
+                sw depth r.Executor.failed)
+        end;
+        settle_and_rearm ()
+      end
+    in
+    Executor.execute ~injector ~policy ~abort_on_failure:true ?emit ~switch:sw
+      cluster plan ~on_done
+  and chase ~depth ~target r =
+    Collector.poll collector;
+    let before = Cluster.config cluster in
+    let demand = Collector.demand collector in
+    let queue = live_admitted () in
+    match
+      Repair.repair ~vjobs:queue ~current:before ~target ~demand ~queue
+        ~failed_vms:r.Executor.failed_vms ~lost_nodes:r.Executor.lost_nodes ()
+    with
+    | Some o ->
+      incr repairs;
+      exec ~depth:(depth + 1) ~demand ~target:o.Repair.target o.Repair.plan
+    | None -> settle_and_rearm ()
+  and settle_and_rearm () =
+    let now = Engine.now engine in
+    if work_done () then begin
+      done_flag := true;
+      ignore (Triggers.settle trig ~now)
+    end
+    else begin
+      match Triggers.settle trig ~now with
+      | Some at -> ignore (Engine.schedule engine ~at on_fire)
+      | None ->
+        (* no raise arrived while busy, but leftover work must not
+           strand: a queued backlog re-arms at once, parked vjobs retry
+           on an exponential backoff (a wake can keep failing — a crash
+           may have eaten the capacity for good) *)
+        if Admission.depth adm > 0 then trigger_raise "queued backlog"
+        else if parked () then begin
+          let delay = !wake_backoff in
+          wake_backoff := Float.min 600. (!wake_backoff *. 2.);
+          ignore
+            (Engine.schedule_after engine ~delay (fun () ->
+                 trigger_raise "parked vjobs"))
+        end
+    end
+  and trigger_raise reason =
+    if not !done_flag then begin
+      let now = Engine.now engine in
+      if !Obs.enabled then Metrics.incr (Lazy.force m_raised);
+      match Triggers.raise_ trig ~now ~reason with
+      | Some at -> ignore (Engine.schedule engine ~at on_fire)
+      | None -> ()
+    end
+  in
+  let submit_vjob id =
+    decr arrivals_left;
+    if not !done_flag then begin
+      let now = Engine.now engine in
+      let vj = instance.vjobs.(id) in
+      let vm_ids = Vjob.vms vj in
+      let nvms = List.length vm_ids in
+      if !Obs.enabled then Metrics.incr (Lazy.force m_subs);
+      let unsatisfiable =
+        List.exists
+          (fun vm_id ->
+            Vm.memory_mb (Configuration.vm instance.config0 vm_id)
+            > instance.max_node_mem)
+          vm_ids
+      in
+      let disposition =
+        if unsatisfiable then
+          (* no queue slot can help a VM no node could ever host *)
+          `Rejected "unsatisfiable: VM memory exceeds node capacity"
+        else Admission.submit adm ~now ~vjob:id ~vms:nvms
+      in
+      match disposition with
+      | `Queued ->
+        jappend
+          (Jrecord.Submission
+             { at_s = now; vjob = id; vms = nvms; disposition = Jrecord.Queued });
+        note_queue_metrics now;
+        trigger_raise "vjob arrival"
+      | `Rejected reason ->
+        incr rejected;
+        if !Obs.enabled then Metrics.incr (Lazy.force m_rejected);
+        jappend
+          (Jrecord.Submission
+             {
+               at_s = now;
+               vjob = id;
+               vms = nvms;
+               disposition = Jrecord.Rejected reason;
+             })
+    end
+  in
+  List.iter
+    (fun id ->
+      ignore (Engine.schedule engine ~at:0.001 (fun () -> submit_vjob id)))
+    b.missed;
+  List.iter
+    (fun (id, at) ->
+      ignore
+        (Engine.schedule engine ~at:(Float.max 0.002 at) (fun () ->
+             submit_vjob id)))
+    b.pending;
+  (* crashes already enacted before the kill but not yet reflected in
+     the journal-projected configuration: re-enact them silently *)
+  List.iter
+    (fun (node, _) -> ignore (Cluster.crash_node cluster node))
+    b.pre_crashes;
+  List.iter
+    (fun (node, at) ->
+      ignore
+        (Engine.schedule engine ~at:(Float.max 0.003 at) (fun () ->
+             if (not !done_flag) && Cluster.node_alive cluster node then begin
+               let affected = Cluster.crash_node cluster node in
+               crash_log := (node, Engine.now engine) :: !crash_log;
+               Log.info (fun m ->
+                   m "node N%d crashed at %.0fs: %d vjobs reset" node
+                     (Engine.now engine) (List.length affected));
+               trigger_raise "node crash"
+             end)))
+    b.future_crashes;
+  let completions_seen = ref (List.length (Cluster.completions cluster)) in
+  Cluster.on_change cluster (fun () ->
+      let n = List.length (Cluster.completions cluster) in
+      if n > !completions_seen then begin
+        completions_seen := n;
+        (* freed capacity: parked vjobs get a fresh (cheap) wake retry *)
+        wake_backoff := c.debounce_s;
+        trigger_raise "vjob completion"
+      end);
+  (* periodic monitoring poll; an overload onset is the load-spike
+     trigger (a VM leaving its idle phase, a crash shrinking capacity) *)
+  let overloaded = ref false in
+  let rec poll_loop () =
+    if not !done_flag then begin
+      Collector.poll collector;
+      let over =
+        Configuration.overloaded_nodes (Cluster.config cluster)
+          (Cluster.demand cluster)
+        <> []
+      in
+      if over && not !overloaded then trigger_raise "load spike";
+      overloaded := over;
+      ignore (Engine.schedule_after engine ~delay:c.poll_period poll_loop)
+    end
+  in
+  poll_loop ();
+  (match b.initial_plan with
+  | Some (target, plan) when not (Plan.is_empty plan) ->
+    (* the resume path: finish the reconciled in-flight switch first.
+       Claim the trigger machine for it (Idle -> Armed -> Busy) so an
+       early arrival cannot start a second, overlapping decision round —
+       everything raised meanwhile coalesces and re-arms at settle *)
+    ignore (Triggers.raise_ trig ~now:0. ~reason:"resume reconciliation");
+    ignore (Triggers.fire trig);
+    ignore
+      (Engine.schedule engine ~at:0.5 (fun () ->
+           Collector.poll collector;
+           let demand = Collector.demand collector in
+           exec ~depth:0 ~demand ~target plan))
+  | Some _ | None ->
+    (* a resume can come back with parked vjobs or a requeued backlog
+       and no event in sight: kick one boot round *)
+    ignore
+      (Engine.schedule engine ~at:0.004 (fun () ->
+           if Admission.depth adm > 0 || parked () then
+             trigger_raise "daemon start")));
+  let horizon =
+    match c.kill_at with
+    | Some k -> Float.min k c.max_time
+    | None -> c.max_time
+  in
+  Engine.run ~until:horizon engine;
+  let final_config = Cluster.config cluster in
+  let admitted_ids =
+    Hashtbl.fold (fun id () acc -> id :: acc) admitted []
+    |> List.sort compare
+  in
+  let completed =
+    List.length
+      (List.filter
+         (fun id -> vjob_terminated final_config instance.vjobs.(id))
+         admitted_ids)
+  in
+  List.iter
+    (fun id ->
+      let vj = instance.vjobs.(id) in
+      if not (vjob_terminated final_config vj) then
+        Log.debug (fun m ->
+            m "vjob %d not terminated at exit: %a" id
+              Fmt.(list ~sep:comma Configuration.pp_vm_state)
+              (List.map (Configuration.state final_config) (Vjob.vms vj))))
+    admitted_ids;
+  let all_terminated = completed = List.length admitted_ids in
+  let vm_count = Configuration.vm_count final_config in
+  let final_viable =
+    Configuration.is_viable final_config
+      (Demand.uniform ~vm_count Vworkload.Program.compute_demand)
+  in
+  let makespan =
+    List.fold_left
+      (fun acc (_, t) -> Float.max acc t)
+      0.
+      (Cluster.completions cluster)
+  in
+  let defer_round_bound =
+    1
+    + int_of_float
+        (Float.ceil (c.ladder.Ladder.defer_hold_s /. Float.max 1. c.debounce_s))
+  in
+  let action_failures =
+    List.fold_left (fun a (r : Executor.record) -> a + r.Executor.failed) 0
+      !switches
+  in
+  {
+    submissions = List.length admitted_ids + !rejected + Admission.depth adm;
+    admitted = List.length admitted_ids;
+    rejected = !rejected;
+    completed;
+    all_terminated;
+    final_viable;
+    max_queue_depth = Admission.peak adm;
+    admission_cap = c.admission_cap;
+    queue_bounded = Admission.peak adm < c.admission_cap;
+    decision_rounds = !rounds;
+    deferred_rounds = !deferred_rounds;
+    max_defer_streak = !max_defer_streak;
+    defer_round_bound;
+    livelock_episodes = !livelock_episodes;
+    degradation_bounded =
+      !livelock_episodes = 0 && !max_defer_streak <= defer_round_bound;
+    ladder_ups = Ladder.ups ladder;
+    ladder_downs = Ladder.downs ladder;
+    transitions = List.rev !transitions;
+    final_level = Ladder.level ladder;
+    triggers_raised = Triggers.raised_total trig;
+    triggers_coalesced = Triggers.coalesced_total trig;
+    switches = List.length !switches;
+    repairs = !repairs;
+    action_failures;
+    crashes = List.rev !crash_log;
+    killed = c.kill_at <> None && not (work_done ());
+    resumed = b.resumed;
+    makespan;
+    final_config;
+  }
+
+(* -- cold start ------------------------------------------------------------ *)
+
+let run ?journal c =
+  let instance = build_instance c in
+  let pending =
+    let acc = ref [] in
+    Array.iteri
+      (fun j (a : Arrivals.arrival) -> acc := (j, a.Arrivals.at_s) :: !acc)
+      instance.arrivals;
+    List.rev !acc
+  in
+  Log.info (fun m ->
+      m "daemon run: %d submissions over %d nodes (seed %d), cap %d, %d \
+         scripted crashes"
+        c.submissions c.nodes c.seed c.admission_cap c.crashes);
+  run_core c
+    {
+      instance;
+      journal;
+      admitted0 = Hashtbl.create 97;
+      rejected0 = 0;
+      requeued = [];
+      missed = [];
+      pending;
+      pre_crashes = [];
+      future_crashes = crash_schedule c instance;
+      level0 = Ladder.Full;
+      initial_config = instance.config0;
+      initial_plan = None;
+      resumed = false;
+    }
+
+(* -- resume ---------------------------------------------------------------- *)
+
+let resume ~journal ~records c =
+  let instance = build_instance c in
+  let crash_time =
+    List.fold_left (fun acc r -> Float.max acc (Jrecord.at_s r)) 0. records
+  in
+  (* settled dispositions: the last journaled one per vjob wins *)
+  let disp : (int, Jrecord.disposition) Hashtbl.t = Hashtbl.create 97 in
+  let level0 = ref Ladder.Full in
+  List.iter
+    (fun r ->
+      match r with
+      | Jrecord.Submission { vjob; disposition; _ } ->
+        Hashtbl.replace disp vjob disposition
+      | Jrecord.Ladder { to_level; _ } -> (
+        match Ladder.of_index to_level with
+        | Some l -> level0 := l
+        | None -> ())
+      | Jrecord.Switch_begin _ | Jrecord.Action_started _
+      | Jrecord.Action_done _ | Jrecord.Action_failed _
+      | Jrecord.Pool_committed _ | Jrecord.Switch_end _ -> ())
+    records;
+  let state = Recovery.replay records in
+  let observed =
+    match state with
+    | Some st -> Recovery.projected_config st
+    | None -> instance.config0
+  in
+  let admitted0 = Hashtbl.create 97 in
+  let rejected0 = ref 0 in
+  let requeued = ref [] in
+  Array.iter
+    (fun vj ->
+      let id = Vjob.id vj in
+      match Hashtbl.find_opt disp id with
+      | Some Jrecord.Admitted -> Hashtbl.replace admitted0 id ()
+      | Some (Jrecord.Rejected _) -> incr rejected0
+      | Some Jrecord.Queued ->
+        (* queued but never admitted before the crash: back in line *)
+        requeued :=
+          {
+            Admission.vjob = id;
+            vms = List.length (Vjob.vms vj);
+            submitted_at = 0.;
+          }
+          :: !requeued
+      | None -> ())
+    instance.vjobs;
+  (* arrivals the dead daemon never disposed of: those already due are
+     re-submitted at once, the rest keep their schedule (shifted — the
+     resumed engine restarts at zero) *)
+  let missed = ref [] in
+  let pending = ref [] in
+  Array.iteri
+    (fun id (a : Arrivals.arrival) ->
+      if not (Hashtbl.mem disp id) then
+        if a.Arrivals.at_s <= crash_time then missed := id :: !missed
+        else pending := (id, a.Arrivals.at_s -. crash_time) :: !pending)
+    instance.arrivals;
+  let all_crashes = crash_schedule c instance in
+  let pre_crashes = List.filter (fun (_, t) -> t <= crash_time) all_crashes in
+  let future_crashes =
+    List.filter_map
+      (fun (n, t) -> if t > crash_time then Some (n, t -. crash_time) else None)
+      all_crashes
+  in
+  let initial_plan =
+    match state with
+    | Some st when not st.Recovery.ended -> (
+      let queue =
+        Array.to_list instance.vjobs
+        |> List.filter (fun vj ->
+               Hashtbl.mem admitted0 (Vjob.id vj)
+               && not (vjob_terminated observed vj))
+      in
+      let rec_ = Recovery.reconcile ~vjobs:queue ~state:st ~observed () in
+      match rec_.Recovery.plan with
+      | Some plan -> Some (rec_.Recovery.target, plan)
+      | None -> (
+        match
+          Repair.repair_residue ~vjobs:queue ~current:observed
+            ~target:rec_.Recovery.target ~demand:st.Recovery.demand ~queue
+            rec_.Recovery.residue ()
+        with
+        | Some o -> Some (o.Repair.target, o.Repair.plan)
+        | None -> None))
+    | Some _ | None -> None
+  in
+  Log.info (fun m ->
+      m "daemon resume: %d records, crash at %.0fs, %d admitted / %d \
+         rejected / %d requeued settled, %d arrivals owed, ladder %a"
+        (List.length records) crash_time (Hashtbl.length admitted0) !rejected0
+        (List.length !requeued)
+        (List.length !missed + List.length !pending)
+        Ladder.pp !level0);
+  run_core c
+    {
+      instance;
+      journal = Some journal;
+      admitted0;
+      rejected0 = !rejected0;
+      requeued = List.rev !requeued;
+      missed = List.rev !missed;
+      pending = List.rev !pending;
+      pre_crashes;
+      future_crashes;
+      level0 = !level0;
+      initial_config = observed;
+      initial_plan;
+      resumed = true;
+    }
+
+(* -- reporting ------------------------------------------------------------- *)
+
+let to_json r =
+  Json.Obj
+    [
+      ("submissions", Json.Int r.submissions);
+      ("admitted", Json.Int r.admitted);
+      ("rejected", Json.Int r.rejected);
+      ("completed", Json.Int r.completed);
+      ("all_terminated", Json.Bool r.all_terminated);
+      ("final_viable", Json.Bool r.final_viable);
+      ("max_queue_depth", Json.Int r.max_queue_depth);
+      ("admission_cap", Json.Int r.admission_cap);
+      ("queue_bounded", Json.Bool r.queue_bounded);
+      ("decision_rounds", Json.Int r.decision_rounds);
+      ("deferred_rounds", Json.Int r.deferred_rounds);
+      ("max_defer_streak", Json.Int r.max_defer_streak);
+      ("defer_round_bound", Json.Int r.defer_round_bound);
+      ("livelock_episodes", Json.Int r.livelock_episodes);
+      ("degradation_bounded", Json.Bool r.degradation_bounded);
+      ("ladder_ups", Json.Int r.ladder_ups);
+      ("ladder_downs", Json.Int r.ladder_downs);
+      ( "transitions",
+        Json.List
+          (List.map
+             (fun (t : Ladder.transition) ->
+               Json.Obj
+                 [
+                   ("at_s", Json.Float t.Ladder.at_s);
+                   ("from", Json.String (Ladder.to_string t.Ladder.from_level));
+                   ("to", Json.String (Ladder.to_string t.Ladder.to_level));
+                   ("cause", Json.String t.Ladder.cause);
+                 ])
+             r.transitions) );
+      ("final_level", Json.String (Ladder.to_string r.final_level));
+      ("triggers_raised", Json.Int r.triggers_raised);
+      ("triggers_coalesced", Json.Int r.triggers_coalesced);
+      ("switches", Json.Int r.switches);
+      ("repairs", Json.Int r.repairs);
+      ("action_failures", Json.Int r.action_failures);
+      ( "crashes",
+        Json.List
+          (List.map
+             (fun (n, t) ->
+               Json.Obj [ ("node", Json.Int n); ("at_s", Json.Float t) ])
+             r.crashes) );
+      ("killed", Json.Bool r.killed);
+      ("resumed", Json.Bool r.resumed);
+      ("makespan_s", Json.Float r.makespan);
+    ]
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>%d submissions: %d admitted, %d rejected, %d completed%s@,\
+     queue: peak %d / cap %d (%s)@,\
+     rounds: %d (%d deferred, max streak %d/%d), %d switches, %d repairs@,\
+     ladder: %d up / %d down, final %a; triggers: %d raised, %d coalesced@,\
+     faults: %d action failures, %d crashes, %d livelock episodes@,\
+     makespan %.0f s, final configuration %s%s@]"
+    r.submissions r.admitted r.rejected r.completed
+    (if r.all_terminated then " (all admitted terminated)" else "")
+    r.max_queue_depth r.admission_cap
+    (if r.queue_bounded then "bounded" else "OVERFLOWED")
+    r.decision_rounds r.deferred_rounds r.max_defer_streak r.defer_round_bound
+    r.switches r.repairs r.ladder_ups r.ladder_downs Ladder.pp r.final_level
+    r.triggers_raised r.triggers_coalesced r.action_failures
+    (List.length r.crashes) r.livelock_episodes r.makespan
+    (if r.final_viable then "viable" else "NOT viable")
+    (if r.killed then " [killed]" else "")

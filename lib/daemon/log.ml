@@ -1,0 +1,9 @@
+(* Log source for the control-plane daemon. Enable with e.g.
+   [Logs.set_reporter (Logs_fmt.reporter ()); Logs.Src.set_level
+   Log.src (Some Logs.Debug)]. *)
+
+let src =
+  Logs.Src.create "entropy.daemon"
+    ~doc:"Online control-plane daemon (admission, triggers, ladder)"
+
+include (val Logs.src_log src : Logs.LOG)

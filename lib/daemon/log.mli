@@ -1,0 +1,5 @@
+(** Log source for the daemon layer ([entropy.daemon]). *)
+
+val src : Logs.Src.t
+
+include Logs.LOG

@@ -1,0 +1,80 @@
+(* Debounced trigger coalescing: Idle -> Armed -> Busy -> Idle. One
+   decision per debounce window, whatever the event rate; raises during
+   a decision re-arm at settle so nothing is lost. *)
+
+type state = Idle | Armed | Busy
+
+let pp_state ppf s =
+  Fmt.string ppf
+    (match s with Idle -> "idle" | Armed -> "armed" | Busy -> "busy")
+
+type t = {
+  debounce_s : float;
+  mutable state : state;
+  mutable reasons : string list;  (* pending, reverse arrival order *)
+  mutable events : int;           (* pending raises *)
+  mutable first_at : float;       (* earliest pending raise *)
+  mutable raised_total : int;
+  mutable fired_total : int;
+}
+
+let create ?(debounce_s = 5.) () =
+  if debounce_s < 0. then invalid_arg "Triggers.create: negative debounce";
+  {
+    debounce_s;
+    state = Idle;
+    reasons = [];
+    events = 0;
+    first_at = 0.;
+    raised_total = 0;
+    fired_total = 0;
+  }
+
+let state t = t.state
+
+let note t ~now ~reason =
+  if t.events = 0 then t.first_at <- now;
+  t.events <- t.events + 1;
+  t.raised_total <- t.raised_total + 1;
+  if not (List.mem reason t.reasons) then t.reasons <- reason :: t.reasons
+
+let raise_ t ~now ~reason =
+  note t ~now ~reason;
+  match t.state with
+  | Idle ->
+    t.state <- Armed;
+    Some (now +. t.debounce_s)
+  | Armed | Busy -> None
+
+type pending = { reasons : string list; events : int; first_at : float }
+
+let fire t =
+  match t.state with
+  | Armed when t.events > 0 ->
+    t.state <- Busy;
+    t.fired_total <- t.fired_total + 1;
+    let p =
+      { reasons = List.rev t.reasons; events = t.events; first_at = t.first_at }
+    in
+    t.reasons <- [];
+    t.events <- 0;
+    Some p
+  | Armed | Idle | Busy -> None
+
+let settle t ~now =
+  match t.state with
+  | Busy ->
+    if t.events > 0 then begin
+      (* events arrived while deciding: immediately re-arm *)
+      t.state <- Armed;
+      Some (now +. t.debounce_s)
+    end
+    else begin
+      t.state <- Idle;
+      None
+    end
+  | Idle | Armed -> None
+
+let raised_total t = t.raised_total
+let fired_total t = t.fired_total
+let coalesced_total t = t.raised_total - t.fired_total

@@ -1,0 +1,56 @@
+(** Trigger coalescing with debounce.
+
+    Every event the daemon reacts to — a vjob arrival, a completion, a
+    load spike, a node crash — raises a trigger. Rather than running one
+    decision per event (an event storm would livelock the control loop
+    in back-to-back decisions), triggers pass through a three-state
+    debounce machine:
+
+    {v Idle --raise--> Armed --(debounce elapses)--> Busy --settle--> Idle v}
+
+    The first raise arms the machine and schedules a fire [debounce_s]
+    later; every further raise before the fire — and every raise while a
+    decision is in flight (Busy) — is coalesced into that one pending
+    decision. {!settle} re-arms immediately when raises arrived during
+    the decision, so no event is ever lost, and at most one decision
+    per debounce window is ever in flight. *)
+
+type state = Idle | Armed | Busy
+
+val pp_state : Format.formatter -> state -> unit
+
+type t
+
+val create : ?debounce_s:float -> unit -> t
+(** Raises [Invalid_argument] on a negative debounce. Default 5 s. *)
+
+val state : t -> state
+
+val raise_ : t -> now:float -> reason:string -> float option
+(** Record one event. [Some fire_at]: the machine just armed — the
+    caller must schedule {!fire} at [fire_at]. [None]: an earlier raise
+    already armed it (or a decision is in flight); the event was
+    coalesced. *)
+
+type pending = {
+  reasons : string list;  (** distinct coalesced reasons, arrival order *)
+  events : int;           (** raises coalesced into this fire *)
+  first_at : float;       (** earliest coalesced raise — the decision
+                              lag clock starts here *)
+}
+
+val fire : t -> pending option
+(** Consume the pending raises and go Busy. [None] when nothing is
+    pending (a stale fire after the machine was consumed); the caller
+    just returns. *)
+
+val settle : t -> now:float -> float option
+(** The decision (and its execution) finished. [Some fire_at] when
+    raises arrived while Busy: the machine re-armed itself and the
+    caller must schedule the next {!fire}. [None]: back to Idle. *)
+
+val raised_total : t -> int
+val fired_total : t -> int
+
+val coalesced_total : t -> int
+(** Raises that did not cause their own fire: [raised - fired]. *)

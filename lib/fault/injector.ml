@@ -139,3 +139,26 @@ let node_crashes t =
       | Crash_node { node; at_s } -> Some (node, at_s)
       | Fail_rate _ | Fail_nth _ | Slowdown _ | Predicate _ -> None)
     t.models
+
+(* Seeded crash schedule for soak runs: [count] distinct nodes crash at
+   times drawn uniformly over (0, horizon_s], in time order. A separate
+   salt keeps the schedule independent of the attempt-fate stream, so
+   the same seed can drive both. *)
+let crash_script ?(seed = 0) ~node_count ~horizon_s ~count () =
+  if count < 0 then invalid_arg "Injector.crash_script: negative count";
+  if count > node_count then
+    invalid_arg "Injector.crash_script: more crashes than nodes";
+  if horizon_s <= 0. then
+    invalid_arg "Injector.crash_script: non-positive horizon";
+  let rng = Random.State.make [| seed; 0xc4a5 |] in
+  let order = Array.init node_count Fun.id in
+  for i = node_count - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  List.init count (fun k ->
+      (order.(k), horizon_s *. (1. -. Random.State.float rng 1.)))
+  |> List.sort (fun (_, a) (_, b) -> Float.compare a b)
+  |> List.map (fun (node, at_s) -> Crash_node { node; at_s })

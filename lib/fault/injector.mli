@@ -60,6 +60,16 @@ val decide : t -> Action.t -> decision
 val node_crashes : t -> (Node.id * float) list
 (** The scripted [(node, at_s)] crashes, in model order. *)
 
+val crash_script :
+  ?seed:int -> node_count:int -> horizon_s:float -> count:int -> unit ->
+  model list
+(** A seeded soak-run crash schedule: [count] distinct nodes crashing
+    at times drawn uniformly over [(0, horizon_s]], returned as
+    [Crash_node] models in time order, ready to splice into {!create}'s
+    model list. Deterministic in [seed] and independent of the
+    attempt-fate stream. Raises [Invalid_argument] when [count] is
+    negative or exceeds [node_count], or the horizon is not positive. *)
+
 val decided : t -> int
 (** Total attempts decided so far (for tests and reports). *)
 

@@ -208,7 +208,9 @@ let of_records records =
             touch sb at_s;
             sb.sb_end <- Some at_s;
             sb.sb_aborted <- aborted)
-          (Hashtbl.find_opt tbl switch))
+          (Hashtbl.find_opt tbl switch)
+      (* daemon-level records carry no switch activity *)
+      | Jrecord.Submission _ | Jrecord.Ladder _ -> ())
     records;
   List.rev_map freeze !order
 

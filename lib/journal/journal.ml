@@ -56,6 +56,10 @@ let decode_binary src =
     match Record.read_frame src ~pos with
     | None -> (List.rev acc, 0)
     | Some (Record.Frame (record, next)) -> go (record :: acc) next
+    | Some (Record.Skipped (reason, next)) ->
+      (* intact frame from a newer writer: diagnose and keep reading *)
+      Log.warn (fun m -> m "skipping frame at byte %d: %s" pos reason);
+      go acc next
     | Some (Record.Torn reason) ->
       Log.warn (fun m ->
           m "dropping torn/corrupt tail (%d bytes): %s"

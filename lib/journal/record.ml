@@ -47,11 +47,22 @@ type t =
     }
   | Pool_committed of { switch : int; pool : int; at_s : float }
   | Switch_end of { switch : int; at_s : float; aborted : bool }
+  | Submission of {
+      at_s : float;
+      vjob : int;
+      vms : int;
+      disposition : disposition;
+    }
+  | Ladder of { at_s : float; from_level : int; to_level : int; reason : string }
+
+and disposition = Queued | Admitted | Rejected of string
 
 exception Corrupt of string
 
 let corrupt fmt = Fmt.kstr (fun s -> raise (Corrupt s)) fmt
 
+(* daemon-level records (submissions, ladder transitions) live outside
+   any switch; they answer -1 so [Recovery.next_switch_id] ignores them *)
 let switch = function
   | Switch_begin { switch; _ }
   | Action_started { switch; _ }
@@ -59,6 +70,7 @@ let switch = function
   | Action_failed { switch; _ }
   | Pool_committed { switch; _ }
   | Switch_end { switch; _ } -> switch
+  | Submission _ | Ladder _ -> -1
 
 let at_s = function
   | Switch_begin { at_s; _ }
@@ -66,7 +78,15 @@ let at_s = function
   | Action_done { at_s; _ }
   | Action_failed { at_s; _ }
   | Pool_committed { at_s; _ }
-  | Switch_end { at_s; _ } -> at_s
+  | Switch_end { at_s; _ }
+  | Submission { at_s; _ }
+  | Ladder { at_s; _ } -> at_s
+
+(* The submission payload carries its own version byte so later PRs can
+   append fields without burning a new record tag; readers reject
+   versions they do not know instead of misparsing. *)
+let submission_version = 1
+let ladder_version = 1
 
 (* -- encoding ---------------------------------------------------------------- *)
 
@@ -191,6 +211,30 @@ let to_json r =
         ("sw", Int switch);
         ("at", Float at_s);
         ("aborted", Bool aborted);
+      ]
+  | Submission { at_s; vjob; vms; disposition } ->
+    Obj
+      [
+        ("t", String "submission");
+        ("v", Int submission_version);
+        ("at", Float at_s);
+        ("vj", Int vjob);
+        ("vms", Int vms);
+        ( "d",
+          match disposition with
+          | Queued -> String "queued"
+          | Admitted -> String "admitted"
+          | Rejected reason -> Obj [ ("r", String reason) ] );
+      ]
+  | Ladder { at_s; from_level; to_level; reason } ->
+    Obj
+      [
+        ("t", String "ladder");
+        ("v", Int ladder_version);
+        ("at", Float at_s);
+        ("from", Int from_level);
+        ("to", Int to_level);
+        ("reason", String reason);
       ]
 
 (* -- decoding ---------------------------------------------------------------- *)
@@ -354,6 +398,32 @@ let of_json j =
           (match Json.member "aborted" j with
           | Some (Json.Bool b) -> b
           | _ -> corrupt "missing boolean field \"aborted\"");
+      }
+  | "submission" ->
+    let v = get_int "v" j in
+    if v <> submission_version then
+      corrupt "unknown submission record version %d" v;
+    Submission
+      {
+        at_s = get_float "at" j;
+        vjob = get_int "vj" j;
+        vms = get_int "vms" j;
+        disposition =
+          (match Json.member "d" j with
+          | Some (Json.String "queued") -> Queued
+          | Some (Json.String "admitted") -> Admitted
+          | Some (Json.Obj _ as o) -> Rejected (get_string "r" o)
+          | _ -> corrupt "unknown submission disposition");
+      }
+  | "ladder" ->
+    let v = get_int "v" j in
+    if v <> ladder_version then corrupt "unknown ladder record version %d" v;
+    Ladder
+      {
+        at_s = get_float "at" j;
+        from_level = get_int "from" j;
+        to_level = get_int "to" j;
+        reason = get_string "reason" j;
       }
   | t -> corrupt "unknown record type %S" t
 
@@ -671,6 +741,25 @@ let write_payload b r =
     add_varint b switch;
     add_float b at_s;
     Buffer.add_char b (if aborted then '\001' else '\000')
+  | Submission { at_s; vjob; vms; disposition } -> (
+    tag 7;
+    Buffer.add_char b (Char.unsafe_chr submission_version);
+    add_float b at_s;
+    add_varint b vjob;
+    add_varint b vms;
+    match disposition with
+    | Queued -> Buffer.add_char b '\000'
+    | Admitted -> Buffer.add_char b '\001'
+    | Rejected reason ->
+      Buffer.add_char b '\002';
+      add_string b reason)
+  | Ladder { at_s; from_level; to_level; reason } ->
+    tag 8;
+    Buffer.add_char b (Char.unsafe_chr ladder_version);
+    add_float b at_s;
+    add_varint b from_level;
+    add_varint b to_level;
+    add_string b reason
 
 let read_payload r =
   match read_byte r with
@@ -718,10 +807,37 @@ let read_payload r =
       | t -> corrupt "unknown binary aborted tag %d" t
     in
     Switch_end { switch; at_s; aborted }
+  | 7 ->
+    let v = read_byte r in
+    if v <> submission_version then
+      corrupt "unknown submission record version %d" v;
+    let at_s = read_float r in
+    let vjob = read_varint r in
+    let vms = read_varint r in
+    let disposition =
+      match read_byte r with
+      | 0 -> Queued
+      | 1 -> Admitted
+      | 2 -> Rejected (read_string r)
+      | d -> corrupt "unknown submission disposition tag %d" d
+    in
+    Submission { at_s; vjob; vms; disposition }
+  | 8 ->
+    let v = read_byte r in
+    if v <> ladder_version then corrupt "unknown ladder record version %d" v;
+    let at_s = read_float r in
+    let from_level = read_varint r in
+    let to_level = read_varint r in
+    Ladder { at_s; from_level; to_level; reason = read_string r }
   | t -> corrupt "unknown binary record tag %d" t
 
 (* one shared scratch buffer: frames are built whole before being
    appended so the header can carry the payload length and checksum *)
+(* Highest record tag this reader decodes; bump alongside new
+   constructors in [write_payload]/[read_payload]. Frames with a higher
+   tag are skipped, not treated as torn. *)
+let max_binary_tag = 8
+
 let scratch = Buffer.create 4096
 
 let write_frame b r =
@@ -747,6 +863,7 @@ let to_frame r =
 
 type frame_result =
   | Frame of t * int  (* decoded record, offset just past its frame *)
+  | Skipped of string * int  (* intact frame, unknown record tag *)
   | Torn of string
 
 let read_u32 s pos =
@@ -770,6 +887,19 @@ let read_frame src ~pos =
     if len < 0 || len > total - payload_start then Some (Torn "short payload")
     else if checksum_sub src ~pos:payload_start ~len <> crc then
       Some (Torn "frame checksum mismatch")
+    else if
+      (* the checksum proves the frame arrived whole, so an unknown
+         leading tag is a record kind from a newer writer, not damage:
+         skip the frame instead of ending the durable prefix *)
+      len > 0
+      && (Char.code src.[payload_start] < 1
+         || Char.code src.[payload_start] > max_binary_tag)
+    then
+      Some
+        (Skipped
+           ( Printf.sprintf "unknown record tag %d in intact frame"
+               (Char.code src.[payload_start]),
+             payload_start + len ))
     else
       let r = { src; pos = payload_start; limit = payload_start + len } in
       match read_payload r with
@@ -788,6 +918,10 @@ let commit_point = function
   | Action_started _ -> false
   | Switch_begin _ | Action_done _ | Action_failed _ | Pool_committed _
   | Switch_end _ -> true
+  (* admission decisions and ladder transitions must be durable before
+     the daemon acts on them: a resumed daemon must not re-admit a
+     rejected submission or forget which rung it was on *)
+  | Submission _ | Ladder _ -> true
 
 (* -- equality & printing ------------------------------------------------------ *)
 
@@ -826,6 +960,12 @@ let equal a b =
     x.switch = y.switch && x.pool = y.pool && x.at_s = y.at_s
   | Switch_end x, Switch_end y ->
     x.switch = y.switch && x.at_s = y.at_s && x.aborted = y.aborted
+  | Submission x, Submission y ->
+    x.at_s = y.at_s && x.vjob = y.vjob && x.vms = y.vms
+    && x.disposition = y.disposition
+  | Ladder x, Ladder y ->
+    x.at_s = y.at_s && x.from_level = y.from_level && x.to_level = y.to_level
+    && x.reason = y.reason
   | _ -> false
 
 let pp ppf = function
@@ -846,3 +986,11 @@ let pp ppf = function
   | Switch_end { switch; at_s; aborted } ->
     Fmt.pf ppf "end sw=%d at=%.0fs%s" switch at_s
       (if aborted then " (aborted)" else "")
+  | Submission { at_s; vjob; vms; disposition } ->
+    Fmt.pf ppf "submission vj=%d (%d VMs) at=%.0fs %s" vjob vms at_s
+      (match disposition with
+      | Queued -> "queued"
+      | Admitted -> "admitted"
+      | Rejected reason -> Printf.sprintf "rejected (%s)" reason)
+  | Ladder { at_s; from_level; to_level; reason } ->
+    Fmt.pf ppf "ladder %d->%d at=%.0fs (%s)" from_level to_level at_s reason

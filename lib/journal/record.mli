@@ -43,11 +43,36 @@ type t =
     }  (** terminal failure: the VM keeps its previous state *)
   | Pool_committed of { switch : int; pool : int; at_s : float }
   | Switch_end of { switch : int; at_s : float; aborted : bool }
+  | Submission of {
+      at_s : float;
+      vjob : int;  (** the submitted vjob's id *)
+      vms : int;   (** its VM count, for audit without the instance *)
+      disposition : disposition;
+    }
+      (** Daemon admission-control decision for one open-arrival
+          submission; the last disposition journaled for a vjob wins on
+          resume. Lives outside any switch. *)
+  | Ladder of { at_s : float; from_level : int; to_level : int; reason : string }
+      (** Daemon degradation-ladder transition (levels as
+          {!Entropy_daemon.Ladder} ordinals), with the pressure reading
+          that caused it. Lives outside any switch. *)
+
+and disposition = Queued | Admitted | Rejected of string
 
 exception Corrupt of string
 (** Raised by the decoders on malformed input or a checksum mismatch. *)
 
+val submission_version : int
+(** Version byte carried inside every {!Submission} payload (the record
+    is expected to grow fields); decoders reject versions they do not
+    know with a clean diagnostic. *)
+
+val ladder_version : int
+
 val switch : t -> int
+(** The record's switch id; [-1] for the daemon-level records
+    ({!Submission}, {!Ladder}) that live outside any switch. *)
+
 val at_s : t -> float
 
 val to_json : t -> Entropy_obs.Json.t
@@ -85,6 +110,12 @@ val to_frame : t -> string
 type frame_result =
   | Frame of t * int
       (** Decoded record and the offset just past its frame. *)
+  | Skipped of string * int
+      (** An intact frame (magic, version and checksum all verified)
+          whose payload leads with a record tag this reader does not
+          know — written by a newer version. Carries a diagnostic and
+          the offset just past the frame: readers log and keep going
+          rather than truncating the records that follow. *)
   | Torn of string
       (** The bytes at this offset are not a valid frame (short header
           or payload, bad magic or version, checksum mismatch, payload

@@ -63,6 +63,9 @@ let step acc record =
   | Record.Switch_begin { switch; at_s; source; target; plan; demand; seed }, _
     ->
     Some (fresh_state ~switch ~begun_at:at_s ~source ~target ~plan ~demand ~seed)
+  (* daemon-level records (admission decisions, ladder transitions) are
+     not part of any switch: the daemon's own resume path folds them *)
+  | (Record.Submission _ | Record.Ladder _), _ -> acc
   | _, None ->
     Log.warn (fun m ->
         m "ignoring record before any switch begin: %a" Record.pp record);

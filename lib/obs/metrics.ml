@@ -70,6 +70,9 @@ let gauge name =
 
 let set g v = g.value <- v
 
+(* high-water mark: peak queue depth, worst decision lag *)
+let set_max g v = if v > g.value then g.value <- v
+
 let gauge_value g = g.value
 
 (* -- histograms ----------------------------------------------------------- *)

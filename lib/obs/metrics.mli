@@ -25,6 +25,12 @@ val counter_value : counter -> int
 
 val gauge : string -> gauge
 val set : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** Raise the gauge to [v] if above its current value: a high-water
+    mark (peak queue depth, worst decision lag). [reset] zeroes it like
+    any gauge. *)
+
 val gauge_value : gauge -> float
 
 val histogram : string -> histogram

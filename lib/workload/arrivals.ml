@@ -1,0 +1,64 @@
+(* Open-arrival submission process for the online daemon: a Poisson
+   base stream modulated by an on/off burst process (a two-state
+   Markov-modulated Poisson process). Calm periods draw inter-arrival
+   gaps at [base_rate], burst periods at [burst_rate]; the periods
+   themselves have exponential durations. Exponential memorylessness
+   lets each phase boundary simply re-draw the next gap at the new
+   rate.
+
+   The process is deterministic in the seed: the daemon, its resume
+   path, and the test harness can all regenerate the same schedule. *)
+
+type spec = {
+  seed : int;
+  count : int;
+  base_rate : float;    (* arrivals/s during calm periods *)
+  burst_rate : float;   (* arrivals/s during bursts *)
+  mean_calm_s : float;  (* mean calm-period duration *)
+  mean_burst_s : float; (* mean burst duration *)
+}
+
+let default_spec =
+  {
+    seed = 0;
+    count = 100;
+    base_rate = 1. /. 60.;
+    burst_rate = 1. /. 4.;
+    mean_calm_s = 900.;
+    mean_burst_s = 120.;
+  }
+
+type arrival = { at_s : float; burst : bool }
+
+let check spec =
+  if spec.count < 0 then invalid_arg "Arrivals: negative count";
+  if spec.base_rate <= 0. || spec.burst_rate <= 0. then
+    invalid_arg "Arrivals: rates must be positive";
+  if spec.mean_calm_s <= 0. || spec.mean_burst_s <= 0. then
+    invalid_arg "Arrivals: phase durations must be positive"
+
+(* exponential with mean [1/rate]; [Random.State.float] is in [0,1) so
+   the argument of [log] stays in (0,1] *)
+let exp_sample rng rate = -.log (1. -. Random.State.float rng 1.) /. rate
+
+let generate spec =
+  check spec;
+  let rng = Random.State.make [| spec.seed; 0xa441 |] in
+  let rate burst = if burst then spec.burst_rate else spec.base_rate in
+  let mean burst = if burst then spec.mean_burst_s else spec.mean_calm_s in
+  let rec go t burst phase_end acc n =
+    if n >= spec.count then List.rev acc
+    else
+      let gap = exp_sample rng (rate burst) in
+      if t +. gap <= phase_end then
+        let t = t +. gap in
+        go t burst phase_end ({ at_s = t; burst } :: acc) (n + 1)
+      else
+        (* phase boundary: switch state and re-draw from the boundary *)
+        let t = phase_end in
+        let burst = not burst in
+        go t burst (t +. exp_sample rng (1. /. mean burst)) acc n
+  in
+  go 0. false (exp_sample rng (1. /. spec.mean_calm_s)) [] 0
+
+let times spec = List.map (fun a -> a.at_s) (generate spec)

@@ -1,0 +1,29 @@
+(** Open-arrival submission schedule: a Poisson base stream modulated
+    by on/off bursts (a two-state Markov-modulated Poisson process),
+    deterministic in the seed. *)
+
+type spec = {
+  seed : int;
+  count : int;          (** total arrivals to generate *)
+  base_rate : float;    (** arrivals/s during calm periods *)
+  burst_rate : float;   (** arrivals/s during bursts *)
+  mean_calm_s : float;  (** mean calm-period duration, seconds *)
+  mean_burst_s : float; (** mean burst duration, seconds *)
+}
+
+val default_spec : spec
+(** One arrival a minute baseline, 15× bursts of ~2 minutes roughly
+    every 15 minutes, 100 arrivals. *)
+
+type arrival = {
+  at_s : float;  (** submission instant, nondecreasing across the list *)
+  burst : bool;  (** emitted during a burst period *)
+}
+
+val generate : spec -> arrival list
+(** Exactly [count] arrivals in nondecreasing time order. Deterministic:
+    equal specs produce equal schedules. Raises [Invalid_argument] on a
+    negative count or non-positive rate or duration. *)
+
+val times : spec -> float list
+(** Just the instants of {!generate}. *)

@@ -936,20 +936,81 @@ let test_loop_recovers_degraded_switch () =
     }
   in
   let decision = Decision.consolidation ~cp_timeout:0.5 () in
-  let it = Loop.step decision driver 0 in
+  let outcome = Loop.step decision driver 0 in
+  check_bool "recovered step converges" true (Loop.converged outcome);
+  let it = Loop.iteration_of outcome in
   check_int "one recovery round" 1 it.Loop.recoveries;
   check_int "re-executed immediately" 2 !calls;
   check_bool "recovery applied the plan" true
     (List.for_all
        (fun vj -> Configuration.vjob_state !state vj = Some Lifecycle.Running)
-       vjobs);
-  (* a driver that never recovers is cut off at max_recoveries *)
-  state := config;
+       vjobs)
+
+let test_loop_degraded_outcome_guards_livelock () =
+  (* a driver that never recovers must surface as a distinguishable
+     Degraded outcome carrying the residue once max_recoveries is
+     exhausted — not as a quietly returned last round *)
+  let config, vjobs = mk_vjob_cluster () in
+  let demand = Demand.uniform ~vm_count:6 50 in
+  let calls = ref 0 in
   let stuck =
-    { driver with Loop.execute = (fun _ -> { Loop.failed_vms = [ 0 ]; lost_nodes = [] }) }
+    {
+      Loop.observe =
+        (fun () ->
+          { Decision.config; demand; queue = vjobs; finished = [] });
+      execute =
+        (fun _ ->
+          incr calls;
+          { Loop.failed_vms = [ 0 ]; lost_nodes = [] });
+      wait = (fun _ -> ());
+      finished = (fun () -> false);
+    }
   in
-  let it = Loop.step ~max_recoveries:2 decision stuck 0 in
-  check_int "bounded recovery" 2 it.Loop.recoveries
+  let decision = Decision.consolidation ~cp_timeout:0.5 () in
+  match Loop.step ~max_recoveries:2 decision stuck 0 with
+  | Loop.Converged _ -> Alcotest.fail "stuck driver reported as converged"
+  | Loop.Degraded (it, residue) as outcome ->
+    check_bool "converged is false" false (Loop.converged outcome);
+    check_int "bounded recovery" 2 it.Loop.recoveries;
+    check_int "initial round + two recovery rounds" 3 !calls;
+    check_bool "residue names the failed vm" true
+      (residue.Loop.failed_vms = [ 0 ]);
+    check_bool "iteration_of still yields the last round" true
+      (Loop.iteration_of outcome == it)
+
+let test_loop_decide_event_matches_step () =
+  (* the event-driven entry point runs one full decision round with the
+     same semantics as a periodic step *)
+  let config, vjobs = mk_vjob_cluster () in
+  let demand = Demand.uniform ~vm_count:6 50 in
+  let state = ref config in
+  let driver =
+    {
+      Loop.observe =
+        (fun () ->
+          { Decision.config = !state; demand; queue = vjobs; finished = [] });
+      execute =
+        (fun plan ->
+          state :=
+            List.fold_left
+              (fun cfg pool -> List.fold_left Action.apply cfg pool)
+              !state (Plan.pools plan);
+          Loop.clean);
+      wait = (fun _ -> ());
+      finished = (fun () -> false);
+    }
+  in
+  let decision = Decision.consolidation ~cp_timeout:0.5 () in
+  let outcome =
+    Loop.decide_event ~reason:"vjob arrival x3" decision driver 0
+  in
+  check_bool "event decision converges" true (Loop.converged outcome);
+  check_bool "event decision executed the switch" true
+    (Loop.iteration_of outcome).Loop.executed;
+  check_bool "all vjobs running afterwards" true
+    (List.for_all
+       (fun vj -> Configuration.vjob_state !state vj = Some Lifecycle.Running)
+       vjobs)
 
 let test_loop_hooks_bracket_switch () =
   (* the journaling hooks fire exactly once around a non-empty switch,
@@ -988,7 +1049,7 @@ let test_loop_hooks_bracket_switch () =
     }
   in
   let decision = Decision.consolidation ~cp_timeout:0.5 () in
-  let it = Loop.step ~hooks decision driver 7 in
+  let it = Loop.iteration_of (Loop.step ~hooks decision driver 7) in
   check_bool "switch executed" true it.Loop.executed;
   (match !begins with
   | [ (index, source, target, plan) ] ->
@@ -1005,7 +1066,7 @@ let test_loop_hooks_bracket_switch () =
     check_bool "clean report" true (Loop.report_ok report)
   | _ -> Alcotest.fail "expected exactly one end hook");
   (* converged state: the next decision plans nothing, hooks stay quiet *)
-  let it2 = Loop.step ~hooks decision driver 8 in
+  let it2 = Loop.iteration_of (Loop.step ~hooks decision driver 8) in
   check_bool "no switch" false it2.Loop.executed;
   check_int "no further begins" 1 (List.length !begins);
   check_int "no further ends" 1 (List.length !ends)
@@ -1047,7 +1108,7 @@ let test_loop_resume_injects_plan () =
         Configuration.Waiting; Configuration.Waiting;
       |]
   in
-  let it = Loop.resume ~target ~plan decision driver 3 in
+  let it = Loop.iteration_of (Loop.resume ~target ~plan decision driver 3) in
   check_bool "executed" true it.Loop.executed;
   check_int "exactly the recovery plan ran" 1 (List.length !executed);
   check_bool "verbatim" true
@@ -1061,7 +1122,10 @@ let test_loop_resume_injects_plan () =
     (Configuration.state !state 0 = Configuration.Running 0
     && Configuration.state !state 1 = Configuration.Running 0);
   (* an empty reconciliation plan: nothing executes, no recovery rounds *)
-  let it2 = Loop.resume ~target:!state ~plan:Plan.empty decision driver 4 in
+  let it2 =
+    Loop.iteration_of
+      (Loop.resume ~target:!state ~plan:Plan.empty decision driver 4)
+  in
   check_bool "empty plan, no switch" false it2.Loop.executed;
   check_int "driver untouched" 1 (List.length !executed)
 
@@ -1097,7 +1161,7 @@ let test_loop_resume_degraded_recovers_afresh () =
   let target =
     Configuration.set_state config 0 (Configuration.Running 0)
   in
-  let it = Loop.resume ~target ~plan decision driver 0 in
+  let it = Loop.iteration_of (Loop.resume ~target ~plan decision driver 0) in
   check_int "one recovery round" 1 it.Loop.recoveries;
   check_int "re-executed with a fresh decision" 2 !calls;
   check_bool "recovery result is a real decision" true
@@ -1516,6 +1580,10 @@ let () =
             test_loop_resume_degraded_recovers_afresh;
           Alcotest.test_case "loop recovers degraded switch" `Quick
             test_loop_recovers_degraded_switch;
+          Alcotest.test_case "degraded outcome guards livelock" `Quick
+            test_loop_degraded_outcome_guards_livelock;
+          Alcotest.test_case "event-driven decision" `Quick
+            test_loop_decide_event_matches_step;
         ] );
       ( "properties",
         qsuite

@@ -112,6 +112,33 @@ let test_injector_node_crashes () =
   Alcotest.(check (list (pair int (float 1e-9))))
     "model order" [ (3, 100.); (1, 50.) ] (Injector.node_crashes inj)
 
+let test_injector_crash_script () =
+  let script =
+    Injector.crash_script ~seed:5 ~node_count:20 ~horizon_s:3600. ~count:6 ()
+  in
+  let crashes = Injector.node_crashes (Injector.create script) in
+  check_int "six crashes" 6 (List.length crashes);
+  let nodes = List.map fst crashes in
+  check_int "distinct nodes" 6 (List.length (List.sort_uniq compare nodes));
+  check_bool "nodes in range" true
+    (List.for_all (fun n -> n >= 0 && n < 20) nodes);
+  let times = List.map snd crashes in
+  check_bool "times inside the horizon" true
+    (List.for_all (fun t -> t > 0. && t <= 3600.) times);
+  check_bool "time ordered" true (List.sort Float.compare times = times);
+  check_bool "deterministic" true
+    (Injector.crash_script ~seed:5 ~node_count:20 ~horizon_s:3600. ~count:6 ()
+    = script);
+  check_bool "seed matters" true
+    (Injector.crash_script ~seed:6 ~node_count:20 ~horizon_s:3600. ~count:6 ()
+    <> script);
+  check_bool "too many crashes rejected" true
+    (invalid (fun () ->
+         Injector.crash_script ~seed:0 ~node_count:3 ~horizon_s:10. ~count:4 ()));
+  check_bool "bad horizon rejected" true
+    (invalid (fun () ->
+         Injector.crash_script ~seed:0 ~node_count:3 ~horizon_s:0. ~count:1 ()))
+
 let test_injector_validation () =
   check_bool "rate > 1" true
     (invalid (fun () ->
@@ -416,6 +443,7 @@ let () =
             test_injector_slowdown_composes;
           Alcotest.test_case "predicate" `Quick test_injector_predicate;
           Alcotest.test_case "node crashes" `Quick test_injector_node_crashes;
+          Alcotest.test_case "crash script" `Quick test_injector_crash_script;
           Alcotest.test_case "validation" `Quick test_injector_validation;
           Alcotest.test_case "kind round trip" `Quick test_kind_round_trip;
         ] );

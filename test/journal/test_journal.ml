@@ -66,7 +66,7 @@ let rich_begin =
       seed = Some 42;
     }
 
-let all_records =
+let switch_records =
   [
     rich_begin;
     Record.Action_started
@@ -95,6 +95,26 @@ let all_records =
     Record.Switch_end { switch = 3; at_s = 16.; aborted = true };
   ]
 
+(* daemon-level records live outside any switch (switch id -1) *)
+let daemon_records =
+  [
+    Record.Submission
+      { at_s = 17.; vjob = 4; vms = 2; disposition = Record.Queued };
+    Record.Submission
+      { at_s = 17.5; vjob = 4; vms = 2; disposition = Record.Admitted };
+    Record.Submission
+      {
+        at_s = 18.;
+        vjob = 5;
+        vms = 1;
+        disposition = Record.Rejected "queue full";
+      };
+    Record.Ladder
+      { at_s = 19.; from_level = 0; to_level = 2; reason = "queue pressure" };
+  ]
+
+let all_records = switch_records @ daemon_records
+
 (* -- record codec ------------------------------------------------------------- *)
 
 let test_record_round_trip () =
@@ -111,7 +131,10 @@ let test_record_round_trip () =
 let test_record_accessors () =
   List.iter
     (fun r -> check_int "switch id" 3 (Record.switch r))
-    all_records;
+    switch_records;
+  List.iter
+    (fun r -> check_int "daemon record switch id" (-1) (Record.switch r))
+    daemon_records;
   Alcotest.(check (float 1e-9)) "begin time" 12.5 (Record.at_s rich_begin)
 
 let test_checksum_detects_corruption () =
@@ -223,6 +246,8 @@ let test_binary_round_trip () =
           (Format.asprintf "binary round trip: %a" Record.pp r)
           true (Record.equal r r');
         check_int "frame consumed whole" (String.length frame) next
+      | Some (Record.Skipped (reason, _)) ->
+        Alcotest.fail ("fresh frame read as unknown-tag: " ^ reason)
       | Some (Record.Torn reason) ->
         Alcotest.fail ("fresh frame read as torn: " ^ reason)
       | None -> Alcotest.fail "fresh frame read as end of input")
@@ -277,6 +302,69 @@ let test_binary_torn_tail_cuts () =
       Record.header_size + 3;
       String.length frame_b - 1;
     ];
+  Sys.remove path
+
+(* hand-built frame with a correct header and checksum over an
+   arbitrary payload, as a newer-version writer would emit *)
+let craft_frame payload =
+  let b = Buffer.create 64 in
+  Buffer.add_string b Record.magic;
+  Buffer.add_char b (Char.chr Record.version);
+  let len = String.length payload in
+  let crc = Record.checksum payload in
+  for i = 0 to 3 do
+    Buffer.add_char b (Char.chr ((len lsr (8 * i)) land 0xff))
+  done;
+  for i = 0 to 3 do
+    Buffer.add_char b (Char.chr ((crc lsr (8 * i)) land 0xff))
+  done;
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let test_binary_unknown_tag_skipped () =
+  (* forward compatibility: an intact frame whose payload leads with a
+     record tag this reader does not know must surface as a clean skip
+     diagnostic — not a crash, and not a torn tail that silently
+     truncates the records behind it *)
+  let future = craft_frame "\099future-record-payload" in
+  (match Record.read_frame future ~pos:0 with
+  | Some (Record.Skipped (reason, next)) ->
+    check_bool "diagnostic names the tag" true
+      (let needle = "unknown record tag 99" in
+       let n = String.length needle in
+       let rec find i =
+         i + n <= String.length reason
+         && (String.sub reason i n = needle || find (i + 1))
+       in
+       find 0);
+    check_int "skip lands just past the frame" (String.length future) next
+  | Some (Record.Frame _) -> Alcotest.fail "future frame decoded as a record"
+  | Some (Record.Torn reason) ->
+    Alcotest.fail ("future frame read as torn: " ^ reason)
+  | None -> Alcotest.fail "future frame read as end of input");
+  (* sandwiched in a journal file the frames behind it must survive *)
+  let path = temp_journal () in
+  let frame_a = Record.to_frame (List.nth all_records 1) in
+  let frame_c = Record.to_frame (List.nth all_records 5) in
+  let oc = open_out_bin path in
+  output_string oc (frame_a ^ future ^ frame_c);
+  close_out oc;
+  let loaded, dropped = Journal.load path in
+  check_int "both known records load" 2 (List.length loaded);
+  check_bool "records around the skip intact" true
+    (List.for_all2 Record.equal
+       [ List.nth all_records 1; List.nth all_records 5 ]
+       loaded);
+  check_int "nothing counted as torn" 0 dropped;
+  (* a crash can still tear a future frame: a cut partway through it
+     must end the durable prefix exactly there *)
+  let oc = open_out_bin path in
+  output_string oc
+    (frame_a ^ String.sub future 0 (String.length future - 1));
+  close_out oc;
+  let loaded, dropped = Journal.load path in
+  check_int "prefix before the torn future frame" 1 (List.length loaded);
+  check_int "torn future frame dropped" 1 dropped;
   Sys.remove path
 
 let test_reopen_after_torn_tail () =
@@ -536,6 +624,24 @@ let gen_record =
         at_s >>= fun at ->
         bool >>= fun aborted ->
         return (Record.Switch_end { switch; at_s = at; aborted }) );
+      ( int_bound 100 >>= fun vjob ->
+        int_range 1 8 >>= fun vms ->
+        at_s >>= fun at ->
+        oneof
+          [
+            return Record.Queued;
+            return Record.Admitted;
+            map
+              (fun s -> Record.Rejected s)
+              (small_string ~gen:printable);
+          ]
+        >>= fun disposition ->
+        return (Record.Submission { at_s = at; vjob; vms; disposition }) );
+      ( int_bound 3 >>= fun from_level ->
+        int_bound 3 >>= fun to_level ->
+        at_s >>= fun at ->
+        small_string ~gen:printable >>= fun reason ->
+        return (Record.Ladder { at_s = at; from_level; to_level; reason }) );
     ]
 
 (* Structural shrinker: failing records minimize (fewer pools and
@@ -589,6 +695,24 @@ let shrink_record r =
          else empty)
     <+> (if e.at_s = 0. then empty
          else return (Record.Switch_end { e with at_s = 0. }))
+  | Record.Submission s ->
+    (shrink_int s.vjob >|= fun vjob -> Record.Submission { s with vjob })
+    <+> (shrink_int s.vms >|= fun vms -> Record.Submission { s with vms })
+    <+> (match s.disposition with
+        | Record.Queued -> empty
+        | Record.Admitted | Record.Rejected _ ->
+          return (Record.Submission { s with disposition = Record.Queued }))
+    <+> (if s.at_s = 0. then empty
+         else return (Record.Submission { s with at_s = 0. }))
+  | Record.Ladder l ->
+    (shrink_int l.from_level >|= fun from_level ->
+     Record.Ladder { l with from_level })
+    <+> (shrink_int l.to_level >|= fun to_level ->
+         Record.Ladder { l with to_level })
+    <+> (if l.reason = "" then empty
+         else return (Record.Ladder { l with reason = "" }))
+    <+> (if l.at_s = 0. then empty
+         else return (Record.Ladder { l with at_s = 0. }))
 
 let arb_record =
   QCheck.make
@@ -961,6 +1085,8 @@ let () =
           Alcotest.test_case "crc corruption at every offset" `Quick
             test_binary_crc_every_offset;
           Alcotest.test_case "torn tail cuts" `Quick test_binary_torn_tail_cuts;
+          Alcotest.test_case "unknown record tag skipped" `Quick
+            test_binary_unknown_tag_skipped;
           Alcotest.test_case "reopen after torn tail" `Quick
             test_reopen_after_torn_tail;
           Alcotest.test_case "legacy json auto-detect" `Quick

@@ -1233,7 +1233,8 @@ let test_journal_emission_well_formed () =
         check_bool "terminal follows its start" true
           (Hashtbl.mem started (sw, action))
       | Jrecord.Switch_end _ -> Hashtbl.replace ended sw ()
-      | Jrecord.Switch_begin _ | Jrecord.Pool_committed _ -> ())
+      | Jrecord.Switch_begin _ | Jrecord.Pool_committed _
+      | Jrecord.Submission _ | Jrecord.Ladder _ -> ())
     records;
   (* a completed run closes every switch it opened *)
   Hashtbl.iter

@@ -6,6 +6,7 @@ module Program = Vworkload.Program
 module Nasgrid = Vworkload.Nasgrid
 module Trace = Vworkload.Trace
 module Generator = Vworkload.Generator
+module Arrivals = Vworkload.Arrivals
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -301,6 +302,105 @@ let prop_generator_all_states_appear =
          accept when at least two distinct states exist *)
       List.length (List.sort_uniq compare states) >= 2)
 
+(* -- arrivals -------------------------------------------------------------- *)
+
+let test_arrivals_shape () =
+  let spec = { Arrivals.default_spec with count = 500; seed = 11 } in
+  let arr = Arrivals.generate spec in
+  check_int "exactly count arrivals" 500 (List.length arr);
+  let sorted = ref true and positive = ref true in
+  ignore
+    (List.fold_left
+       (fun prev a ->
+         if a.Arrivals.at_s < prev then sorted := false;
+         if a.Arrivals.at_s < 0. then positive := false;
+         a.Arrivals.at_s)
+       0. arr);
+  check_bool "nondecreasing times" true !sorted;
+  check_bool "nonnegative times" true !positive
+
+let test_arrivals_deterministic () =
+  let spec = { Arrivals.default_spec with count = 300; seed = 42 } in
+  check_bool "same seed, same schedule" true
+    (Arrivals.generate spec = Arrivals.generate spec);
+  check_bool "different seed, different schedule" true
+    (Arrivals.times spec <> Arrivals.times { spec with seed = 43 })
+
+let test_arrivals_base_rate () =
+  (* with bursts switched off (equal rates) the stream is plain Poisson:
+     the empirical rate over many arrivals converges on base_rate *)
+  let rate = 0.5 in
+  let spec =
+    {
+      Arrivals.seed = 7;
+      count = 4000;
+      base_rate = rate;
+      burst_rate = rate;
+      mean_calm_s = 100.;
+      mean_burst_s = 100.;
+    }
+  in
+  let times = Arrivals.times spec in
+  let span = List.nth times (List.length times - 1) in
+  let empirical = float_of_int (List.length times) /. span in
+  check_bool
+    (Printf.sprintf "empirical rate %.3f within 10%% of %.3f" empirical rate)
+    true
+    (Float.abs (empirical -. rate) < 0.1 *. rate)
+
+let test_arrivals_bursty () =
+  (* bursts must be real: the local rate inside burst periods clearly
+     exceeds the calm rate, and both kinds of arrival occur *)
+  let spec =
+    {
+      Arrivals.seed = 3;
+      count = 2000;
+      base_rate = 1. /. 60.;
+      burst_rate = 1. /. 4.;
+      mean_calm_s = 600.;
+      mean_burst_s = 120.;
+    }
+  in
+  let arr = Arrivals.generate spec in
+  let gaps_between same =
+    (* mean gap between consecutive arrivals in the same phase kind *)
+    let rec go prev acc n = function
+      | [] -> (acc, n)
+      | a :: rest ->
+        if a.Arrivals.burst = same then
+          match prev with
+          | Some p ->
+            go (Some a) (acc +. (a.Arrivals.at_s -. p.Arrivals.at_s)) (n + 1)
+              rest
+          | None -> go (Some a) acc n rest
+        else go None acc n rest
+      in
+    let total, n = go None 0. 0 arr in
+    if n = 0 then infinity else total /. float_of_int n
+  in
+  let burst_gap = gaps_between true and calm_gap = gaps_between false in
+  check_bool "both phases produce arrivals" true
+    (List.exists (fun a -> a.Arrivals.burst) arr
+    && List.exists (fun a -> not a.Arrivals.burst) arr);
+  check_bool
+    (Printf.sprintf "burst gap %.1fs well below calm gap %.1fs" burst_gap
+       calm_gap)
+    true
+    (burst_gap *. 4. < calm_gap)
+
+let test_arrivals_rejects_bad_spec () =
+  let bad f =
+    match Arrivals.generate f with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  check_bool "negative count" true
+    (bad { Arrivals.default_spec with count = -1 });
+  check_bool "zero rate" true
+    (bad { Arrivals.default_spec with base_rate = 0. });
+  check_bool "zero phase duration" true
+    (bad { Arrivals.default_spec with mean_burst_s = 0. })
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -359,4 +459,14 @@ let () =
             test_generator_demands_from_programs;
         ]
         @ qsuite [ prop_generator_all_states_appear ] );
+      ( "arrivals",
+        [
+          Alcotest.test_case "shape" `Quick test_arrivals_shape;
+          Alcotest.test_case "deterministic" `Quick
+            test_arrivals_deterministic;
+          Alcotest.test_case "base rate" `Quick test_arrivals_base_rate;
+          Alcotest.test_case "bursty" `Quick test_arrivals_bursty;
+          Alcotest.test_case "bad spec rejected" `Quick
+            test_arrivals_rejects_bad_spec;
+        ] );
     ]
